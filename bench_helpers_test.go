@@ -1,0 +1,16 @@
+package indulgence_test
+
+import (
+	"math/rand"
+
+	"indulgence/internal/model"
+	"indulgence/internal/payload"
+)
+
+// benchEstHalt builds the payload used by the codec micro-benchmark.
+func benchEstHalt() model.Payload {
+	return payload.EstHalt{Est: -12345, Halt: model.NewPIDSet(1, 3, 5, 7)}
+}
+
+// benchRng returns a fixed-seed source for reproducible benchmarks.
+func benchRng() *rand.Rand { return rand.New(rand.NewSource(1)) }

@@ -1,0 +1,255 @@
+// The benchmark harness regenerates every experiment table of the paper
+// (EXPERIMENTS.md). Each BenchmarkE* target executes one experiment — the
+// workload generation, parameter sweep, baselines and checks — and prints
+// its tables on the first iteration, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation. BenchmarkMicro* targets measure the
+// substrate itself (simulator throughput, codec, exploration).
+package indulgence_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"indulgence"
+	"indulgence/internal/experiments"
+	"indulgence/internal/model"
+	"indulgence/internal/wire"
+)
+
+// printOnce renders each experiment's tables a single time across the
+// whole bench run, keeping -bench output readable when Go re-runs a bench
+// to calibrate b.N.
+var (
+	printMu      sync.Mutex
+	printedBench = make(map[string]bool)
+)
+
+func runExperimentBench(b *testing.B, id string, run func() (*experiments.Outcome, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		o, err := run()
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if !o.OK() {
+			b.Fatalf("%s failed: %v", id, o.Failures)
+		}
+		printMu.Lock()
+		if !printedBench[id] {
+			printedBench[id] = true
+			fmt.Println(o)
+		}
+		printMu.Unlock()
+	}
+}
+
+// BenchmarkE1LowerBound regenerates the Proposition 1 table: exhaustive
+// worst cases of A_{t+2} plus the executed Claim 5.1 constructions.
+func BenchmarkE1LowerBound(b *testing.B) {
+	runExperimentBench(b, "E1", experiments.E1LowerBound)
+}
+
+// BenchmarkE2FastDecision regenerates the Lemma 13 table (decision rounds
+// exactly t+2 in synchronous runs), with a heavier random sweep than the
+// unit tests.
+func BenchmarkE2FastDecision(b *testing.B) {
+	runExperimentBench(b, "E2", func() (*experiments.Outcome, error) {
+		return experiments.E2FastDecision(500, 1)
+	})
+}
+
+// BenchmarkE3PriceTable regenerates the headline price-of-indulgence
+// table for t = 1..3.
+func BenchmarkE3PriceTable(b *testing.B) {
+	runExperimentBench(b, "E3", func() (*experiments.Outcome, error) {
+		return experiments.E3PriceTable(3)
+	})
+}
+
+// BenchmarkE4FailureFree regenerates the Fig. 4 failure-free table.
+func BenchmarkE4FailureFree(b *testing.B) {
+	runExperimentBench(b, "E4", experiments.E4FailureFree)
+}
+
+// BenchmarkE5EarlyDecision regenerates the early-decision (f+2) table.
+func BenchmarkE5EarlyDecision(b *testing.B) {
+	runExperimentBench(b, "E5", experiments.E5EarlyDecision)
+}
+
+// BenchmarkE6EventualFast regenerates the Sect. 6 separation tables
+// (k+f+2 for A_{f+2} vs k+2f+2 for AMR).
+func BenchmarkE6EventualFast(b *testing.B) {
+	runExperimentBench(b, "E6", experiments.E6EventualFast)
+}
+
+// BenchmarkE7FDSimulation regenerates the Sect. 4 failure-detector
+// simulation table.
+func BenchmarkE7FDSimulation(b *testing.B) {
+	runExperimentBench(b, "E7", func() (*experiments.Outcome, error) {
+		return experiments.E7FDSimulation(300, 1)
+	})
+}
+
+// BenchmarkE8ResiliencePrice regenerates the split-brain table.
+func BenchmarkE8ResiliencePrice(b *testing.B) {
+	runExperimentBench(b, "E8", experiments.E8ResiliencePrice)
+}
+
+// BenchmarkE9LiveRuntime regenerates the live-cluster table (wall-clock
+// latencies under delays and crashes).
+func BenchmarkE9LiveRuntime(b *testing.B) {
+	runExperimentBench(b, "E9", experiments.E9LiveRuntime)
+}
+
+// BenchmarkE10AverageCase regenerates the average-case distribution table.
+func BenchmarkE10AverageCase(b *testing.B) {
+	runExperimentBench(b, "E10", experiments.E10AverageCase)
+}
+
+// BenchmarkAblationPhase1 regenerates the Phase-1-length ablation.
+func BenchmarkAblationPhase1(b *testing.B) {
+	runExperimentBench(b, "A1", experiments.AblationPhase1)
+}
+
+// BenchmarkAblationHaltExchange regenerates the Halt-exchange ablation.
+func BenchmarkAblationHaltExchange(b *testing.B) {
+	runExperimentBench(b, "A2", experiments.AblationHaltExchange)
+}
+
+// BenchmarkAblationThreshold regenerates the detector-threshold ablation.
+func BenchmarkAblationThreshold(b *testing.B) {
+	runExperimentBench(b, "A3", experiments.AblationThreshold)
+}
+
+// BenchmarkAblationPlurality regenerates the A_{f+2} plurality-rule
+// ablation.
+func BenchmarkAblationPlurality(b *testing.B) {
+	runExperimentBench(b, "A4", experiments.AblationPlurality)
+}
+
+// BenchmarkMicroSimulatedRun measures one full simulated A_{t+2} run
+// (n=5, t=2, failure-free): the substrate cost per data point of every
+// table above.
+func BenchmarkMicroSimulatedRun(b *testing.B) {
+	proposals := []indulgence.Value{3, 1, 4, 1, 5}
+	factory := indulgence.NewAtPlus2(indulgence.AtPlus2Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := indulgence.Simulate(indulgence.SimConfig{
+			Synchrony: indulgence.ES,
+			Schedule:  indulgence.FailureFree(5, 2),
+			Proposals: proposals,
+			Factory:   factory,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if gdr, _ := res.GlobalDecisionRound(); gdr != 4 {
+			b.Fatalf("gdr = %d", gdr)
+		}
+	}
+}
+
+// BenchmarkMicroSimulatedRunLean measures the traceless run used by the
+// exhaustive explorer.
+func BenchmarkMicroSimulatedRunLean(b *testing.B) {
+	proposals := []indulgence.Value{3, 1, 4, 1, 5}
+	factory := indulgence.NewAtPlus2(indulgence.AtPlus2Options{})
+	s := indulgence.FailureFree(5, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := indulgence.Simulate(indulgence.SimConfig{
+			Synchrony:      indulgence.ES,
+			Schedule:       s,
+			Proposals:      proposals,
+			Factory:        factory,
+			SkipTrace:      true,
+			SkipValidation: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroExplore measures a complete exhaustive exploration
+// (n=3, t=1, all subsets — 769 serial runs).
+func BenchmarkMicroExplore(b *testing.B) {
+	factory := indulgence.NewAtPlus2(indulgence.AtPlus2Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := indulgence.Explore(indulgence.ExploreConfig{
+			N: 3, T: 1,
+			Synchrony:     indulgence.ES,
+			Factory:       factory,
+			Proposals:     []indulgence.Value{1, 2, 3},
+			MaxCrashRound: 3,
+			Mode:          indulgence.AllSubsets,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.WorstRound != 3 {
+			b.Fatalf("worst = %d", res.WorstRound)
+		}
+	}
+}
+
+// BenchmarkMicroWireRoundTrip measures the codec on a Phase-1 message.
+func BenchmarkMicroWireRoundTrip(b *testing.B) {
+	m := model.Message{From: 3, Round: 7, Payload: wireBenchPayload}
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc, err := wire.EncodeMessage(buf[:0], m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := wire.DecodeMessage(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var wireBenchPayload = func() model.Payload {
+	// An EstHalt with a populated Halt set, the densest common payload.
+	return benchEstHalt()
+}()
+
+// BenchmarkMicroRandomES measures random eventually synchronous schedule
+// generation plus validation (the E7 workload generator).
+func BenchmarkMicroRandomES(b *testing.B) {
+	rng := benchRng()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := indulgence.RandomES(5, 2, 4, indulgence.RandomOpts{Rng: rng})
+		if err := s.Validate(indulgence.ES); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroSimHR measures a Hurfin–Raynal worst-case run (the most
+// round-hungry baseline data point).
+func BenchmarkMicroSimHR(b *testing.B) {
+	proposals := []indulgence.Value{1, 2, 3, 4, 5}
+	factory := indulgence.NewHurfinRaynal()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := indulgence.Simulate(indulgence.SimConfig{
+			Synchrony: indulgence.ES,
+			Schedule:  indulgence.KillCoordinators(5, 2, 2),
+			Proposals: proposals,
+			Factory:   factory,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if gdr, _ := res.GlobalDecisionRound(); gdr != 6 {
+			b.Fatalf("gdr = %d", gdr)
+		}
+	}
+}

@@ -1,0 +1,415 @@
+// Command indulgence is the command-line front end of the reproduction:
+// it runs single simulated runs, worst-case serial-run explorations, the
+// full experiment suite (regenerating every table in EXPERIMENTS.md), and
+// live goroutine clusters.
+//
+// Usage:
+//
+//	indulgence run   [-algo A] [-n N] [-t T] [-sched S] [-gsr K] [-seed S]
+//	indulgence worst [-algo A] [-n N] [-t T] [-mode all|prefix] [-maxround R]
+//	indulgence table [-id E1|E2|...|A4|all] [-samples N]
+//	indulgence live  [-algo A] [-n N] [-t T] [-transport memory|tcp]
+//	                 [-delay D] [-crash P] [-timeout D]
+//
+// Algorithms: atplus2, atplus2ff, diamonds, afplus2, floodset, floodsetws,
+// ct, hurfinraynal, amr. Schedules: ff, killer2, killer3, splitbrain,
+// random, randomes, delayedsender.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"indulgence/internal/baseline"
+	"indulgence/internal/check"
+	"indulgence/internal/core"
+	"indulgence/internal/experiments"
+	"indulgence/internal/lowerbound"
+	"indulgence/internal/model"
+	"indulgence/internal/runtime"
+	"indulgence/internal/sched"
+	"indulgence/internal/sim"
+	"indulgence/internal/stats"
+	"indulgence/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "indulgence:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return errors.New("missing subcommand")
+	}
+	switch args[0] {
+	case "run":
+		return cmdRun(args[1:])
+	case "worst":
+		return cmdWorst(args[1:])
+	case "table":
+		return cmdTable(args[1:])
+	case "live":
+		return cmdLive(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: indulgence <run|worst|table|live> [flags]
+
+  run    simulate one run of an algorithm under a schedule
+  worst  explore all serial runs and report the worst-case decision round
+  table  regenerate the paper's experiment tables (E1..E9, A1..A4, all)
+  live   run a live goroutine cluster (in-memory or TCP transport)
+
+run 'indulgence <cmd> -h' for the flags of each subcommand.`)
+}
+
+// factoryByName resolves an algorithm name to its factory.
+func factoryByName(name string) (model.Factory, error) {
+	switch name {
+	case "atplus2":
+		return core.New(core.Options{}), nil
+	case "atplus2ff":
+		return core.New(core.Options{FailureFreeFast: true}), nil
+	case "diamonds":
+		return core.NewDiamondS(), nil
+	case "afplus2":
+		return core.NewAfPlus2(), nil
+	case "floodset":
+		return baseline.NewFloodSet(), nil
+	case "floodsetws":
+		return baseline.NewFloodSetWS(), nil
+	case "ct":
+		return baseline.NewCT(), nil
+	case "hurfinraynal":
+		return baseline.NewHurfinRaynal(), nil
+	case "amr":
+		return baseline.NewAMR(), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+// scheduleByName builds a schedule from a generator name.
+func scheduleByName(name string, n, t int, gsr model.Round, seed int64) (*sched.Schedule, model.Synchrony, error) {
+	switch name {
+	case "ff":
+		return sched.FailureFree(n, t), model.ES, nil
+	case "killer2":
+		return sched.KillCoordinators(n, t, 2), model.ES, nil
+	case "killer3":
+		return sched.KillCoordinators(n, t, 3), model.ES, nil
+	case "splitbrain":
+		return sched.SplitBrain(n, model.Round(2*t+2)), model.ES, nil
+	case "random":
+		rng := rand.New(rand.NewSource(seed))
+		return sched.RandomSynchronous(n, t, sched.RandomOpts{Rng: rng, DelayCrashSends: true}), model.ES, nil
+	case "randomes":
+		rng := rand.New(rand.NewSource(seed))
+		if gsr < 2 {
+			gsr = model.Round(t + 3)
+		}
+		return sched.RandomES(n, t, gsr, sched.RandomOpts{Rng: rng}), model.ES, nil
+	case "delayedsender":
+		if gsr < 2 {
+			gsr = model.Round(t + 3)
+		}
+		return sched.DelayedSenderPrefix(n, t, gsr-1, 1), model.ES, nil
+	default:
+		return nil, 0, fmt.Errorf("unknown schedule %q", name)
+	}
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	var (
+		algo     = fs.String("algo", "atplus2", "algorithm")
+		n        = fs.Int("n", 5, "number of processes")
+		t        = fs.Int("t", 2, "resilience bound")
+		name     = fs.String("sched", "ff", "schedule generator")
+		gsr      = fs.Int("gsr", 0, "stabilization round for randomes/delayedsender")
+		seed     = fs.Int64("seed", 1, "random seed")
+		synch    = fs.String("model", "", "override model: scs or es")
+		traceOut = fs.String("trace", "", "write the recorded run as JSON to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	factory, err := factoryByName(*algo)
+	if err != nil {
+		return err
+	}
+	s, syn, err := scheduleByName(*name, *n, *t, model.Round(*gsr), *seed)
+	if err != nil {
+		return err
+	}
+	switch *synch {
+	case "scs":
+		syn = model.SCS
+	case "es":
+		syn = model.ES
+	case "":
+	default:
+		return fmt.Errorf("unknown model %q", *synch)
+	}
+	props := make([]model.Value, *n)
+	for i := range props {
+		props[i] = model.Value(i + 1)
+	}
+	cfg := sim.Config{Synchrony: syn, Schedule: s, Proposals: props, Factory: factory}
+	if *algo == "atplus2" && *name == "splitbrain" {
+		cfg.Factory = core.New(core.Options{UnsafeSkipResilienceCheck: true})
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("schedule: %v\n", s)
+	table := stats.NewTable(fmt.Sprintf("run of %s under %s (%s)", *algo, *name, syn),
+		"process", "proposal", "decision", "round", "crashed")
+	for i, d := range res.Decisions {
+		dec := "-"
+		if d.Decided() {
+			dec = fmt.Sprintf("%d", d.Value)
+		}
+		crash := "-"
+		if res.CrashRounds[i] > 0 {
+			crash = fmt.Sprintf("r%d", res.CrashRounds[i])
+		}
+		table.AddRowf(fmt.Sprintf("p%d", i+1), props[i], dec, d.Round, crash)
+	}
+	table.Render(os.Stdout)
+	rep := check.Consensus(res, props)
+	gdr, _ := res.GlobalDecisionRound()
+	fmt.Printf("rounds executed: %d   global decision round: %d\n", res.Rounds, gdr)
+	fmt.Printf("validity=%v agreement=%v termination=%v\n", rep.Validity, rep.Agreement, rep.Termination)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.Run.WriteJSON(f); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
+	}
+	return nil
+}
+
+func cmdWorst(args []string) error {
+	fs := flag.NewFlagSet("worst", flag.ContinueOnError)
+	var (
+		algo     = fs.String("algo", "atplus2", "algorithm")
+		n        = fs.Int("n", 5, "number of processes")
+		t        = fs.Int("t", 2, "resilience bound")
+		mode     = fs.String("mode", "prefix", "receiver-subset mode: prefix or all")
+		maxRound = fs.Int("maxround", 0, "last round a crash may occur in (default 2t+2)")
+		scs      = fs.Bool("scs", false, "explore under SCS instead of ES")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	factory, err := factoryByName(*algo)
+	if err != nil {
+		return err
+	}
+	m := lowerbound.PrefixSubsets
+	if *mode == "all" {
+		m = lowerbound.AllSubsets
+	}
+	syn := model.ES
+	if *scs {
+		syn = model.SCS
+	}
+	props := make([]model.Value, *n)
+	for i := range props {
+		props[i] = model.Value(i + 1)
+	}
+	res, err := lowerbound.Explore(lowerbound.Config{
+		N: *n, T: *t,
+		Synchrony:     syn,
+		Factory:       factory,
+		Proposals:     props,
+		MaxCrashRound: model.Round(*maxRound),
+		Mode:          m,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("explored %d serial runs of %s (n=%d t=%d %s)\n", res.Runs, *algo, *n, *t, syn)
+	fmt.Printf("worst-case global decision round: %d (earliest decision in that run: %d)\n",
+		res.WorstRound, res.WitnessEarliest)
+	fmt.Printf("witness: %v\n", res.Witness)
+	if res.Undecided {
+		fmt.Println("warning: some run did not decide within the horizon")
+	}
+	if res.PropertyViolation != nil {
+		fmt.Printf("CONSENSUS VIOLATION: %v\n  in %v\n", res.PropertyViolation, res.ViolationWitness)
+	}
+	return nil
+}
+
+func cmdTable(args []string) error {
+	fs := flag.NewFlagSet("table", flag.ContinueOnError)
+	var (
+		id      = fs.String("id", "all", "experiment id (E1..E9, A1..A4, all)")
+		samples = fs.Int("samples", 200, "sample count for randomized experiments")
+		seed    = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	runners := map[string]func() (*experiments.Outcome, error){
+		"E1":  experiments.E1LowerBound,
+		"E2":  func() (*experiments.Outcome, error) { return experiments.E2FastDecision(*samples, *seed) },
+		"E3":  func() (*experiments.Outcome, error) { return experiments.E3PriceTable(3) },
+		"E4":  experiments.E4FailureFree,
+		"E5":  experiments.E5EarlyDecision,
+		"E6":  experiments.E6EventualFast,
+		"E7":  func() (*experiments.Outcome, error) { return experiments.E7FDSimulation(*samples, *seed) },
+		"E8":  experiments.E8ResiliencePrice,
+		"E9":  experiments.E9LiveRuntime,
+		"E10": experiments.E10AverageCase,
+		"A1":  experiments.AblationPhase1,
+		"A2":  experiments.AblationHaltExchange,
+		"A3":  experiments.AblationThreshold,
+		"A4":  experiments.AblationPlurality,
+	}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "A1", "A2", "A3", "A4"}
+	ids := order
+	if *id != "all" {
+		if _, ok := runners[*id]; !ok {
+			return fmt.Errorf("unknown experiment %q", *id)
+		}
+		ids = []string{*id}
+	}
+	failed := 0
+	for _, eid := range ids {
+		o, err := runners[eid]()
+		if err != nil {
+			return fmt.Errorf("%s: %w", eid, err)
+		}
+		fmt.Println(o)
+		if !o.OK() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failed)
+	}
+	return nil
+}
+
+func cmdLive(args []string) error {
+	fs := flag.NewFlagSet("live", flag.ContinueOnError)
+	var (
+		algo    = fs.String("algo", "atplus2", "algorithm")
+		n       = fs.Int("n", 5, "number of processes")
+		t       = fs.Int("t", 2, "resilience bound")
+		trans   = fs.String("transport", "memory", "transport: memory or tcp")
+		delay   = fs.Duration("delay", 0, "delay injected on p1's outbound links (memory transport)")
+		heal    = fs.Duration("heal", 200*time.Millisecond, "when to heal the injected delay")
+		crash   = fs.Int("crash", 0, "crash this process shortly after start (0 = none)")
+		timeout = fs.Duration("timeout", 25*time.Millisecond, "base suspicion timeout")
+		wait    = fs.String("wait", "unsuspected", "wait policy: unsuspected or quorum")
+		limit   = fs.Duration("limit", 30*time.Second, "overall deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	factory, err := factoryByName(*algo)
+	if err != nil {
+		return err
+	}
+	policy := core.WaitUnsuspected
+	if *wait == "quorum" {
+		policy = core.WaitQuorum
+	}
+
+	eps := make([]transport.Transport, *n)
+	var hub *transport.Hub
+	switch *trans {
+	case "memory":
+		hub, err = transport.NewHub(*n)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = hub.Close() }()
+		for i := range eps {
+			if eps[i], err = hub.Endpoint(model.ProcessID(i + 1)); err != nil {
+				return err
+			}
+		}
+	case "tcp":
+		tc, err := transport.NewTCPCluster(*n)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = tc.Close() }()
+		for i := range eps {
+			if eps[i], err = tc.Endpoint(model.ProcessID(i + 1)); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown transport %q", *trans)
+	}
+
+	props := make([]model.Value, *n)
+	for i := range props {
+		props[i] = model.Value(i + 1)
+	}
+	cl, err := runtime.New(runtime.Config{
+		N: *n, T: *t,
+		Factory:     factory,
+		Proposals:   props,
+		Endpoints:   eps,
+		WaitPolicy:  policy,
+		BaseTimeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	if *delay > 0 && hub != nil {
+		hub.DelayProcess(1, *delay)
+		time.AfterFunc(*heal, hub.Heal)
+	}
+	if *crash > 0 {
+		p := model.ProcessID(*crash)
+		time.AfterFunc(*timeout/2, func() { _ = cl.Crash(p) })
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *limit)
+	defer cancel()
+	results, err := cl.Run(ctx)
+	if err != nil {
+		return err
+	}
+	table := stats.NewTable(fmt.Sprintf("live %s cluster, %s transport", *algo, *trans),
+		"process", "proposal", "decision", "round", "latency", "crashed")
+	for _, r := range results {
+		dec := "-"
+		if v, ok := r.Decision.Get(); ok {
+			dec = fmt.Sprintf("%d", v)
+		}
+		table.AddRowf(fmt.Sprintf("p%d", r.ID), props[r.ID-1], dec, r.Round,
+			r.Elapsed.Round(time.Microsecond), r.Crashed)
+	}
+	table.Render(os.Stdout)
+	return nil
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"indulgence"
+)
+
+func TestRunSubcommands(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"run default", []string{"run"}},
+		{"run killer", []string{"run", "-algo", "hurfinraynal", "-sched", "killer2"}},
+		{"run floodset scs", []string{"run", "-algo", "floodset", "-model", "scs"}},
+		{"run randomes", []string{"run", "-sched", "randomes", "-gsr", "4", "-seed", "7"}},
+		{"run splitbrain", []string{"run", "-sched", "splitbrain", "-n", "4", "-t", "2"}},
+		{"worst small", []string{"worst", "-n", "3", "-t", "1", "-mode", "all"}},
+		{"worst hr", []string{"worst", "-algo", "hurfinraynal", "-n", "3", "-t", "1"}},
+		{"table one", []string{"table", "-id", "A2"}},
+		{"help", []string{"help"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := run(tc.args); err != nil {
+				t.Fatalf("run(%v) = %v", tc.args, err)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"nope"},
+		{"run", "-algo", "unknown"},
+		{"run", "-sched", "unknown"},
+		{"run", "-model", "weird"},
+		{"worst", "-algo", "unknown"},
+		{"table", "-id", "E99"},
+		{"live", "-transport", "warp"},
+		{"live", "-algo", "unknown"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestLiveSubcommand(t *testing.T) {
+	if err := run([]string{"live", "-n", "4", "-t", "1", "-algo", "afplus2", "-timeout", "10ms"}); err != nil {
+		t.Fatalf("live memory: %v", err)
+	}
+	if err := run([]string{"live", "-n", "3", "-t", "1", "-transport", "tcp", "-timeout", "15ms"}); err != nil {
+		t.Fatalf("live tcp: %v", err)
+	}
+	if err := run([]string{"live", "-n", "4", "-t", "1", "-algo", "afplus2", "-wait", "quorum", "-timeout", "10ms"}); err != nil {
+		t.Fatalf("live quorum: %v", err)
+	}
+}
+
+func TestRunTraceExport(t *testing.T) {
+	dir := t.TempDir()
+	out := dir + "/run.json"
+	if err := run([]string{"run", "-n", "3", "-t", "1", "-trace", out}); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(out)
+	if err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	run, err := indulgence.ReadRunTrace(f)
+	if err != nil {
+		t.Fatalf("read trace back: %v", err)
+	}
+	if run.N != 3 || run.Rounds == 0 {
+		t.Fatalf("trace content: n=%d rounds=%d", run.N, run.Rounds)
+	}
+}

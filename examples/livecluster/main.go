@@ -1,0 +1,126 @@
+// Command livecluster runs the paper's algorithms as real concurrent
+// processes. Five goroutine nodes execute A_{t+2} over an in-memory
+// transport with adaptive timeout failure detection; the demo injects an
+// asynchronous period (p1's links delayed, causing false suspicions) and a
+// crash, then shows everyone still deciding on one value. A second phase
+// repeats the quiet-network run over real TCP loopback sockets.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"indulgence"
+	"indulgence/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	if err := memoryDemo(); err != nil {
+		return err
+	}
+	return tcpDemo()
+}
+
+func memoryDemo() error {
+	const (
+		n = 5
+		t = 2
+	)
+	hub, err := indulgence.NewHub(n)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = hub.Close() }()
+	eps := make([]indulgence.Transport, n)
+	for i := 0; i < n; i++ {
+		if eps[i], err = hub.Endpoint(indulgence.ProcessID(i + 1)); err != nil {
+			return err
+		}
+	}
+	proposals := []indulgence.Value{3, 1, 4, 1, 5}
+	cl, err := indulgence.NewCluster(indulgence.ClusterConfig{
+		N: n, T: t,
+		Factory:     indulgence.NewAtPlus2(indulgence.AtPlus2Options{}),
+		Proposals:   proposals,
+		Endpoints:   eps,
+		BaseTimeout: 10 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Asynchronous period: p1's outbound links are slow for 150ms, so p1
+	// is falsely suspected; then p2 crashes for real.
+	hub.DelayProcess(1, 40*time.Millisecond)
+	time.AfterFunc(150*time.Millisecond, hub.Heal)
+	time.AfterFunc(20*time.Millisecond, func() { _ = cl.Crash(2) })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	results, err := cl.Run(ctx)
+	if err != nil {
+		return err
+	}
+	printResults("in-memory cluster: p1 delayed (false suspicions) + p2 crashed", proposals, results)
+	return nil
+}
+
+func tcpDemo() error {
+	const (
+		n = 4
+		t = 1
+	)
+	tc, err := indulgence.NewTCPCluster(n)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = tc.Close() }()
+	eps := make([]indulgence.Transport, n)
+	for i := 0; i < n; i++ {
+		if eps[i], err = tc.Endpoint(indulgence.ProcessID(i + 1)); err != nil {
+			return err
+		}
+	}
+	proposals := []indulgence.Value{6, 2, 8, 4}
+	cl, err := indulgence.NewCluster(indulgence.ClusterConfig{
+		N: n, T: t,
+		Factory:     indulgence.NewAfPlus2(),
+		Proposals:   proposals,
+		Endpoints:   eps,
+		BaseTimeout: 20 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	results, err := cl.Run(ctx)
+	if err != nil {
+		return err
+	}
+	printResults("TCP loopback cluster: A_f+2, quiet network", proposals, results)
+	return nil
+}
+
+func printResults(title string, proposals []indulgence.Value, results []indulgence.NodeResult) {
+	table := stats.NewTable(title, "process", "proposal", "decision", "round", "latency", "crashed")
+	for _, r := range results {
+		dec := "-"
+		if v, ok := r.Decision.Get(); ok {
+			dec = fmt.Sprintf("%d", v)
+		}
+		table.AddRowf(fmt.Sprintf("p%d", r.ID), proposals[r.ID-1], dec, r.Round,
+			r.Elapsed.Round(100*time.Microsecond), r.Crashed)
+	}
+	table.Render(os.Stdout)
+	fmt.Println()
+}

@@ -1,0 +1,69 @@
+// Command quickstart is the smallest end-to-end use of the library: five
+// processes run the paper's A_{t+2} under the eventually synchronous model
+// with t = 2, first failure-free (global decision at round t+2 = 4), then
+// against an adversary that crashes two processes mid-protocol — the
+// decision round does not move, which is exactly the fast-decision
+// guarantee of the paper (Lemma 13).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"indulgence"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		n = 5
+		t = 2
+	)
+	proposals := []indulgence.Value{3, 1, 4, 1, 5}
+	factory := indulgence.NewAtPlus2(indulgence.AtPlus2Options{})
+
+	// A failure-free synchronous run.
+	if err := runOnce("failure-free synchronous run", indulgence.FailureFree(n, t), proposals, factory); err != nil {
+		return err
+	}
+
+	// An adversarial synchronous run: p2 crashes in round 1 reaching only
+	// p3; p4 crashes silently in round 2. Still decides at t+2.
+	adversarial := indulgence.NewSchedule(n, t)
+	adversarial.CrashWithReceivers(2, 1, indulgence.PIDSetOf(3))
+	adversarial.CrashSilent(4, 2)
+	return runOnce("two crashes, worst-case placement", adversarial, proposals, factory)
+}
+
+func runOnce(title string, s *indulgence.Schedule, proposals []indulgence.Value, factory indulgence.Factory) error {
+	res, err := indulgence.Simulate(indulgence.SimConfig{
+		Synchrony: indulgence.ES,
+		Schedule:  s,
+		Proposals: proposals,
+		Factory:   factory,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("--- %s ---\n", title)
+	for i, d := range res.Decisions {
+		switch {
+		case d.Decided():
+			fmt.Printf("p%d proposed %d, decided %d at round %d\n", i+1, proposals[i], d.Value, d.Round)
+		case res.CrashRounds[i] > 0:
+			fmt.Printf("p%d proposed %d, crashed in round %d\n", i+1, proposals[i], res.CrashRounds[i])
+		default:
+			fmt.Printf("p%d proposed %d, undecided\n", i+1, proposals[i])
+		}
+	}
+	rep := indulgence.CheckConsensus(res, proposals)
+	gdr, _ := res.GlobalDecisionRound()
+	fmt.Printf("global decision round: %d (t+2 = %d)   validity=%v agreement=%v termination=%v\n\n",
+		gdr, s.T()+2, rep.Validity, rep.Agreement, rep.Termination)
+	return rep.Err()
+}

@@ -1,0 +1,226 @@
+package baseline_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"indulgence/internal/baseline"
+	"indulgence/internal/check"
+	"indulgence/internal/lowerbound"
+	"indulgence/internal/model"
+	"indulgence/internal/sched"
+	"indulgence/internal/sim"
+)
+
+func props(n int) []model.Value {
+	out := make([]model.Value, n)
+	for i := range out {
+		out[i] = model.Value(i + 1)
+	}
+	return out
+}
+
+// mustRun simulates one run and fails the test on any error or property
+// violation.
+func mustRun(t *testing.T, factory model.Factory, syn model.Synchrony, s *sched.Schedule) *sim.Result {
+	t.Helper()
+	p := props(s.N())
+	res, err := sim.Run(sim.Config{Synchrony: syn, Schedule: s, Proposals: p, Factory: factory})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if rep := check.Consensus(res, p); !rep.OK() {
+		t.Fatalf("consensus: %v (schedule %v)", rep.Err(), s)
+	}
+	return res
+}
+
+// gdr extracts the global decision round.
+func gdr(t *testing.T, res *sim.Result) model.Round {
+	t.Helper()
+	r, ok := res.GlobalDecisionRound()
+	if !ok {
+		t.Fatal("no decision")
+	}
+	return r
+}
+
+// exploreWorst runs the serial-run explorer and returns the worst round.
+func exploreWorst(t *testing.T, factory model.Factory, syn model.Synchrony, n, tt int, maxCrashRound model.Round, mode lowerbound.SubsetMode) model.Round {
+	t.Helper()
+	res, err := lowerbound.Explore(lowerbound.Config{
+		N: n, T: tt,
+		Synchrony:     syn,
+		Factory:       factory,
+		Proposals:     props(n),
+		MaxCrashRound: maxCrashRound,
+		Mode:          mode,
+	})
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if res.PropertyViolation != nil {
+		t.Fatalf("consensus violation in %v: %v", res.ViolationWitness, res.PropertyViolation)
+	}
+	if res.Undecided {
+		t.Fatalf("undecided serial run, witness %v", res.Witness)
+	}
+	return res.WorstRound
+}
+
+// randomESSweep checks safety and termination over seeded random
+// eventually synchronous runs.
+func randomESSweep(t *testing.T, factory model.Factory, n, tt, samples int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < samples; i++ {
+		gsr := model.Round(1 + rng.Intn(7))
+		s := sched.RandomES(n, tt, gsr, sched.RandomOpts{Rng: rng})
+		p := props(n)
+		res, err := sim.Run(sim.Config{Synchrony: model.ES, Schedule: s, Proposals: p, Factory: factory})
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		if rep := check.Consensus(res, p); !rep.OK() {
+			t.Fatalf("sample %d: %v\nschedule %v", i, rep.Err(), s)
+		}
+	}
+}
+
+func TestFloodSetDecidesAtTPlus1(t *testing.T) {
+	for _, tc := range []struct{ n, t int }{{3, 1}, {5, 2}, {5, 3}, {7, 3}} {
+		res := mustRun(t, baseline.NewFloodSet(), model.SCS, sched.FailureFree(tc.n, tc.t))
+		if got := gdr(t, res); int(got) != tc.t+1 {
+			t.Errorf("n=%d t=%d: gdr=%d want %d", tc.n, tc.t, got, tc.t+1)
+		}
+	}
+}
+
+func TestFloodSetSerialWorst(t *testing.T) {
+	for _, tc := range []struct{ n, t int }{{3, 1}, {4, 2}, {5, 2}} {
+		worst := exploreWorst(t, baseline.NewFloodSet(), model.SCS, tc.n, tc.t,
+			model.Round(tc.t+1), lowerbound.AllSubsets)
+		if int(worst) != tc.t+1 {
+			t.Errorf("n=%d t=%d worst=%d, want t+1=%d", tc.n, tc.t, worst, tc.t+1)
+		}
+	}
+}
+
+func TestFloodSetGuards(t *testing.T) {
+	if _, err := baseline.NewFloodSet()(model.ProcessContext{Self: 1, N: 3, T: 2}, 1); err == nil {
+		t.Fatal("t = n-1 must be rejected")
+	}
+	if _, err := baseline.NewFloodSet()(model.ProcessContext{Self: 9, N: 3, T: 1}, 1); err == nil {
+		t.Fatal("invalid context must be rejected")
+	}
+}
+
+func TestFloodSetWSSerialWorst(t *testing.T) {
+	for _, tc := range []struct{ n, t int }{{3, 1}, {5, 2}} {
+		worst := exploreWorst(t, baseline.NewFloodSetWS(), model.SCS, tc.n, tc.t,
+			model.Round(tc.t+1), lowerbound.AllSubsets)
+		if int(worst) != tc.t+1 {
+			t.Errorf("n=%d t=%d worst=%d, want t+1=%d", tc.n, tc.t, worst, tc.t+1)
+		}
+	}
+}
+
+func TestCTFailureFree(t *testing.T) {
+	res := mustRun(t, baseline.NewCT(), model.ES, sched.FailureFree(5, 2))
+	if got := gdr(t, res); got != 3 {
+		t.Errorf("failure-free CT gdr=%d, want 3 (one phase)", got)
+	}
+}
+
+func TestCTCoordinatorKiller(t *testing.T) {
+	for _, tc := range []struct{ n, t int }{{3, 1}, {5, 2}} {
+		res := mustRun(t, baseline.NewCT(), model.ES, sched.KillCoordinators(tc.n, tc.t, baseline.RoundsPerPhaseCT))
+		if got := gdr(t, res); int(got) != 3*tc.t+3 {
+			t.Errorf("n=%d t=%d: gdr=%d want 3t+3=%d", tc.n, tc.t, got, 3*tc.t+3)
+		}
+	}
+}
+
+func TestCTRandomES(t *testing.T) {
+	randomESSweep(t, baseline.NewCT(), 5, 2, 80, 101)
+}
+
+func TestCTGuards(t *testing.T) {
+	if _, err := baseline.NewCT()(model.ProcessContext{Self: 1, N: 4, T: 2}, 1); err == nil {
+		t.Fatal("t >= n/2 must be rejected")
+	}
+}
+
+func TestHurfinRaynalFailureFree(t *testing.T) {
+	res := mustRun(t, baseline.NewHurfinRaynal(), model.ES, sched.FailureFree(5, 2))
+	if got := gdr(t, res); got != 2 {
+		t.Errorf("failure-free HR gdr=%d, want 2", got)
+	}
+}
+
+func TestHurfinRaynalWorstCase(t *testing.T) {
+	// The paper's Sect. 1.4 claim: a synchronous run needing 2t+2 rounds.
+	for _, tc := range []struct{ n, t int }{{3, 1}, {5, 2}} {
+		res := mustRun(t, baseline.NewHurfinRaynal(), model.ES, sched.KillCoordinators(tc.n, tc.t, baseline.RoundsPerPhaseHR))
+		if got := gdr(t, res); int(got) != 2*tc.t+2 {
+			t.Errorf("n=%d t=%d: killer gdr=%d want 2t+2=%d", tc.n, tc.t, got, 2*tc.t+2)
+		}
+		// And exhaustively: no serial run is worse.
+		worst := exploreWorst(t, baseline.NewHurfinRaynal(), model.ES, tc.n, tc.t,
+			model.Round(2*tc.t+2), lowerbound.PrefixSubsets)
+		if int(worst) != 2*tc.t+2 {
+			t.Errorf("n=%d t=%d explored worst=%d want %d", tc.n, tc.t, worst, 2*tc.t+2)
+		}
+	}
+}
+
+func TestHurfinRaynalRandomES(t *testing.T) {
+	randomESSweep(t, baseline.NewHurfinRaynal(), 5, 2, 80, 202)
+}
+
+func TestAMRFailureFree(t *testing.T) {
+	res := mustRun(t, baseline.NewAMR(), model.ES, sched.FailureFree(4, 1))
+	if got := gdr(t, res); got != 2 {
+		t.Errorf("failure-free AMR gdr=%d, want 2 (one attempt)", got)
+	}
+}
+
+func TestAMRGuards(t *testing.T) {
+	if _, err := baseline.NewAMR()(model.ProcessContext{Self: 1, N: 6, T: 2}, 1); err == nil {
+		t.Fatal("t >= n/3 must be rejected")
+	}
+}
+
+func TestAMRSerialWorst(t *testing.T) {
+	worst := exploreWorst(t, baseline.NewAMR(), model.ES, 4, 1, 4, lowerbound.AllSubsets)
+	if worst != 4 {
+		t.Errorf("worst=%d, want 2t+2=4", worst)
+	}
+}
+
+func TestAMRRandomES(t *testing.T) {
+	randomESSweep(t, baseline.NewAMR(), 7, 2, 60, 303)
+}
+
+func TestAlgorithmNames(t *testing.T) {
+	cases := []struct {
+		factory model.Factory
+		ctx     model.ProcessContext
+		want    string
+	}{
+		{baseline.NewFloodSet(), model.ProcessContext{Self: 1, N: 5, T: 2}, baseline.FloodSetName},
+		{baseline.NewFloodSetWS(), model.ProcessContext{Self: 1, N: 5, T: 2}, baseline.FloodSetWSName},
+		{baseline.NewCT(), model.ProcessContext{Self: 1, N: 5, T: 2}, baseline.CTName},
+		{baseline.NewHurfinRaynal(), model.ProcessContext{Self: 1, N: 5, T: 2}, baseline.HurfinRaynalName},
+		{baseline.NewAMR(), model.ProcessContext{Self: 1, N: 7, T: 2}, baseline.AMRName},
+	}
+	for _, tc := range cases {
+		a, err := tc.factory(tc.ctx, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.want, err)
+		}
+		if a.Name() != tc.want {
+			t.Errorf("Name() = %q, want %q", a.Name(), tc.want)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Package check verifies the consensus properties of Sect. 1.3 of the
+// paper over simulated runs: validity (a decided value was proposed),
+// uniform agreement (no two processes decide differently, whether or not
+// they later crash), and termination (every correct process decides). It
+// also extracts the round-complexity measurements the experiments report.
+package check
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"indulgence/internal/model"
+	"indulgence/internal/sim"
+)
+
+// ErrViolation is wrapped by Report.Err when a property is violated.
+var ErrViolation = errors.New("check: consensus property violated")
+
+// Report is the outcome of checking one run.
+type Report struct {
+	// Validity holds iff every decided value was proposed by some
+	// process.
+	Validity bool
+	// Agreement holds iff no two processes decided different values
+	// (uniform agreement: crashed deciders count).
+	Agreement bool
+	// Termination holds iff every process that never crashed decided by
+	// the end of the run. Meaningful only for runs executed to
+	// quiescence.
+	Termination bool
+	// GlobalDecisionRound is the paper's global decision round: the
+	// largest decision round among deciders (0 if nobody decided).
+	GlobalDecisionRound model.Round
+	// Violations lists human-readable descriptions of each violation.
+	Violations []string
+}
+
+// OK reports whether all three properties hold.
+func (r Report) OK() bool { return r.Validity && r.Agreement && r.Termination }
+
+// Err returns nil if all properties hold, and an error wrapping
+// ErrViolation describing every violation otherwise.
+func (r Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	return fmt.Errorf("%w: %s", ErrViolation, strings.Join(r.Violations, "; "))
+}
+
+// Consensus checks validity, uniform agreement and termination of one run
+// against the proposals it started from.
+func Consensus(res *sim.Result, proposals []model.Value) Report {
+	rep := Report{Validity: true, Agreement: true, Termination: true}
+
+	proposed := make(map[model.Value]struct{}, len(proposals))
+	for _, v := range proposals {
+		proposed[v] = struct{}{}
+	}
+
+	var (
+		firstValue   model.Value
+		firstDecider model.ProcessID
+		haveDecision bool
+	)
+	for i, d := range res.Decisions {
+		p := model.ProcessID(i + 1)
+		if !d.Decided() {
+			if res.CrashRounds[i] == 0 {
+				rep.Termination = false
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("termination: correct process p%d never decided", p))
+			}
+			continue
+		}
+		if d.Round > rep.GlobalDecisionRound {
+			rep.GlobalDecisionRound = d.Round
+		}
+		if _, ok := proposed[d.Value]; !ok {
+			rep.Validity = false
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("validity: p%d decided unproposed value %d", p, d.Value))
+		}
+		if !haveDecision {
+			firstValue, firstDecider, haveDecision = d.Value, p, true
+		} else if d.Value != firstValue {
+			rep.Agreement = false
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("agreement: p%d decided %d but p%d decided %d", firstDecider, firstValue, p, d.Value))
+		}
+	}
+	return rep
+}
+
+// DecisionRounds returns each process's decision round (0 = undecided).
+func DecisionRounds(res *sim.Result) []model.Round {
+	out := make([]model.Round, len(res.Decisions))
+	for i, d := range res.Decisions {
+		out[i] = d.Round
+	}
+	return out
+}
+
+// EarliestDecisionRound returns the smallest decision round among deciders
+// (the local decision time of the fastest process). ok is false if nobody
+// decided.
+func EarliestDecisionRound(res *sim.Result) (round model.Round, ok bool) {
+	for _, d := range res.Decisions {
+		if !d.Decided() {
+			continue
+		}
+		if !ok || d.Round < round {
+			round, ok = d.Round, true
+		}
+	}
+	return round, ok
+}

@@ -1,0 +1,96 @@
+package check
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"indulgence/internal/model"
+	"indulgence/internal/sim"
+)
+
+func result(decisions []sim.Decision, crashes []model.Round) *sim.Result {
+	return &sim.Result{Decisions: decisions, CrashRounds: crashes}
+}
+
+func TestConsensusAllGood(t *testing.T) {
+	res := result(
+		[]sim.Decision{{Value: 1, Round: 3}, {Value: 1, Round: 3}, {Value: 1, Round: 4}},
+		[]model.Round{0, 0, 0},
+	)
+	rep := Consensus(res, []model.Value{1, 2, 3})
+	if !rep.OK() {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if rep.GlobalDecisionRound != 4 {
+		t.Fatalf("gdr = %d", rep.GlobalDecisionRound)
+	}
+	if rep.Err() != nil {
+		t.Fatalf("Err() = %v", rep.Err())
+	}
+}
+
+func TestConsensusValidity(t *testing.T) {
+	res := result(
+		[]sim.Decision{{Value: 9, Round: 1}, {Value: 9, Round: 1}},
+		[]model.Round{0, 0},
+	)
+	rep := Consensus(res, []model.Value{1, 2})
+	if rep.Validity {
+		t.Fatal("unproposed decision accepted")
+	}
+	if err := rep.Err(); !errors.Is(err, ErrViolation) || !strings.Contains(err.Error(), "validity") {
+		t.Fatalf("Err() = %v", err)
+	}
+}
+
+func TestConsensusUniformAgreement(t *testing.T) {
+	// The first decider crashed afterwards — uniform agreement still
+	// counts its decision.
+	res := result(
+		[]sim.Decision{{Value: 1, Round: 2}, {Value: 2, Round: 3}},
+		[]model.Round{5, 0},
+	)
+	rep := Consensus(res, []model.Value{1, 2})
+	if rep.Agreement {
+		t.Fatal("disagreement accepted")
+	}
+}
+
+func TestConsensusTermination(t *testing.T) {
+	res := result(
+		[]sim.Decision{{Value: 1, Round: 2}, {}},
+		[]model.Round{0, 0},
+	)
+	rep := Consensus(res, []model.Value{1, 2})
+	if rep.Termination {
+		t.Fatal("correct process never decided, termination should fail")
+	}
+	// A crashed process may stay undecided.
+	res2 := result(
+		[]sim.Decision{{Value: 1, Round: 2}, {}},
+		[]model.Round{0, 1},
+	)
+	if rep := Consensus(res2, []model.Value{1, 2}); !rep.OK() {
+		t.Fatalf("crashed non-decider flagged: %v", rep.Violations)
+	}
+}
+
+func TestDecisionRounds(t *testing.T) {
+	res := result(
+		[]sim.Decision{{Value: 1, Round: 2}, {}, {Value: 1, Round: 5}},
+		[]model.Round{0, 1, 0},
+	)
+	rounds := DecisionRounds(res)
+	if rounds[0] != 2 || rounds[1] != 0 || rounds[2] != 5 {
+		t.Fatalf("rounds = %v", rounds)
+	}
+	earliest, ok := EarliestDecisionRound(res)
+	if !ok || earliest != 2 {
+		t.Fatalf("earliest = %d, %v", earliest, ok)
+	}
+	none := result([]sim.Decision{{}}, []model.Round{0})
+	if _, ok := EarliestDecisionRound(none); ok {
+		t.Fatal("no decisions should report !ok")
+	}
+}

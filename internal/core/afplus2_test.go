@@ -1,0 +1,127 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"indulgence/internal/check"
+	"indulgence/internal/core"
+	"indulgence/internal/lowerbound"
+	"indulgence/internal/model"
+	"indulgence/internal/sched"
+	"indulgence/internal/sim"
+)
+
+func TestAfPlus2FailureFree(t *testing.T) {
+	res := mustRun(t, core.NewAfPlus2(), sched.FailureFree(4, 1), props(4))
+	if got := gdr(t, res); got != 2 {
+		t.Errorf("failure-free gdr=%d, want 2", got)
+	}
+}
+
+func TestAfPlus2Guards(t *testing.T) {
+	if _, err := core.NewAfPlus2()(model.ProcessContext{Self: 1, N: 6, T: 2}, 1); err == nil {
+		t.Fatal("t >= n/3 must be rejected")
+	}
+	if _, err := core.NewAfPlus2()(model.ProcessContext{Self: 1, N: 7, T: 2}, 1); err != nil {
+		t.Fatalf("legal context rejected: %v", err)
+	}
+}
+
+// TestAfPlus2EarlyDecision is the f+2 early-decision behaviour: over all
+// serial runs with at most f crashes the worst case is exactly f+2.
+func TestAfPlus2EarlyDecision(t *testing.T) {
+	for _, tc := range []struct{ t, f int }{{1, 0}, {1, 1}, {2, 1}, {2, 2}} {
+		n := 3*tc.t + 1
+		mode := lowerbound.AllSubsets
+		if n > 5 && tc.f > 1 {
+			mode = lowerbound.PrefixSubsets
+		}
+		maxCrashes := tc.f
+		if maxCrashes == 0 {
+			maxCrashes = -1
+		}
+		res, err := lowerbound.Explore(lowerbound.Config{
+			N: n, T: tc.t,
+			Synchrony:     model.ES,
+			Factory:       core.NewAfPlus2(),
+			Proposals:     props(n),
+			MaxCrashes:    maxCrashes,
+			MaxCrashRound: model.Round(tc.f + 2),
+			Mode:          mode,
+		})
+		if err != nil {
+			t.Fatalf("t=%d f=%d: %v", tc.t, tc.f, err)
+		}
+		if int(res.WorstRound) != tc.f+2 {
+			t.Errorf("t=%d f=%d: worst=%d, want f+2=%d", tc.t, tc.f, res.WorstRound, tc.f+2)
+		}
+		if res.PropertyViolation != nil {
+			t.Errorf("t=%d f=%d: %v", tc.t, tc.f, res.PropertyViolation)
+		}
+	}
+}
+
+// TestAfPlus2EventualFast is Lemma 15 end to end: under the adversarial
+// divergence prefix, decisions land exactly at k+f+2.
+func TestAfPlus2EventualFast(t *testing.T) {
+	for _, tc := range []struct {
+		t, f int
+		k    model.Round
+	}{{1, 0, 3}, {1, 1, 3}, {2, 1, 2}} {
+		maxCrashes := tc.f
+		if maxCrashes == 0 {
+			maxCrashes = -1
+		}
+		res, err := lowerbound.Explore(lowerbound.Config{
+			Synchrony:       model.ES,
+			Factory:         core.NewAfPlus2(),
+			Proposals:       sched.DivergenceProposalsFlood(tc.t),
+			Base:            sched.DivergencePrefixFlood(tc.t, tc.k),
+			FirstCrashRound: tc.k + 1,
+			MaxCrashes:      maxCrashes,
+			MaxCrashRound:   tc.k + model.Round(tc.f+2),
+			Mode:            lowerbound.AllSubsets,
+		})
+		if err != nil {
+			t.Fatalf("t=%d k=%d f=%d: %v", tc.t, tc.k, tc.f, err)
+		}
+		want := int(tc.k) + tc.f + 2
+		if int(res.WorstRound) != want {
+			t.Errorf("t=%d k=%d f=%d: worst=%d, want k+f+2=%d", tc.t, tc.k, tc.f, res.WorstRound, want)
+		}
+	}
+}
+
+func TestAfPlus2SafetyRandomES(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 120; i++ {
+		gsr := model.Round(1 + rng.Intn(7))
+		s := sched.RandomES(7, 2, gsr, sched.RandomOpts{Rng: rng})
+		p := props(7)
+		res, err := sim.Run(sim.Config{Synchrony: model.ES, Schedule: s, Proposals: p, Factory: core.NewAfPlus2()})
+		if err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		if rep := check.Consensus(res, p); !rep.OK() {
+			t.Fatalf("sample %d: %v\nschedule %v", i, rep.Err(), s)
+		}
+	}
+}
+
+func TestAfPlus2Name(t *testing.T) {
+	a, err := core.NewAfPlus2()(model.ProcessContext{Self: 1, N: 4, T: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != core.AfPlus2Name {
+		t.Errorf("Name() = %q", a.Name())
+	}
+	ab, err := core.NewAfPlus2Opts(core.AfOptions{DisablePluralityAdoption: true})(model.ProcessContext{Self: 1, N: 4, T: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.Name() != core.AfPlus2Name+"[noplur]" {
+		t.Errorf("ablated Name() = %q", ab.Name())
+	}
+}

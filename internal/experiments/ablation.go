@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+
+	"indulgence/internal/core"
+	"indulgence/internal/model"
+	"indulgence/internal/sched"
+	"indulgence/internal/stats"
+)
+
+// The ablation experiments remove one design ingredient of the paper's
+// algorithms at a time and exhibit a *deterministic witness run* in which
+// the crippled variant misbehaves while the faithful algorithm stays
+// correct — the executable version of "why every line of Fig. 2/Fig. 5 is
+// there".
+
+// ablationRow runs one factory on one schedule and appends a table row.
+func ablationRow(o *Outcome, table *stats.Table, name string, factory model.Factory,
+	s *sched.Schedule, props []model.Value) (agreement bool, gdr model.Round, err error) {
+	res, rep, err := runOnce(factory, s, props)
+	if err != nil {
+		return false, 0, fmt.Errorf("%s: %w", name, err)
+	}
+	decisions := make([]string, 0, len(res.Decisions))
+	for _, d := range res.Decisions {
+		if d.Decided() {
+			decisions = append(decisions, fmt.Sprintf("%d@r%d", d.Value, d.Round))
+		} else {
+			decisions = append(decisions, "-")
+		}
+	}
+	table.AddRowf(name, fmt.Sprint(decisions), rep.Agreement, gdrOf(res))
+	return rep.Agreement, gdrOf(res), nil
+}
+
+// AblationPhase1 removes one round from Phase 1 (t rounds instead of t+1).
+// Witness (n=3, t=1): the victim p1 proposes the minimum but its messages
+// are delayed for the whole shortened Phase 1, so p2 and p3 never learn
+// the minimum nor accumulate enough Halt evidence — p1 decides its own
+// minimum while p2 decides the other value. With the full t+1 rounds the
+// same adversary is harmless: the extra round lets the estimate (or the
+// suspicion evidence) propagate.
+func AblationPhase1() (*Outcome, error) {
+	o := &Outcome{
+		ID:    "A1",
+		Title: "Ablation: Phase 1 shortened to t rounds (why Lemma 11 needs t+1)",
+	}
+	// p1's messages delayed through rounds 1..2 (covering the shortened
+	// algorithm's Phase 1 and Phase 2), synchronous from round 3.
+	s := sched.DelayedSenderPrefix(3, 1, 2, 1)
+	props := []model.Value{0, 1, 1}
+	table := stats.NewTable("Witness run: n=3, t=1, proposals (0,1,1), p1 unheard for 2 rounds",
+		"variant", "decisions", "agreement", "global round")
+	ok, _, err := ablationRow(o, table, "A_t+2[p1=1] (ablated)", core.New(core.Options{Phase1Rounds: 1}), s, props)
+	if err != nil {
+		return nil, err
+	}
+	o.expect(!ok, "A1: shortened Phase 1 should violate agreement on the witness run")
+	ok, _, err = ablationRow(o, table, "A_t+2 (faithful)", core.New(core.Options{}), s.Clone(), props)
+	if err != nil {
+		return nil, err
+	}
+	o.expect(ok, "A1: faithful A_t+2 should keep agreement on the witness run")
+	o.Tables = append(o.Tables, table)
+	o.Notes = append(o.Notes,
+		"with only t Phase-1 rounds the elimination property (Lemma 6) fails: two distinct non-bottom",
+		"new estimates survive to Phase 2 and the processes split their decision.")
+	return o, nil
+}
+
+// AblationHaltExchange removes the Halt piggybacking (learning that
+// someone suspected me). Witness (n=3, t=1): p1 is falsely suspected by
+// everyone for t+2 rounds; without the exchange p1 never learns it is
+// being suspected, keeps |Halt| = 0, pushes its (unique, minimal) estimate
+// as a non-⊥ new estimate and decides it — while p2 and p3 decide the
+// other value. The faithful algorithm detects the suspicion through the
+// exchanged Halt sets, sends ⊥ and defers to the underlying consensus.
+func AblationHaltExchange() (*Outcome, error) {
+	o := &Outcome{
+		ID:    "A2",
+		Title: "Ablation: no Halt exchange (why suspicions are tracked symmetrically)",
+	}
+	s := sched.DelayedSenderPrefix(3, 1, 3, 1)
+	props := []model.Value{0, 1, 1}
+	table := stats.NewTable("Witness run: n=3, t=1, proposals (0,1,1), p1 unheard for 3 rounds",
+		"variant", "decisions", "agreement", "global round")
+	ok, _, err := ablationRow(o, table, "A_t+2[nohaltx] (ablated)", core.New(core.Options{DisableHaltExchange: true}), s, props)
+	if err != nil {
+		return nil, err
+	}
+	o.expect(!ok, "A2: disabling the Halt exchange should violate agreement on the witness run")
+	ok, _, err = ablationRow(o, table, "A_t+2 (faithful)", core.New(core.Options{}), s.Clone(), props)
+	if err != nil {
+		return nil, err
+	}
+	o.expect(ok, "A2: faithful A_t+2 should keep agreement on the witness run")
+	o.Tables = append(o.Tables, table)
+	return o, nil
+}
+
+// AblationThreshold perturbs the |Halt| > t detector threshold in both
+// directions: t+1 misses real false suspicions (agreement breaks on the
+// same witness run as A2), while t−1 misclassifies ordinary crashes as
+// false suspicions and forfeits the t+2 fast decision in a synchronous run
+// with t crashes.
+func AblationThreshold() (*Outcome, error) {
+	o := &Outcome{
+		ID:    "A3",
+		Title: "Ablation: false-suspicion detector threshold (why |Halt| > t exactly)",
+	}
+	props := []model.Value{0, 1, 1}
+
+	lenient := stats.NewTable("Threshold t+1 on the A2 witness run (n=3, t=1)",
+		"variant", "decisions", "agreement", "global round")
+	s := sched.DelayedSenderPrefix(3, 1, 3, 1)
+	ok, _, err := ablationRow(o, lenient, "A_t+2[thr=2] (lenient)", core.New(core.Options{DetectorThreshold: 2}), s, props)
+	if err != nil {
+		return nil, err
+	}
+	o.expect(!ok, "A3: lenient threshold should violate agreement on the witness run")
+	ok, _, err = ablationRow(o, lenient, "A_t+2 (faithful)", core.New(core.Options{}), s.Clone(), props)
+	if err != nil {
+		return nil, err
+	}
+	o.expect(ok, "A3: faithful A_t+2 should keep agreement on the witness run")
+	o.Tables = append(o.Tables, lenient)
+
+	strict := stats.NewTable("Threshold t-1 in a synchronous run with t crashes (n=3, t=1, p2 crashes silently)",
+		"variant", "decisions", "agreement", "global round")
+	crash := sched.New(3, 1)
+	crash.CrashSilent(2, 1)
+	_, gdr, err := ablationRow(o, strict, "A_t+2[thr=-1] (strict)", core.New(core.Options{DetectorThreshold: -1}), crash, props)
+	if err != nil {
+		return nil, err
+	}
+	o.expect(int(gdr) > 1+2, "A3: strict threshold should forfeit the t+2 fast decision, decided at %d", gdr)
+	_, gdr, err = ablationRow(o, strict, "A_t+2 (faithful)", core.New(core.Options{}), crash.Clone(), props)
+	if err != nil {
+		return nil, err
+	}
+	o.expect(int(gdr) == 1+2, "A3: faithful A_t+2 should decide at t+2=3, decided at %d", gdr)
+	o.Tables = append(o.Tables, strict)
+	o.Notes = append(o.Notes,
+		"|Halt| > t is the exact certificate: above it a false suspicion is guaranteed (at most t crashes exist),",
+		"at or below it the suspicions may all be real crashes, so flagging them would sacrifice the fast path.")
+	return o, nil
+}
+
+// AblationPlurality removes the (n−2t)-plurality adoption rule of A_{f+2}
+// (always adopt the minimum). Witness (n=7, t=2): p1 crashes in round 1
+// heard only by p2, which sees five identical estimates and decides; the
+// remaining processes see p1's minimum, adopt it (instead of the decided
+// plurality value), and decide it one round later after p2 silently
+// crashes — an agreement violation. The faithful rule forces everyone to
+// adopt the decided value (Lemma 14).
+func AblationPlurality() (*Outcome, error) {
+	o := &Outcome{
+		ID:    "A4",
+		Title: "Ablation: A_f+2 without (n-2t)-plurality adoption (why Lemma 14 needs it)",
+	}
+	n, t := 7, 2
+	props := []model.Value{1, 2, 2, 2, 2, 2, 2}
+	s := sched.New(n, t)
+	s.CrashWithReceivers(1, 1, model.NewPIDSet(3, 4, 5, 6, 7)) // p2 misses p1's minimum
+	s.CrashSilent(2, 2)                                        // the early decider vanishes
+	table := stats.NewTable("Witness run: n=7, t=2, proposals (1,2,...,2), p1 crashes hiding 1 from p2 only",
+		"variant", "decisions", "agreement", "global round")
+	ok, _, err := ablationRow(o, table, "A_f+2[noplur] (ablated)",
+		core.NewAfPlus2Opts(core.AfOptions{DisablePluralityAdoption: true}), s, props)
+	if err != nil {
+		return nil, err
+	}
+	o.expect(!ok, "A4: removing plurality adoption should violate agreement on the witness run")
+	ok, _, err = ablationRow(o, table, "A_f+2 (faithful)", core.NewAfPlus2(), s.Clone(), props)
+	if err != nil {
+		return nil, err
+	}
+	o.expect(ok, "A4: faithful A_f+2 should keep agreement on the witness run")
+	o.Tables = append(o.Tables, table)
+	return o, nil
+}

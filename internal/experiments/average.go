@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"indulgence/internal/baseline"
+	"indulgence/internal/core"
+	"indulgence/internal/lowerbound"
+	"indulgence/internal/model"
+	"indulgence/internal/stats"
+)
+
+// E10AverageCase extends the paper's worst-case evaluation with the
+// average-case profile it invites: the full distribution of global
+// decision rounds over every serial run. The paper's headline concerns
+// worst cases (t+2 vs 2t+2); the distributions show the other face of the
+// trade-off — A_{t+2} pays its t+2 in *every* synchronous run (Phase 1
+// has fixed length), while the coordinator baselines are faster in benign
+// runs and only degrade under targeted crashes, and the Fig. 4
+// optimization recovers the benign-run speed without giving up the
+// worst-case optimum.
+func E10AverageCase() (*Outcome, error) {
+	o := &Outcome{
+		ID:    "E10",
+		Title: "Average-case price: distribution of decision rounds over ALL serial runs",
+	}
+	type algo struct {
+		name     string
+		factory  model.Factory
+		wantMin  func(t int) int // expected fastest serial run
+		wantMax  func(t int) int // expected worst serial run
+		constant bool            // decision round identical in every run
+	}
+	algos := []algo{
+		{"A_t+2", core.New(core.Options{}),
+			func(t int) int { return t + 2 }, func(t int) int { return t + 2 }, true},
+		{"A_t+2+ff", core.New(core.Options{FailureFreeFast: true}),
+			func(int) int { return 2 }, func(t int) int { return t + 2 }, false},
+		{"HurfinRaynal", baseline.NewHurfinRaynal(),
+			func(int) int { return 2 }, func(t int) int { return 2*t + 2 }, false},
+		{"CT rotating coord", baseline.NewCT(),
+			func(int) int { return 3 }, func(t int) int { return 3*t + 3 }, false},
+	}
+	table := stats.NewTable("Decision-round distribution over all serial runs (prefix subsets)",
+		"algorithm", "t", "n", "runs", "min", "mean", "max", "histogram round:count")
+	for _, t := range []int{1, 2} {
+		n := 2*t + 1
+		for _, a := range algos {
+			hist, err := lowerbound.Distribution(lowerbound.Config{
+				N: n, T: t,
+				Synchrony:     model.ES,
+				Factory:       a.factory,
+				Proposals:     distinctProposals(n),
+				MaxCrashRound: model.Round(a.wantMax(t)),
+				Mode:          lowerbound.PrefixSubsets,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("E10 %s t=%d: %w", a.name, t, err)
+			}
+			var (
+				runs, total int
+				min, max    model.Round
+				first       = true
+			)
+			rounds := make([]model.Round, 0, len(hist))
+			for r := range hist {
+				rounds = append(rounds, r)
+			}
+			sort.Slice(rounds, func(i, j int) bool { return rounds[i] < rounds[j] })
+			var cells []string
+			for _, r := range rounds {
+				c := hist[r]
+				runs += c
+				total += int(r) * c
+				if first || r < min {
+					min = r
+				}
+				if first || r > max {
+					max = r
+				}
+				first = false
+				cells = append(cells, fmt.Sprintf("%d:%d", r, c))
+			}
+			mean := float64(total) / float64(runs)
+			table.AddRowf(a.name, t, n, runs, min, fmt.Sprintf("%.2f", mean), max, strings.Join(cells, " "))
+			o.expect(int(min) == a.wantMin(t), "E10: %s t=%d min=%d want %d", a.name, t, min, a.wantMin(t))
+			o.expect(int(max) == a.wantMax(t), "E10: %s t=%d max=%d want %d", a.name, t, max, a.wantMax(t))
+			if a.constant {
+				o.expect(len(hist) == 1, "E10: %s t=%d should decide at one fixed round, histogram %v", a.name, t, hist)
+			}
+		}
+	}
+	o.Tables = append(o.Tables, table)
+	o.Notes = append(o.Notes,
+		"A_t+2 pays exactly t+2 in every serial run (a single histogram bar): worst-case optimal, constant;",
+		"the coordinator baselines are faster in benign runs but degrade to 2t+2 / 3t+3 under targeted crashes;",
+		"the Fig. 4 optimization recovers the 2-round benign case while keeping the t+2 worst case —",
+		"the practical resolution of the worst-case/average-case tension the bounds create.")
+	return o, nil
+}

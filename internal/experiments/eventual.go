@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+
+	"indulgence/internal/baseline"
+	"indulgence/internal/core"
+	"indulgence/internal/lowerbound"
+	"indulgence/internal/model"
+	"indulgence/internal/sched"
+	"indulgence/internal/stats"
+)
+
+// E5EarlyDecision reproduces the early-decision discussion of Sect. 6: for
+// every f ≤ t, every ES consensus algorithm has a synchronous run with at
+// most f crashes deciding no earlier than round f+2. A_{f+2} matches the
+// bound exactly (worst case f+2 over all serial runs with ≤ f crashes,
+// foreshadowing the tightness result of [5]), while A_{t+2} — which never
+// decides before t+2 by construction — shows why early decision is a
+// separate design goal.
+func E5EarlyDecision() (*Outcome, error) {
+	o := &Outcome{
+		ID:    "E5",
+		Title: "Early decision: worst-case decision round with at most f crashes (synchronous runs)",
+	}
+	table := stats.NewTable("Worst-case global decision round over serial runs with <= f crashes",
+		"algorithm", "n", "t", "f", "runs", "worst", "f+2", "t+2")
+	for _, tc := range []struct{ t, f int }{{1, 0}, {1, 1}, {2, 0}, {2, 1}, {2, 2}} {
+		n := 3*tc.t + 1 // admits both A_{f+2} (t<n/3) and A_{t+2} (t<n/2)
+		mode := lowerbound.AllSubsets
+		if n > 5 {
+			mode = lowerbound.PrefixSubsets
+		}
+		maxCrashes := tc.f
+		if maxCrashes == 0 {
+			maxCrashes = -1
+		}
+		for _, a := range []struct {
+			factory model.Factory
+			bound   int
+		}{
+			{core.NewAfPlus2(), tc.f + 2},
+			{core.New(core.Options{}), tc.t + 2},
+		} {
+			res, err := lowerbound.Explore(lowerbound.Config{
+				N: n, T: tc.t,
+				Synchrony:     model.ES,
+				Factory:       a.factory,
+				Proposals:     distinctProposals(n),
+				MaxCrashes:    maxCrashes,
+				MaxCrashRound: model.Round(tc.f + 2),
+				Mode:          mode,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("E5 t=%d f=%d: %w", tc.t, tc.f, err)
+			}
+			alg, _ := a.factory(model.ProcessContext{Self: 1, N: n, T: tc.t}, 1)
+			table.AddRowf(alg.Name(), n, tc.t, tc.f, res.Runs, res.WorstRound, tc.f+2, tc.t+2)
+			o.expect(int(res.WorstRound) == a.bound,
+				"E5: %s t=%d f=%d worst=%d want %d", alg.Name(), tc.t, tc.f, res.WorstRound, a.bound)
+			o.expect(res.PropertyViolation == nil, "E5: %s t=%d f=%d violation: %v", alg.Name(), tc.t, tc.f, res.PropertyViolation)
+		}
+	}
+	o.Tables = append(o.Tables, table)
+	o.Notes = append(o.Notes,
+		"A_f+2's worst case tracks the actual number of crashes (f+2, tight — the bound [5] later proved optimal);",
+		"A_t+2 always pays t+2 because Phase 1 has a fixed length, regardless of how many crashes occur.")
+	return o, nil
+}
+
+// E6EventualFast reproduces Lemma 15 and footnote 10: the eventual-fast-
+// decision comparison between A_{f+2} (k+f+2) and the leader-based AMR
+// (k+2f+2) in runs that are synchronous after round k with f crashes after
+// round k.
+//
+// Table 1 isolates the per-crash cost at k=0 (synchronous runs): each
+// crash costs A_{f+2} one round and AMR up to one full two-round attempt.
+// Table 2 adds the adversarial asynchronous prefix (DivergencePrefix) that
+// keeps A_{f+2}'s estimates diverged until the GSR, showing the k+f+2
+// bound is attained exactly for every k and f.
+func E6EventualFast() (*Outcome, error) {
+	o := &Outcome{
+		ID:    "E6",
+		Title: "Eventual fast decision (Fig. 5): A_f+2 k+f+2 vs leader-based AMR k+2f+2",
+	}
+
+	crash := stats.NewTable("Table 1 - per-crash cost in synchronous runs (k=0): worst case over serial runs",
+		"n", "t", "f", "A_f+2 worst", "f+2", "AMR worst", "2f+2")
+	for _, tc := range []struct{ t, f int }{{1, 0}, {1, 1}, {2, 1}, {2, 2}} {
+		n := 3*tc.t + 1
+		mode := lowerbound.AllSubsets
+		if n > 5 {
+			mode = lowerbound.PrefixSubsets
+		}
+		maxCrashes := tc.f
+		if maxCrashes == 0 {
+			maxCrashes = -1
+		}
+		worst := make(map[string]model.Round, 2)
+		for _, fac := range []model.Factory{core.NewAfPlus2(), baseline.NewAMR()} {
+			res, err := lowerbound.Explore(lowerbound.Config{
+				N: n, T: tc.t,
+				Synchrony:     model.ES,
+				Factory:       fac,
+				Proposals:     distinctProposals(n),
+				MaxCrashes:    maxCrashes,
+				MaxCrashRound: model.Round(2*tc.f + 2),
+				Mode:          mode,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("E6 crash cost t=%d f=%d: %w", tc.t, tc.f, err)
+			}
+			alg, _ := fac(model.ProcessContext{Self: 1, N: n, T: tc.t}, 1)
+			worst[alg.Name()] = res.WorstRound
+			o.expect(res.PropertyViolation == nil, "E6: %s violation: %v", alg.Name(), res.PropertyViolation)
+		}
+		af, am := worst[core.AfPlus2Name], worst[baseline.AMRName]
+		crash.AddRowf(n, tc.t, tc.f, af, tc.f+2, am, 2*tc.f+2)
+		o.expect(int(af) == tc.f+2, "E6: A_f+2 t=%d f=%d worst=%d want f+2=%d", tc.t, tc.f, af, tc.f+2)
+		o.expect(am >= af, "E6: AMR t=%d f=%d faster (%d) than A_f+2 (%d)", tc.t, tc.f, am, af)
+		o.expect(int(am) <= 2*tc.f+2, "E6: AMR t=%d f=%d worst=%d beyond 2f+2=%d", tc.t, tc.f, am, 2*tc.f+2)
+		if tc.t == 1 && tc.f == 1 {
+			o.expect(int(am) == 2*tc.f+2, "E6: AMR t=1 f=1 worst=%d, want the full 2f+2=%d", am, 2*tc.f+2)
+		}
+	}
+	o.Tables = append(o.Tables, crash)
+
+	prefix := stats.NewTable("Table 2 - A_f+2 under its adversarial prefix (DivergencePrefixFlood), f crashes after k",
+		"n", "t", "k", "f", "A_f+2 worst", "k+f+2")
+	for _, tc := range []struct {
+		t, f int
+		k    model.Round
+	}{
+		{1, 0, 2}, {1, 1, 2}, {1, 0, 4}, {1, 1, 4}, {1, 1, 6},
+		{2, 1, 4},
+	} {
+		n := 3*tc.t + 1
+		// All receiver subsets are affordable whenever at most one crash
+		// is placed; only multi-crash sweeps at n=7 need the proof-style
+		// prefix restriction.
+		mode := lowerbound.AllSubsets
+		if n > 5 && tc.f > 1 {
+			mode = lowerbound.PrefixSubsets
+		}
+		maxCrashes := tc.f
+		if maxCrashes == 0 {
+			maxCrashes = -1
+		}
+		res, err := lowerbound.Explore(lowerbound.Config{
+			Synchrony:       model.ES,
+			Factory:         core.NewAfPlus2(),
+			Proposals:       sched.DivergenceProposalsFlood(tc.t),
+			Base:            sched.DivergencePrefixFlood(tc.t, tc.k),
+			FirstCrashRound: tc.k + 1,
+			MaxCrashes:      maxCrashes,
+			MaxCrashRound:   tc.k + model.Round(tc.f+2),
+			Mode:            mode,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("E6 prefix t=%d k=%d f=%d: %w", tc.t, tc.k, tc.f, err)
+		}
+		bound := int(tc.k) + tc.f + 2
+		prefix.AddRowf(n, tc.t, tc.k, tc.f, res.WorstRound, bound)
+		o.expect(int(res.WorstRound) == bound,
+			"E6: A_f+2 prefix k=%d f=%d worst=%d want k+f+2=%d", tc.k, tc.f, res.WorstRound, bound)
+		o.expect(res.PropertyViolation == nil, "E6: prefix violation: %v", res.PropertyViolation)
+	}
+	o.Tables = append(o.Tables, prefix)
+
+	amrPrefix := stats.NewTable("Table 3 - AMR under its adversarial prefix (DivergencePrefixLeader), f crashes after k",
+		"n", "t", "k", "f", "AMR worst", "k+2f+2")
+	for _, tc := range []struct {
+		t, f int
+		k    model.Round
+	}{
+		{1, 0, 2}, {1, 1, 2}, {1, 0, 4}, {1, 1, 4}, {2, 1, 4},
+	} {
+		n := 3*tc.t + 1
+		mode := lowerbound.AllSubsets
+		if n > 5 && tc.f > 1 {
+			mode = lowerbound.PrefixSubsets
+		}
+		maxCrashes := tc.f
+		if maxCrashes == 0 {
+			maxCrashes = -1
+		}
+		res, err := lowerbound.Explore(lowerbound.Config{
+			Synchrony:       model.ES,
+			Factory:         baseline.NewAMR(),
+			Proposals:       sched.DivergenceProposalsLeader(tc.t),
+			Base:            sched.DivergencePrefixLeader(tc.t, tc.k),
+			FirstCrashRound: tc.k + 1,
+			MaxCrashes:      maxCrashes,
+			MaxCrashRound:   tc.k + model.Round(2*tc.f+2),
+			Mode:            mode,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("E6 AMR prefix t=%d k=%d f=%d: %w", tc.t, tc.k, tc.f, err)
+		}
+		bound := int(tc.k) + 2*tc.f + 2
+		amrPrefix.AddRowf(n, tc.t, tc.k, tc.f, res.WorstRound, bound)
+		o.expect(int(res.WorstRound) == bound,
+			"E6: AMR prefix k=%d f=%d worst=%d want k+2f+2=%d", tc.k, tc.f, res.WorstRound, bound)
+		o.expect(res.PropertyViolation == nil, "E6: AMR prefix violation: %v", res.PropertyViolation)
+	}
+	o.Tables = append(o.Tables, amrPrefix)
+	o.Notes = append(o.Notes,
+		"Table 1: each late crash costs A_f+2 exactly one round (f+2 total) but can cost AMR a whole",
+		"two-round leader attempt (2f+2 at t=1; the footnote-10 min-id leader recovers faster at larger t",
+		"because leadership transfers instantly, so consecutive attempts cannot both be wasted);",
+		"Tables 2-3: with adversarial asynchronous prefixes the k+f+2 bound of Lemma 15 is attained",
+		"exactly by A_f+2 while AMR pays the full k+2f+2 of footnote 10 — the Sect. 6 separation.")
+	return o, nil
+}

@@ -1,0 +1,102 @@
+// Package experiments encodes the paper's measurable claims (R1–R10 in
+// DESIGN.md) as reusable experiment runners. Each runner executes the
+// relevant run families — exhaustive serial-run explorations, adversarial
+// constructions, random sweeps — and returns a rendered table together
+// with a machine-checkable pass/fail verdict comparing the measurements
+// against the paper's formulas. The benchmark harness (bench_test.go), the
+// CLI (cmd/indulgence) and EXPERIMENTS.md are all generated from these
+// runners, so the reported numbers can never drift from the checked ones.
+package experiments
+
+import (
+	"fmt"
+
+	"indulgence/internal/model"
+	"indulgence/internal/stats"
+)
+
+// Outcome is the result of one experiment.
+type Outcome struct {
+	// ID is the experiment identifier (E1..E9, A1..A4).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Tables holds the rendered result tables.
+	Tables []*stats.Table
+	// Notes holds human-readable observations printed after the tables.
+	Notes []string
+	// Failures lists expectation mismatches; empty means the paper's
+	// claim was reproduced.
+	Failures []string
+}
+
+// OK reports whether every expectation of the experiment was met.
+func (o *Outcome) OK() bool { return len(o.Failures) == 0 }
+
+// String renders the outcome.
+func (o *Outcome) String() string {
+	s := fmt.Sprintf("== %s: %s ==\n", o.ID, o.Title)
+	for _, t := range o.Tables {
+		s += t.String()
+	}
+	for _, n := range o.Notes {
+		s += "note: " + n + "\n"
+	}
+	if o.OK() {
+		s += "RESULT: PASS (paper claim reproduced)\n"
+	} else {
+		s += "RESULT: FAIL\n"
+		for _, f := range o.Failures {
+			s += "  - " + f + "\n"
+		}
+	}
+	return s
+}
+
+// expect records a failure when the condition does not hold.
+func (o *Outcome) expect(cond bool, format string, args ...any) {
+	if !cond {
+		o.Failures = append(o.Failures, fmt.Sprintf(format, args...))
+	}
+}
+
+// distinctProposals returns the canonical worst-case initial configuration
+// 1..n (all proposals distinct, so flooding algorithms must genuinely
+// converge).
+func distinctProposals(n int) []model.Value {
+	out := make([]model.Value, n)
+	for i := range out {
+		out[i] = model.Value(i + 1)
+	}
+	return out
+}
+
+// All runs every simulator-backed experiment (E1–E8 and the four
+// ablations) with test-sized parameters and returns the outcomes in order.
+// The live-runtime experiment E9 is separate (it needs wall-clock time).
+func All() ([]*Outcome, error) {
+	runners := []func() (*Outcome, error){
+		E1LowerBound,
+		func() (*Outcome, error) { return E2FastDecision(200, 1) },
+		func() (*Outcome, error) { return E3PriceTable(2) },
+		E4FailureFree,
+		E5EarlyDecision,
+		E6EventualFast,
+		func() (*Outcome, error) { return E7FDSimulation(100, 1) },
+		E8ResiliencePrice,
+		E10AverageCase,
+		AblationPhase1,
+		AblationHaltExchange,
+		AblationThreshold,
+		AblationPlurality,
+	}
+	out := make([]*Outcome, 0, len(runners))
+	for _, r := range runners {
+		o, err := r()
+		if err != nil {
+			return out, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}

@@ -1,0 +1,47 @@
+package experiments_test
+
+import (
+	"strings"
+	"testing"
+
+	"indulgence/internal/experiments"
+)
+
+// TestAllExperiments is the repository's headline integration test: every
+// simulator-backed experiment must reproduce its paper claim.
+func TestAllExperiments(t *testing.T) {
+	outs, err := experiments.All()
+	if err != nil {
+		t.Fatalf("experiments: %v", err)
+	}
+	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E10", "A1", "A2", "A3", "A4"}
+	if len(outs) != len(wantIDs) {
+		t.Fatalf("got %d outcomes, want %d", len(outs), len(wantIDs))
+	}
+	for i, o := range outs {
+		if o.ID != wantIDs[i] {
+			t.Errorf("outcome %d is %s, want %s", i, o.ID, wantIDs[i])
+		}
+		if !o.OK() {
+			t.Errorf("%s failed:\n%s", o.ID, strings.Join(o.Failures, "\n"))
+		}
+		if len(o.Tables) == 0 {
+			t.Errorf("%s produced no tables", o.ID)
+		}
+		if !strings.Contains(o.String(), o.ID) {
+			t.Errorf("%s renders without its id", o.ID)
+		}
+	}
+}
+
+// TestE9Live exercises the live-runtime experiment (separate from All so a
+// loaded machine's timing noise is easy to attribute).
+func TestE9Live(t *testing.T) {
+	o, err := experiments.E9LiveRuntime()
+	if err != nil {
+		t.Fatalf("E9: %v", err)
+	}
+	if !o.OK() {
+		t.Errorf("E9 failed:\n%s", strings.Join(o.Failures, "\n"))
+	}
+}

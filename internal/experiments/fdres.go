@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"indulgence/internal/core"
+	"indulgence/internal/fd"
+	"indulgence/internal/model"
+	"indulgence/internal/sched"
+	"indulgence/internal/sim"
+	"indulgence/internal/stats"
+)
+
+// E7FDSimulation reproduces Sect. 4: the failure detector simulated from ES
+// round receipt patterns ("suspect exactly the processes whose round-k
+// message is missing") satisfies the ◇P axioms — strong completeness and
+// eventual strong accuracy — and a fortiori the ◇S axioms, on every run.
+// The experiment samples random eventually synchronous runs across a range
+// of stabilization times and checks the axioms on the recorded receive
+// patterns.
+func E7FDSimulation(samples int, seed int64) (*Outcome, error) {
+	o := &Outcome{
+		ID:    "E7",
+		Title: "Sect. 4: simulating unreliable failure detectors (dP, dS) from ES rounds",
+	}
+	table := stats.NewTable("Axiom checks of the simulated detector over random ES runs",
+		"GSR", "runs", "dP completeness+accuracy violations", "dS weak-accuracy violations", "consensus violations")
+	rng := rand.New(rand.NewSource(seed))
+	n, t := 5, 2
+	for _, gsr := range []model.Round{1, 3, 6} {
+		var dpViol, dsViol, consViol int
+		for i := 0; i < samples; i++ {
+			s := sched.RandomES(n, t, gsr, sched.RandomOpts{Rng: rng, MaxCrashRound: gsr + 3})
+			res, err := sim.Run(sim.Config{
+				Synchrony: model.ES,
+				Schedule:  s,
+				Proposals: distinctProposals(n),
+				Factory:   core.New(core.Options{}),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("E7 gsr=%d run %d: %w", gsr, i, err)
+			}
+			out := fd.Simulate(res.Run)
+			if err := fd.CheckDiamondP(res.Run, out); err != nil {
+				dpViol++
+			}
+			if err := fd.CheckDiamondS(res.Run, out); err != nil {
+				dsViol++
+			}
+			if !res.AllAliveDecided {
+				consViol++
+			}
+		}
+		table.AddRowf(gsr, samples, dpViol, dsViol, consViol)
+		o.expect(dpViol == 0, "E7: gsr=%d: %d dP violations", gsr, dpViol)
+		o.expect(dsViol == 0, "E7: gsr=%d: %d dS violations", gsr, dsViol)
+		o.expect(consViol == 0, "E7: gsr=%d: %d non-terminating runs", gsr, consViol)
+	}
+	o.Tables = append(o.Tables, table)
+	o.Notes = append(o.Notes,
+		"after the stabilization round every correct process suspects exactly the crashed processes,",
+		"so the ES lower bound transfers to asynchronous round models enriched with dP or dS.")
+	return o, nil
+}
+
+// E8ResiliencePrice reproduces the Sect. 1.1 observation that indulgence
+// has a resilience price: t < n/2 is necessary. A_{t+2} configured (against
+// its constructor's will) with t = n/2 is executed under the split-brain
+// schedule, in which each half of the system only hears itself for the
+// first 2t+2 rounds — a legal ES adversary when t = n/2, since each half
+// is an n−t quorum. The two halves decide different values. The control
+// checks that the very same partition is *rejected by the model* when
+// t < n/2: the schedule then violates t-resilience, which is exactly why a
+// correct majority restores safety.
+func E8ResiliencePrice() (*Outcome, error) {
+	o := &Outcome{
+		ID:    "E8",
+		Title: "Resilience price (Sect. 1.1): t < n/2 is necessary for indulgent consensus",
+	}
+	n := 4
+	split := model.Round(2*(n/2) + 2)
+	s := sched.SplitBrain(n, split)
+	props := distinctProposals(n)
+	res, err := sim.Run(sim.Config{
+		Synchrony: model.ES,
+		Schedule:  s,
+		Proposals: props,
+		Factory:   core.New(core.Options{UnsafeSkipResilienceCheck: true}),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("E8 split-brain: %w", err)
+	}
+	table := stats.NewTable("Split-brain run of A_t+2 with t = n/2 = 2 (n=4, halves {1,2} and {3,4})",
+		"process", "proposal", "decision", "round")
+	agreement := true
+	var first model.Value
+	for i, d := range res.Decisions {
+		dec := "-"
+		if d.Decided() {
+			dec = fmt.Sprintf("%d", d.Value)
+			if i == 0 {
+				first = d.Value
+			} else if d.Value != first {
+				agreement = false
+			}
+		}
+		table.AddRowf(fmt.Sprintf("p%d", i+1), props[i], dec, d.Round)
+	}
+	o.Tables = append(o.Tables, table)
+	o.expect(!agreement, "E8: expected the split-brain run to violate agreement, but it held")
+
+	// Control: the same partition is not a legal ES adversary once
+	// t < n/2 — each half of size n/2 < n−t cannot feed a quorum.
+	control := sched.New(n, 1, sched.WithGSR(split+1))
+	for r := model.Round(1); r <= split; r++ {
+		for from := model.ProcessID(1); int(from) <= n; from++ {
+			for to := model.ProcessID(1); int(to) <= n; to++ {
+				if from == to || (int(from) <= n/2) == (int(to) <= n/2) {
+					continue
+				}
+				control.Delay(r, from, to, split+1)
+			}
+		}
+	}
+	err = control.Validate(model.ES)
+	o.expect(errors.Is(err, sched.ErrTResilience),
+		"E8: control partition with t=1 should violate t-resilience, got %v", err)
+	o.Notes = append(o.Notes,
+		"with t = n/2 each half is an n-t quorum, so the partition is a legal ES run and the halves decide apart;",
+		fmt.Sprintf("with t < n/2 the same partition is rejected by the model (%v),", err),
+		"which is the operational content of the t < n/2 requirement of [Chandra & Toueg].")
+	return o, nil
+}

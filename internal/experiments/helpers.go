@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"indulgence/internal/check"
+	"indulgence/internal/core"
+	"indulgence/internal/lowerbound"
+	"indulgence/internal/model"
+	"indulgence/internal/sched"
+	"indulgence/internal/sim"
+)
+
+// sweepResult aggregates decision-round measurements over a run family.
+type sweepResult struct {
+	runs            int
+	worst           model.Round // largest global decision round
+	earliest        model.Round // smallest per-process decision round seen
+	undecided       bool
+	violations      int
+	eliminationErrs int
+	haltClaimErrs   int
+}
+
+// serialWorst explores all serial runs of a factory and reports the worst
+// and earliest decision rounds.
+func serialWorst(factory model.Factory, n, t int, maxCrashRound model.Round, mode lowerbound.SubsetMode) (*sweepResult, error) {
+	res, err := lowerbound.Explore(lowerbound.Config{
+		N: n, T: t,
+		Synchrony:     model.ES,
+		Factory:       factory,
+		Proposals:     distinctProposals(n),
+		MaxCrashRound: maxCrashRound,
+		Mode:          mode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &sweepResult{
+		runs:      res.Runs,
+		worst:     res.WorstRound,
+		earliest:  res.WitnessEarliest,
+		undecided: res.Undecided,
+	}
+	if res.PropertyViolation != nil {
+		out.violations = 1
+	}
+	return out, nil
+}
+
+// serialWorstSCS is serialWorst for algorithms that live in the
+// synchronous crash-stop model (FloodSet, FloodSetWS).
+func serialWorstSCS(factory model.Factory, n, t int, maxCrashRound model.Round, mode lowerbound.SubsetMode) (*sweepResult, error) {
+	res, err := lowerbound.Explore(lowerbound.Config{
+		N: n, T: t,
+		Synchrony:     model.SCS,
+		Factory:       factory,
+		Proposals:     distinctProposals(n),
+		MaxCrashRound: maxCrashRound,
+		Mode:          mode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &sweepResult{
+		runs:      res.Runs,
+		worst:     res.WorstRound,
+		earliest:  res.WitnessEarliest,
+		undecided: res.Undecided,
+	}
+	if res.PropertyViolation != nil {
+		out.violations = 1
+	}
+	return out, nil
+}
+
+// randomSynchronousSweep runs the factory over `samples` random synchronous
+// schedules (arbitrary crash patterns, not just serial) and aggregates
+// decision rounds; with checkCore it additionally replays the elimination
+// and Halt checks of A_{t+2} on each recorded run.
+func randomSynchronousSweep(factory model.Factory, n, t, samples int, seed int64, checkCore bool) (*sweepResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	out := &sweepResult{earliest: 1 << 30}
+	props := distinctProposals(n)
+	for i := 0; i < samples; i++ {
+		s := sched.RandomSynchronous(n, t, sched.RandomOpts{
+			Rng:             rng,
+			MaxCrashRound:   model.Round(t + 2),
+			DelayCrashSends: true,
+		})
+		res, err := sim.Run(sim.Config{
+			Synchrony: model.ES,
+			Schedule:  s,
+			Proposals: props,
+			Factory:   factory,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("random sweep run %d: %w", i, err)
+		}
+		out.runs++
+		gdr, decided := res.GlobalDecisionRound()
+		if !decided || !res.AllAliveDecided {
+			out.undecided = true
+			continue
+		}
+		if gdr > out.worst {
+			out.worst = gdr
+		}
+		if e, ok := check.EarliestDecisionRound(res); ok && e < out.earliest {
+			out.earliest = e
+		}
+		if rep := check.Consensus(res, props); !rep.Validity || !rep.Agreement {
+			out.violations++
+		}
+		if checkCore && res.Run != nil {
+			if err := core.CheckElimination(res.Run); err != nil {
+				out.eliminationErrs++
+			}
+			if err := core.CheckSynchronousHalt(res.Run); err != nil {
+				out.haltClaimErrs++
+			}
+		}
+	}
+	return out, nil
+}
+
+// runOnce simulates a single schedule and returns the result and report.
+func runOnce(factory model.Factory, s *sched.Schedule, props []model.Value) (*sim.Result, check.Report, error) {
+	res, err := sim.Run(sim.Config{
+		Synchrony: model.ES,
+		Schedule:  s,
+		Proposals: props,
+		Factory:   factory,
+	})
+	if err != nil {
+		return nil, check.Report{}, err
+	}
+	return res, check.Consensus(res, props), nil
+}
+
+// gdrOf returns the global decision round or 0.
+func gdrOf(res *sim.Result) model.Round {
+	gdr, _ := res.GlobalDecisionRound()
+	return gdr
+}
+
+// schedFailureFree returns the failure-free synchronous schedule.
+func schedFailureFree(n, t int) *sched.Schedule { return sched.FailureFree(n, t) }
+
+// schedpkgSchedule aliases the schedule type for experiment tables.
+type schedpkgSchedule = sched.Schedule
+
+// witnessFailureFree is the worst-run witness of the flooding algorithms,
+// whose decision round is the same in every synchronous run.
+func witnessFailureFree(n, t int) *schedpkgSchedule { return sched.FailureFree(n, t) }
+
+// witnessKiller returns the coordinator-killer witness builder for a
+// rotating-coordinator algorithm with the given phase length.
+func witnessKiller(roundsPerPhase int) func(n, t int) *schedpkgSchedule {
+	return func(n, t int) *schedpkgSchedule {
+		return sched.KillCoordinators(n, t, roundsPerPhase)
+	}
+}

@@ -1,0 +1,186 @@
+package fd
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"indulgence/internal/model"
+	"indulgence/internal/payload"
+	"indulgence/internal/trace"
+)
+
+func TestSuspectedAndLeader(t *testing.T) {
+	msgs := []model.Message{
+		{From: 2, Round: 3, Payload: payload.Estimate{Est: 1}},
+		{From: 4, Round: 3, Payload: payload.Estimate{Est: 2}},
+		{From: 1, Round: 2, Payload: payload.Estimate{Est: 3}}, // delayed, ignored
+	}
+	sus := Suspected(4, 3, msgs)
+	if !sus.Has(1) || !sus.Has(3) || sus.Has(2) || sus.Has(4) {
+		t.Fatalf("suspected = %v", sus)
+	}
+	if got := HeardInRound(3, msgs); got.Len() != 2 {
+		t.Fatalf("heard = %v", got)
+	}
+	if l := Leader(3, msgs); l != 2 {
+		t.Fatalf("leader = %d", l)
+	}
+	if l := Leader(9, msgs); l != 0 {
+		t.Fatalf("leader of empty round = %d", l)
+	}
+}
+
+// syntheticRun builds a trace where p3 crashes in round 2 and p1 falsely
+// suspects p2 in round 1 (message delayed), with GSR 2 and 3 rounds.
+func syntheticRun() *trace.Run {
+	est := func(from model.ProcessID, k model.Round) model.Message {
+		return model.Message{From: from, Round: k, Payload: payload.Estimate{Est: model.Value(from)}}
+	}
+	run := &trace.Run{
+		N: 3, T: 1, Synchrony: model.ES, Algorithm: "synthetic", GSR: 2, Rounds: 3,
+		Procs: []trace.ProcessTrace{
+			{ID: 1, Proposal: 1},
+			{ID: 2, Proposal: 2},
+			{ID: 3, Proposal: 3, CrashRound: 2},
+		},
+	}
+	// Round 1: p1 misses p2 (delayed); everyone else hears everyone.
+	run.Procs[0].Steps = append(run.Procs[0].Steps, trace.Step{
+		Round: 1, Sent: payload.Estimate{Est: 1}, Sends: true, Completes: true,
+		Received: []model.Message{est(1, 1), est(3, 1)},
+	})
+	run.Procs[1].Steps = append(run.Procs[1].Steps, trace.Step{
+		Round: 1, Sent: payload.Estimate{Est: 2}, Sends: true, Completes: true,
+		Received: []model.Message{est(1, 1), est(2, 1), est(3, 1)},
+	})
+	run.Procs[2].Steps = append(run.Procs[2].Steps, trace.Step{
+		Round: 1, Sent: payload.Estimate{Est: 3}, Sends: true, Completes: true,
+		Received: []model.Message{est(1, 1), est(2, 1), est(3, 1)},
+	})
+	// Round 2: p3 crashes silently (sends nothing on).
+	run.Procs[0].Steps = append(run.Procs[0].Steps, trace.Step{
+		Round: 2, Sent: payload.Estimate{Est: 1}, Sends: true, Completes: true,
+		Received: []model.Message{est(1, 2), est(2, 2), est(2, 1)},
+	})
+	run.Procs[1].Steps = append(run.Procs[1].Steps, trace.Step{
+		Round: 2, Sent: payload.Estimate{Est: 2}, Sends: true, Completes: true,
+		Received: []model.Message{est(1, 2), est(2, 2)},
+	})
+	run.Procs[2].Steps = append(run.Procs[2].Steps, trace.Step{
+		Round: 2, Sent: payload.Estimate{Est: 3}, Sends: true, Completes: false,
+	})
+	// Round 3: synchronous among survivors.
+	for i := 0; i < 2; i++ {
+		run.Procs[i].Steps = append(run.Procs[i].Steps, trace.Step{
+			Round: 3, Sent: payload.Estimate{Est: model.Value(i + 1)}, Sends: true, Completes: true,
+			Received: []model.Message{est(1, 3), est(2, 3)},
+		})
+	}
+	return run
+}
+
+func TestSimulateOutput(t *testing.T) {
+	run := syntheticRun()
+	out := Simulate(run)
+	// Round 1: p1 suspected p2 and p3... it heard p1 and p3 only.
+	if got := out.Suspects[0][0]; !got.Has(2) || got.Has(3) {
+		t.Fatalf("p1 round-1 suspicions: %v", got)
+	}
+	// Round 2: p2 heard p1, p2 — suspects p3.
+	if got := out.Suspects[1][1]; !got.Has(3) || got.Has(1) {
+		t.Fatalf("p2 round-2 suspicions: %v", got)
+	}
+	// Crashed process has no completed round 2.
+	if out.Completed[2][1] {
+		t.Fatal("crashed process marked as completing")
+	}
+}
+
+func TestCheckDiamondPOK(t *testing.T) {
+	run := syntheticRun()
+	out := Simulate(run)
+	if err := CheckDiamondP(run, out); err != nil {
+		t.Fatalf("dP should hold: %v", err)
+	}
+	if err := CheckDiamondS(run, out); err != nil {
+		t.Fatalf("dS should hold: %v", err)
+	}
+}
+
+func TestCheckDiamondPViolations(t *testing.T) {
+	run := syntheticRun()
+	out := Simulate(run)
+	// Tamper: after stabilization, p1 suspects correct p2.
+	out.Suspects[0][2].Add(2)
+	if err := CheckDiamondP(run, out); !errors.Is(err, ErrStrongAccuracy) {
+		t.Fatalf("err = %v, want accuracy violation", err)
+	}
+	// Tamper: p1 stops suspecting the crashed p3 after stabilization.
+	out2 := Simulate(run)
+	out2.Suspects[0][2].Remove(3)
+	if err := CheckDiamondP(run, out2); !errors.Is(err, ErrCompleteness) {
+		t.Fatalf("err = %v, want completeness violation", err)
+	}
+	// Tamper for dS: every correct process suspected at some point after
+	// stabilization.
+	out3 := Simulate(run)
+	out3.Suspects[0][2].Add(2)
+	out3.Suspects[1][2].Add(1)
+	if err := CheckDiamondS(run, out3); !errors.Is(err, ErrWeakAccuracy) {
+		t.Fatalf("err = %v, want weak-accuracy violation", err)
+	}
+}
+
+func TestTimeoutDetector(t *testing.T) {
+	d := NewTimeoutDetector(10 * time.Millisecond)
+	if got := d.TimeoutFor(1); got != 10*time.Millisecond {
+		t.Fatalf("initial timeout %v", got)
+	}
+	d.Suspect(1)
+	if !d.Suspected().Has(1) {
+		t.Fatal("suspect not recorded")
+	}
+	// Hearing from a suspected process unsuspects it and doubles its
+	// timeout (the adaptive step that yields eventual accuracy).
+	d.Heard(1)
+	if d.Suspected().Has(1) {
+		t.Fatal("false suspicion not cleared")
+	}
+	if got := d.TimeoutFor(1); got != 20*time.Millisecond {
+		t.Fatalf("timeout after false suspicion %v", got)
+	}
+	// Hearing from an unsuspected process changes nothing.
+	d.Heard(2)
+	if got := d.TimeoutFor(2); got != 10*time.Millisecond {
+		t.Fatalf("unsuspected timeout grew to %v", got)
+	}
+	// Cap at 64x base.
+	for i := 0; i < 20; i++ {
+		d.Suspect(1)
+		d.Heard(1)
+	}
+	if got := d.TimeoutFor(1); got != 640*time.Millisecond {
+		t.Fatalf("cap violated: %v", got)
+	}
+}
+
+func TestTimeoutDetectorConcurrent(t *testing.T) {
+	d := NewTimeoutDetector(time.Millisecond)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 1000; i++ {
+			d.Suspect(model.ProcessID(rng.Intn(5) + 1))
+		}
+	}()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 1000; i++ {
+		d.Heard(model.ProcessID(rng.Intn(5) + 1))
+		_ = d.Suspected()
+		_ = d.TimeoutFor(3)
+	}
+	<-done
+}

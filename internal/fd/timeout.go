@@ -1,0 +1,79 @@
+package fd
+
+import (
+	"sync"
+	"time"
+
+	"indulgence/internal/model"
+)
+
+// TimeoutDetector is the live runtime's unreliable failure detector: a
+// process is suspected when it has not been heard from within its current
+// timeout. Every time a suspicion is revealed to be false — a message from
+// a suspected process arrives — that process's timeout doubles, so in any
+// eventually synchronous execution each process is falsely suspected only
+// finitely often: the detector converges to ◇P, exactly the behaviour the
+// paper's ES model abstracts. The zero value is not usable; construct with
+// NewTimeoutDetector.
+type TimeoutDetector struct {
+	mu        sync.Mutex
+	base      time.Duration
+	max       time.Duration
+	timeouts  map[model.ProcessID]time.Duration
+	suspected model.PIDSet
+}
+
+// NewTimeoutDetector returns a detector with the given initial per-process
+// timeout. Timeouts double on each false suspicion, capped at 64× the
+// base.
+func NewTimeoutDetector(base time.Duration) *TimeoutDetector {
+	return &TimeoutDetector{
+		base:     base,
+		max:      64 * base,
+		timeouts: make(map[model.ProcessID]time.Duration),
+	}
+}
+
+// TimeoutFor returns the current timeout for p.
+func (d *TimeoutDetector) TimeoutFor(p model.ProcessID) time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if t, ok := d.timeouts[p]; ok {
+		return t
+	}
+	return d.base
+}
+
+// Suspect marks p as suspected (its timeout expired unheard).
+func (d *TimeoutDetector) Suspect(p model.ProcessID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.suspected.Add(p)
+}
+
+// Heard records a message from p. If p was suspected, the suspicion was
+// false: p is unsuspected and its timeout doubles.
+func (d *TimeoutDetector) Heard(p model.ProcessID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if !d.suspected.Has(p) {
+		return
+	}
+	d.suspected.Remove(p)
+	t, ok := d.timeouts[p]
+	if !ok {
+		t = d.base
+	}
+	t *= 2
+	if t > d.max {
+		t = d.max
+	}
+	d.timeouts[p] = t
+}
+
+// Suspected returns the current suspicion set.
+func (d *TimeoutDetector) Suspected() model.PIDSet {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.suspected
+}

@@ -1,0 +1,247 @@
+package lowerbound
+
+import (
+	"fmt"
+
+	"indulgence/internal/check"
+	"indulgence/internal/model"
+	"indulgence/internal/sched"
+	"indulgence/internal/sim"
+	"indulgence/internal/trace"
+)
+
+// Claim51 is the executable form of the five-run construction in the proof
+// of Claim 5.1 (Fig. 1), instantiated with p′1 = Victim and p′_{i+1} =
+// Target:
+//
+//	s1: serial run — Victim crashes in round t, Target misses its last
+//	    message (extension of r^{i+1}_t);
+//	s0: serial run — Victim crashes in round t, everybody receives its
+//	    last message (extension of r^i_t);
+//	a2: asynchronous — Victim does not crash but is falsely suspected by
+//	    Target in round t (the message is delayed to t+2); Target crashes
+//	    at the beginning of round t+1; synchronous from t+1 on. Its global
+//	    decision round defines k′.
+//	a1: as a2 through round t; in round t+1 Target is falsely suspected
+//	    by everyone (its messages are delayed past k′) while Target
+//	    falsely suspects Victim; Target crashes at the beginning of round
+//	    t+2.
+//	a0: as s0's prefix (no suspicion in round t), with a1's round t+1;
+//	    Target crashes at the beginning of round t+2.
+//
+// The proof's chain of view equalities — Target cannot tell s1 from a1 nor
+// s0 from a0 at the end of round t+1, while no other process can ever tell
+// a2, a1, a0 apart before round k′+1 — is what makes a global decision at
+// round t+1 impossible; Verify checks every link mechanically on real
+// executions.
+type Claim51 struct {
+	// N and T describe the system (3 ≤ n, 1 ≤ t < n/2).
+	N, T int
+	// Victim is the paper's p′1 (crashes in the serial runs, is falsely
+	// suspected in the asynchronous ones).
+	Victim model.ProcessID
+	// Target is the paper's p′_{i+1}: the only process whose view links
+	// the synchronous and asynchronous worlds.
+	Target model.ProcessID
+	// Proposals is the initial configuration.
+	Proposals []model.Value
+	// KPrime is the global decision round of a2 (the proof's k′).
+	KPrime model.Round
+	// S1, S0, A2, A1, A0 are the five schedules.
+	S1, S0, A2, A1, A0 *sched.Schedule
+}
+
+// BuildClaim51 constructs the five runs for the given algorithm with
+// Victim = p1 and Target = p2. The factory is needed because a1 and a0
+// deliver Target's delayed round-(t+1) messages at round k′+1, and k′ — the
+// global decision round of a2 — depends on the algorithm.
+func BuildClaim51(factory model.Factory, n, t int, proposals []model.Value) (*Claim51, error) {
+	if n < 3 || t < 1 || 2*t >= n {
+		return nil, fmt.Errorf("lowerbound: Claim 5.1 needs n >= 3 and 1 <= t < n/2, got n=%d t=%d", n, t)
+	}
+	if len(proposals) != n {
+		return nil, fmt.Errorf("lowerbound: %d proposals for n=%d", len(proposals), n)
+	}
+	c := &Claim51{
+		N: n, T: t,
+		Victim:    1,
+		Target:    2,
+		Proposals: append([]model.Value(nil), proposals...),
+	}
+	tr := model.Round(t)
+	everyone := model.FullPIDSet(n)
+
+	// s1: Victim crashes in round t; only Target misses its message.
+	recv := everyone
+	recv.Remove(c.Victim)
+	recv.Remove(c.Target)
+	c.S1 = sched.New(n, t)
+	c.S1.CrashWithReceivers(c.Victim, tr, recv)
+
+	// s0: Victim crashes in round t; everybody receives its message.
+	recv = everyone
+	recv.Remove(c.Victim)
+	c.S0 = sched.New(n, t)
+	c.S0.CrashWithReceivers(c.Victim, tr, recv)
+
+	// a2: no crash in round t; Victim→Target delayed to t+2; Target
+	// crashes silently at t+1; synchronous from t+1 (GSR = t+1).
+	c.A2 = sched.New(n, t, sched.WithGSR(tr+1))
+	c.A2.Delay(tr, c.Victim, c.Target, tr+2)
+	c.A2.CrashSilent(c.Target, tr+1)
+
+	// Run a2 to find k′.
+	a2res, err := sim.Run(sim.Config{
+		Synchrony: model.ES,
+		Schedule:  c.A2,
+		Proposals: c.Proposals,
+		Factory:   factory,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("lowerbound: run a2: %w", err)
+	}
+	kPrime, decided := a2res.GlobalDecisionRound()
+	if !decided || !a2res.AllAliveDecided {
+		return nil, fmt.Errorf("lowerbound: a2 did not reach a global decision (algorithm not live?)")
+	}
+	c.KPrime = kPrime
+
+	// a1: as a2 through round t; round t+1: Target's messages to everyone
+	// delayed past k′, Victim→Target delayed past k′; Target crashes
+	// silently at t+2 (GSR = t+2).
+	c.A1 = sched.New(n, t, sched.WithGSR(tr+2))
+	c.A1.Delay(tr, c.Victim, c.Target, tr+2)
+	c.delayTargetRound(c.A1, tr+1)
+	c.A1.CrashSilent(c.Target, tr+2)
+
+	// a0: no suspicion at all in round t; round t+1 as in a1; Target
+	// crashes silently at t+2 (GSR = t+2).
+	c.A0 = sched.New(n, t, sched.WithGSR(tr+2))
+	c.delayTargetRound(c.A0, tr+1)
+	c.A0.CrashSilent(c.Target, tr+2)
+
+	return c, nil
+}
+
+// delayTargetRound delays, in round r, every message from Target to round
+// k′+1 and the Victim→Target message likewise (Target falsely suspects
+// Victim while being falsely suspected by everyone else).
+func (c *Claim51) delayTargetRound(s *sched.Schedule, r model.Round) {
+	for q := model.ProcessID(1); int(q) <= c.N; q++ {
+		if q != c.Target {
+			s.Delay(r, c.Target, q, c.KPrime+1)
+		}
+	}
+	s.Delay(r, c.Victim, c.Target, c.KPrime+1)
+}
+
+// VerifyReport is the outcome of checking the construction.
+type VerifyReport struct {
+	// KPrime is the proof's k′ (global decision round of a2).
+	KPrime model.Round
+	// TargetS1A1 reports that Target's views in s1 and a1 coincide at the
+	// end of round t+1.
+	TargetS1A1 bool
+	// TargetS0A0 reports that Target's views in s0 and a0 coincide at the
+	// end of round t+1.
+	TargetS0A0 bool
+	// WorldsDiffer reports that Target's views in s0 and s1 differ by the
+	// end of round t+1 (the two linked worlds are genuinely distinct).
+	WorldsDiffer bool
+	// ObserversBlind reports that every process other than Target has
+	// identical views in a2, a1 and a0 through round k′.
+	ObserversBlind bool
+	// NoEarlyDecision reports that no process decided at a round < t+2 in
+	// any of the five runs (the algorithm indeed pays the indulgence
+	// price).
+	NoEarlyDecision bool
+	// ConsensusOK reports that validity and uniform agreement held in all
+	// five runs.
+	ConsensusOK bool
+	// GlobalDecisionRounds maps run name (s1, s0, a2, a1, a0) to its
+	// global decision round.
+	GlobalDecisionRounds map[string]model.Round
+	// Details holds human-readable diagnostics for failed checks.
+	Details []string
+}
+
+// OK reports whether every check passed.
+func (r *VerifyReport) OK() bool {
+	return r.TargetS1A1 && r.TargetS0A0 && r.WorldsDiffer && r.ObserversBlind &&
+		r.NoEarlyDecision && r.ConsensusOK
+}
+
+// Verify executes the five runs with the given algorithm and checks every
+// indistinguishability link of the Claim 5.1 argument, plus consensus
+// safety of each run.
+func (c *Claim51) Verify(factory model.Factory) (*VerifyReport, error) {
+	rep := &VerifyReport{
+		KPrime:               c.KPrime,
+		NoEarlyDecision:      true,
+		ConsensusOK:          true,
+		ObserversBlind:       true,
+		GlobalDecisionRounds: make(map[string]model.Round, 5),
+	}
+	type runCase struct {
+		name string
+		s    *sched.Schedule
+	}
+	cases := []runCase{
+		{"s1", c.S1}, {"s0", c.S0}, {"a2", c.A2}, {"a1", c.A1}, {"a0", c.A0},
+	}
+	runs := make(map[string]*trace.Run, len(cases))
+	horizon := c.KPrime + model.Round(3*c.T+10)
+	for _, rc := range cases {
+		res, err := sim.Run(sim.Config{
+			Synchrony: model.ES,
+			Schedule:  rc.s,
+			Proposals: c.Proposals,
+			Factory:   factory,
+			MaxRounds: horizon,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("lowerbound: run %s: %w", rc.name, err)
+		}
+		runs[rc.name] = res.Run
+		if gdr, ok := res.GlobalDecisionRound(); ok {
+			rep.GlobalDecisionRounds[rc.name] = gdr
+		}
+		if early, ok := check.EarliestDecisionRound(res); ok && int(early) < c.T+2 {
+			rep.NoEarlyDecision = false
+			rep.Details = append(rep.Details,
+				fmt.Sprintf("%s: decision at round %d < t+2=%d", rc.name, early, c.T+2))
+		}
+		if crep := check.Consensus(res, c.Proposals); !crep.Validity || !crep.Agreement {
+			rep.ConsensusOK = false
+			rep.Details = append(rep.Details, fmt.Sprintf("%s: %v", rc.name, crep.Err()))
+		}
+	}
+
+	tp1 := model.Round(c.T + 1)
+	rep.TargetS1A1 = trace.Indistinguishable(runs["s1"], runs["a1"], c.Target, tp1)
+	if !rep.TargetS1A1 {
+		rep.Details = append(rep.Details, "target distinguishes s1 from a1 at end of t+1")
+	}
+	rep.TargetS0A0 = trace.Indistinguishable(runs["s0"], runs["a0"], c.Target, tp1)
+	if !rep.TargetS0A0 {
+		rep.Details = append(rep.Details, "target distinguishes s0 from a0 at end of t+1")
+	}
+	rep.WorldsDiffer = !trace.Indistinguishable(runs["s0"], runs["s1"], c.Target, tp1)
+	if !rep.WorldsDiffer {
+		rep.Details = append(rep.Details, "target cannot tell s0 from s1 (construction degenerate)")
+	}
+	for q := model.ProcessID(1); int(q) <= c.N; q++ {
+		if q == c.Target {
+			continue
+		}
+		if !trace.Indistinguishable(runs["a2"], runs["a1"], q, c.KPrime) {
+			rep.ObserversBlind = false
+			rep.Details = append(rep.Details, fmt.Sprintf("p%d distinguishes a2 from a1 by round k'=%d", q, c.KPrime))
+		}
+		if !trace.Indistinguishable(runs["a1"], runs["a0"], q, c.KPrime) {
+			rep.ObserversBlind = false
+			rep.Details = append(rep.Details, fmt.Sprintf("p%d distinguishes a1 from a0 by round k'=%d", q, c.KPrime))
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,332 @@
+// Package lowerbound mechanizes Sect. 2 of the paper (Proposition 1: every
+// consensus algorithm in ES has a synchronous run deciding no earlier than
+// round t+2). It provides
+//
+//   - an exhaustive explorer over *serial runs* — synchronous runs with at
+//     most one crash per round, exactly the run family the proof
+//     quantifies over — reporting the worst-case global decision round of
+//     any algorithm, with the crash/receiver branching of the proof
+//     (missing-receiver sets as prefixes) or fully exhaustive subsets;
+//   - valency analysis of partial runs (the Lemma 2–5 apparatus); and
+//   - the executable Claim 5.1 constructions (runs s1, s0, a2, a1, a0 of
+//     Fig. 1) with their indistinguishability assertions (construction.go).
+package lowerbound
+
+import (
+	"errors"
+	"fmt"
+
+	"indulgence/internal/check"
+	"indulgence/internal/model"
+	"indulgence/internal/sched"
+	"indulgence/internal/sim"
+)
+
+// SubsetMode selects how the explorer enumerates the receivers that miss a
+// crashing process's last messages.
+type SubsetMode int
+
+const (
+	// PrefixSubsets enumerates missing-receiver sets that are prefixes of
+	// the identity order — the n cases the proofs of Lemma 4/5 use
+	// (including "nobody misses it" and "everybody misses it").
+	PrefixSubsets SubsetMode = iota + 1
+	// AllSubsets enumerates all 2^(n−1) receiver subsets. Exhaustive but
+	// exponential; use for small n.
+	AllSubsets
+)
+
+// Config parameterizes an exploration.
+type Config struct {
+	// N and T describe the system.
+	N, T int
+	// Synchrony is the model to validate the runs against (serial runs
+	// are legal in both SCS and ES).
+	Synchrony model.Synchrony
+	// Factory builds the algorithm under test.
+	Factory model.Factory
+	// Proposals is the initial configuration (Proposals[id-1]).
+	Proposals []model.Value
+	// Horizon caps each simulated run. A run not fully decided by the
+	// horizon is reported with decision round Horizon+1 and the Undecided
+	// flag. Default: 3t+8 rounds past the largest scheduled round.
+	Horizon model.Round
+	// FirstCrashRound is the first round in which the explorer may place
+	// a crash (default 1). Combined with Base it explores extensions of a
+	// fixed prefix, as in the "synchronous after round k" experiments.
+	FirstCrashRound model.Round
+	// MaxCrashRound is the last round in which a crash may be placed
+	// (default 2t+2, past the worst baseline's deciding rounds).
+	MaxCrashRound model.Round
+	// MaxCrashes caps the number of crashes: 0 selects the default T;
+	// a negative value explores the crash-free run only.
+	MaxCrashes int
+	// Mode selects the receiver-subset enumeration (default
+	// PrefixSubsets).
+	Mode SubsetMode
+	// Base, if non-nil, is a schedule prefix (an asynchronous prefix, or
+	// a serial partial run that may already contain crashes); the
+	// explorer superimposes further crashes on clones of it. Its N, T and
+	// GSR are adopted; processes already crashed in Base are excluded
+	// from the enumeration, and Base's crashes count against the budget.
+	// Set FirstCrashRound past the prefix so extensions leave it intact.
+	Base *sched.Schedule
+}
+
+func (c *Config) defaults() error {
+	if c.Base != nil {
+		c.N, c.T = c.Base.N(), c.Base.T()
+	}
+	if c.N < 2 || c.T < 0 {
+		return fmt.Errorf("lowerbound: invalid n=%d t=%d", c.N, c.T)
+	}
+	if len(c.Proposals) != c.N {
+		return fmt.Errorf("lowerbound: %d proposals for n=%d", len(c.Proposals), c.N)
+	}
+	if c.Factory == nil {
+		return errors.New("lowerbound: nil factory")
+	}
+	budget := c.T
+	if c.Base != nil {
+		budget -= c.Base.Crashes()
+		if budget < 0 {
+			return fmt.Errorf("lowerbound: base schedule already has %d > t crashes", c.Base.Crashes())
+		}
+	}
+	switch {
+	case c.MaxCrashes == 0 || c.MaxCrashes > budget:
+		c.MaxCrashes = budget
+	case c.MaxCrashes < 0:
+		c.MaxCrashes = 0
+	}
+	if c.FirstCrashRound == 0 {
+		c.FirstCrashRound = 1
+	}
+	if c.MaxCrashRound == 0 {
+		c.MaxCrashRound = c.FirstCrashRound + model.Round(2*c.T+1)
+	}
+	if c.Mode == 0 {
+		c.Mode = PrefixSubsets
+	}
+	if c.Horizon == 0 {
+		base := c.MaxCrashRound
+		if c.Base != nil && c.Base.MaxScheduledRound() > base {
+			base = c.Base.MaxScheduledRound()
+		}
+		c.Horizon = base + model.Round(3*c.T+8)
+	}
+	return nil
+}
+
+// Result reports an exploration's findings.
+type Result struct {
+	// WorstRound is the largest global decision round over all explored
+	// runs (Horizon+1 for a run that did not fully decide in time).
+	WorstRound model.Round
+	// Witness is a schedule attaining WorstRound.
+	Witness *sched.Schedule
+	// WitnessEarliest is, within the witness run, the earliest decision
+	// round of any process.
+	WitnessEarliest model.Round
+	// Runs is the number of runs explored.
+	Runs int
+	// Undecided reports that some run had not fully decided by the
+	// horizon.
+	Undecided bool
+	// PropertyViolation is the first consensus violation observed, if
+	// any (the explorer doubles as a model checker for validity and
+	// uniform agreement over the whole serial-run family).
+	PropertyViolation error
+	// ViolationWitness is the schedule of the violating run.
+	ViolationWitness *sched.Schedule
+}
+
+// Explore runs the algorithm on every serial run in the configured family
+// and reports the worst-case global decision round, a witness schedule and
+// any consensus violation.
+func Explore(cfg Config) (*Result, error) {
+	res := &Result{}
+	err := forEachSerialRun(cfg, func(s *sched.Schedule, r *sim.Result) {
+		res.Runs++
+		gdr, decided := r.GlobalDecisionRound()
+		if !r.AllAliveDecided || !decided {
+			gdr = cfg.Horizon + 1
+			res.Undecided = true
+		}
+		if gdr > res.WorstRound {
+			res.WorstRound = gdr
+			res.Witness = s.Clone()
+			if e, ok := check.EarliestDecisionRound(r); ok {
+				res.WitnessEarliest = e
+			} else {
+				res.WitnessEarliest = 0
+			}
+		}
+		if res.PropertyViolation == nil {
+			rep := check.Consensus(r, cfg.Proposals)
+			if !rep.Validity || !rep.Agreement {
+				res.PropertyViolation = rep.Err()
+				res.ViolationWitness = s.Clone()
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// DecisionValues returns the set of values decided across all serial runs
+// in the configured family — the valency of the (possibly empty) prefix.
+func DecisionValues(cfg Config) (map[model.Value]struct{}, error) {
+	vals := make(map[model.Value]struct{})
+	err := forEachSerialRun(cfg, func(_ *sched.Schedule, r *sim.Result) {
+		for _, d := range r.Decisions {
+			if d.Decided() {
+				vals[d.Value] = struct{}{}
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return vals, nil
+}
+
+// forEachSerialRun enumerates every serial run of the family and invokes
+// fn with its schedule and simulation result.
+func forEachSerialRun(cfg Config, fn func(*sched.Schedule, *sim.Result)) error {
+	if err := cfg.defaults(); err != nil {
+		return err
+	}
+	var newSched func() *sched.Schedule
+	if cfg.Base != nil {
+		newSched = cfg.Base.Clone
+	} else {
+		newSched = func() *sched.Schedule { return sched.New(cfg.N, cfg.T) }
+	}
+
+	type crash struct {
+		round   model.Round
+		proc    model.ProcessID
+		missing model.PIDSet
+	}
+	var (
+		chosen  []crash
+		runSim  func() error
+		descend func(r model.Round) error
+	)
+
+	runSim = func() error {
+		s := newSched()
+		for _, c := range chosen {
+			receivers := model.FullPIDSet(cfg.N).Diff(c.missing)
+			receivers.Remove(c.proc)
+			s.CrashWithReceivers(c.proc, c.round, receivers)
+		}
+		r, err := sim.Run(sim.Config{
+			Synchrony:      cfg.Synchrony,
+			Schedule:       s,
+			Proposals:      cfg.Proposals,
+			Factory:        cfg.Factory,
+			MaxRounds:      cfg.Horizon,
+			SkipTrace:      true,
+			SkipValidation: true,
+		})
+		if err != nil {
+			return fmt.Errorf("lowerbound: simulate %v: %w", s, err)
+		}
+		fn(s, r)
+		return nil
+	}
+
+	// missingSets enumerates the candidate sets of receivers that miss a
+	// crashing process p's last messages.
+	missingSets := func(p model.ProcessID) []model.PIDSet {
+		others := make([]model.ProcessID, 0, cfg.N-1)
+		for q := model.ProcessID(1); int(q) <= cfg.N; q++ {
+			if q != p {
+				others = append(others, q)
+			}
+		}
+		if cfg.Mode == PrefixSubsets {
+			sets := make([]model.PIDSet, 0, cfg.N)
+			var cur model.PIDSet
+			sets = append(sets, cur)
+			for _, q := range others {
+				cur.Add(q)
+				sets = append(sets, cur)
+			}
+			return sets
+		}
+		total := 1 << len(others)
+		sets := make([]model.PIDSet, 0, total)
+		for mask := 0; mask < total; mask++ {
+			var set model.PIDSet
+			for i, q := range others {
+				if mask&(1<<i) != 0 {
+					set.Add(q)
+				}
+			}
+			sets = append(sets, set)
+		}
+		return sets
+	}
+
+	descend = func(r model.Round) error {
+		if len(chosen) == cfg.MaxCrashes || r > cfg.MaxCrashRound {
+			return runSim()
+		}
+		// No crash in round r.
+		if err := descend(r + 1); err != nil {
+			return err
+		}
+		// One crash in round r: any process not yet crashed (in the base
+		// prefix or in this branch).
+		for p := model.ProcessID(1); int(p) <= cfg.N; p++ {
+			if cfg.Base != nil && !cfg.Base.Correct(p) {
+				continue
+			}
+			already := false
+			for _, c := range chosen {
+				if c.proc == p {
+					already = true
+					break
+				}
+			}
+			if already {
+				continue
+			}
+			for _, miss := range missingSets(p) {
+				chosen = append(chosen, crash{round: r, proc: p, missing: miss})
+				if err := descend(r + 1); err != nil {
+					return err
+				}
+				chosen = chosen[:len(chosen)-1]
+			}
+		}
+		return nil
+	}
+
+	return descend(cfg.FirstCrashRound)
+}
+
+// Distribution returns the histogram of global decision rounds over every
+// serial run in the configured family (key Horizon+1 counts runs that did
+// not fully decide in time). Where Explore reports the worst case, the
+// distribution exposes the whole profile — the average-case face of the
+// price of indulgence.
+func Distribution(cfg Config) (map[model.Round]int, error) {
+	hist := make(map[model.Round]int)
+	err := forEachSerialRun(cfg, func(_ *sched.Schedule, r *sim.Result) {
+		gdr, decided := r.GlobalDecisionRound()
+		if !decided || !r.AllAliveDecided {
+			gdr = cfg.Horizon + 1
+		}
+		hist[gdr]++
+	})
+	if err != nil {
+		return nil, err
+	}
+	return hist, nil
+}

@@ -1,0 +1,269 @@
+package lowerbound_test
+
+import (
+	"testing"
+
+	"indulgence/internal/core"
+	"indulgence/internal/lowerbound"
+	"indulgence/internal/model"
+	"indulgence/internal/sched"
+)
+
+func props(n int) []model.Value {
+	out := make([]model.Value, n)
+	for i := range out {
+		out[i] = model.Value(i + 1)
+	}
+	return out
+}
+
+func TestExploreRunCount(t *testing.T) {
+	// n=3, t=1, one crash round, prefix mode: 1 crash-free run plus
+	// 3 crashers × 3 prefix subsets = 10 runs.
+	res, err := lowerbound.Explore(lowerbound.Config{
+		N: 3, T: 1,
+		Synchrony:     model.ES,
+		Factory:       core.New(core.Options{}),
+		Proposals:     props(3),
+		MaxCrashRound: 1,
+		Mode:          lowerbound.PrefixSubsets,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 10 {
+		t.Fatalf("runs = %d, want 10", res.Runs)
+	}
+	// All-subsets mode: 1 + 3 crashers × 2^2 subsets = 13.
+	res, err = lowerbound.Explore(lowerbound.Config{
+		N: 3, T: 1,
+		Synchrony:     model.ES,
+		Factory:       core.New(core.Options{}),
+		Proposals:     props(3),
+		MaxCrashRound: 1,
+		Mode:          lowerbound.AllSubsets,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 13 {
+		t.Fatalf("all-subsets runs = %d, want 13", res.Runs)
+	}
+}
+
+func TestExploreNoCrashes(t *testing.T) {
+	res, err := lowerbound.Explore(lowerbound.Config{
+		N: 3, T: 1,
+		Synchrony:  model.ES,
+		Factory:    core.New(core.Options{}),
+		Proposals:  props(3),
+		MaxCrashes: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 1 {
+		t.Fatalf("runs = %d, want 1 (crash-free only)", res.Runs)
+	}
+	if res.WorstRound != 3 {
+		t.Fatalf("worst = %d, want t+2 = 3", res.WorstRound)
+	}
+}
+
+func TestExploreConfigErrors(t *testing.T) {
+	overBudget := sched.New(3, 1)
+	overBudget.Crash(1, 1)
+	overBudget.Crash(2, 2)
+	_, err := lowerbound.Explore(lowerbound.Config{
+		Synchrony: model.ES,
+		Factory:   core.New(core.Options{}),
+		Proposals: props(3),
+		Base:      overBudget,
+	})
+	if err == nil {
+		t.Fatal("base schedule with more than t crashes must be rejected")
+	}
+	if _, err := lowerbound.Explore(lowerbound.Config{N: 3, T: 1, Synchrony: model.ES, Proposals: props(3)}); err == nil {
+		t.Fatal("nil factory must be rejected")
+	}
+	if _, err := lowerbound.Explore(lowerbound.Config{
+		N: 3, T: 1, Synchrony: model.ES,
+		Factory: core.New(core.Options{}), Proposals: props(2),
+	}); err == nil {
+		t.Fatal("proposal count mismatch must be rejected")
+	}
+}
+
+// TestValencyLemma3 mechanizes Lemma 3 for A_{t+2} binary consensus: the
+// all-0 configuration is 0-valent, the all-1 configuration is 1-valent,
+// and the C_0..C_n chain contains a bivalent configuration.
+func TestValencyLemma3(t *testing.T) {
+	base := lowerbound.Config{
+		N: 3, T: 1,
+		Synchrony:     model.ES,
+		Factory:       core.New(core.Options{}),
+		MaxCrashRound: 3,
+		Mode:          lowerbound.AllSubsets,
+	}
+
+	cfg := base
+	cfg.Proposals = []model.Value{0, 0, 0}
+	v, err := lowerbound.ClassifyInitial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != lowerbound.ZeroValent {
+		t.Fatalf("all-0 config: %v", v)
+	}
+
+	cfg = base
+	cfg.Proposals = []model.Value{1, 1, 1}
+	if v, err = lowerbound.ClassifyInitial(cfg); err != nil || v != lowerbound.OneValent {
+		t.Fatalf("all-1 config: %v, %v", v, err)
+	}
+
+	proposals, ok, err := lowerbound.FindBivalentInitial(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("no bivalent initial configuration found (Lemma 3 violated?)")
+	}
+	t.Logf("bivalent initial configuration: %v", proposals)
+}
+
+func TestClassifyInitialRejectsNonBinary(t *testing.T) {
+	cfg := lowerbound.Config{
+		N: 3, T: 1,
+		Synchrony: model.ES,
+		Factory:   core.New(core.Options{}),
+		Proposals: []model.Value{0, 1, 7},
+	}
+	if _, err := lowerbound.ClassifyInitial(cfg); err == nil {
+		t.Fatal("non-binary proposals must be rejected")
+	}
+}
+
+func TestValencyString(t *testing.T) {
+	for _, v := range []lowerbound.Valency{
+		lowerbound.ZeroValent, lowerbound.OneValent, lowerbound.Bivalent, lowerbound.Undecided,
+	} {
+		if v.String() == "" {
+			t.Fatalf("empty string for %d", v)
+		}
+	}
+}
+
+func TestClaim51(t *testing.T) {
+	for _, tc := range []struct{ n, t int }{{3, 1}, {5, 2}} {
+		p := props(tc.n)
+		p[0] = 0
+		factory := core.New(core.Options{})
+		c51, err := lowerbound.BuildClaim51(factory, tc.n, tc.t, p)
+		if err != nil {
+			t.Fatalf("build n=%d t=%d: %v", tc.n, tc.t, err)
+		}
+		if c51.KPrime < model.Round(tc.t+2) {
+			t.Fatalf("k' = %d below t+2", c51.KPrime)
+		}
+		rep, err := c51.Verify(factory)
+		if err != nil {
+			t.Fatalf("verify n=%d t=%d: %v", tc.n, tc.t, err)
+		}
+		if !rep.OK() {
+			t.Fatalf("n=%d t=%d: %v", tc.n, tc.t, rep.Details)
+		}
+	}
+}
+
+func TestClaim51ParamErrors(t *testing.T) {
+	factory := core.New(core.Options{})
+	if _, err := lowerbound.BuildClaim51(factory, 2, 1, props(2)); err == nil {
+		t.Fatal("n=2 must be rejected")
+	}
+	if _, err := lowerbound.BuildClaim51(factory, 4, 2, props(4)); err == nil {
+		t.Fatal("t >= n/2 must be rejected")
+	}
+	if _, err := lowerbound.BuildClaim51(factory, 3, 1, props(2)); err == nil {
+		t.Fatal("proposal count mismatch must be rejected")
+	}
+}
+
+// TestClassifyPartial checks the partial-run valency: after p1 (the only
+// 0-proposer) crashes silently in round 1, the partial run is 1-valent;
+// after a crash that delivers to everyone, it stays bivalent for A_{t+2}.
+func TestClassifyPartial(t *testing.T) {
+	cfg := lowerbound.Config{
+		N: 3, T: 1,
+		Synchrony:     model.ES,
+		Factory:       core.New(core.Options{}),
+		Proposals:     []model.Value{0, 1, 1},
+		MaxCrashRound: 3,
+		Mode:          lowerbound.AllSubsets,
+	}
+	silent := sched.New(3, 1)
+	silent.CrashSilent(1, 1)
+	v, err := lowerbound.ClassifyPartial(cfg, silent, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != lowerbound.OneValent {
+		t.Fatalf("silent crash of the 0-proposer: %v, want 1-valent", v)
+	}
+	// Prefix crashes beyond the prefix length are rejected.
+	late := sched.New(3, 1)
+	late.Crash(1, 5)
+	if _, err := lowerbound.ClassifyPartial(cfg, late, 1); err == nil {
+		t.Fatal("crash beyond prefix length accepted")
+	}
+}
+
+// TestFindBivalentPartial is the Lemma 4 machinery measured on A_{t+2}:
+// bivalency persists through round t−1 (Lemma 4's guaranteed depth) and
+// no further — t-round serial partial runs are univalent, which is why
+// the paper's proof must bridge to non-synchronous runs (Claim 5.1) to
+// force the t+2 bound.
+func TestFindBivalentPartial(t *testing.T) {
+	for _, tc := range []struct{ n, t int }{{3, 1}, {5, 2}} {
+		props := make([]model.Value, tc.n)
+		for i := 1; i < tc.n; i++ {
+			props[i] = 1
+		}
+		cfg := lowerbound.Config{
+			N: tc.n, T: tc.t,
+			Synchrony:     model.ES,
+			Factory:       core.New(core.Options{}),
+			Proposals:     props,
+			MaxCrashRound: model.Round(tc.t + 2),
+			Mode:          lowerbound.AllSubsets,
+		}
+		res, ok, err := lowerbound.FindBivalentPartial(cfg, model.Round(tc.t-1), 16)
+		if err != nil {
+			t.Fatalf("n=%d t=%d: %v", tc.n, tc.t, err)
+		}
+		if !ok {
+			t.Fatalf("n=%d t=%d: no bivalent %d-round serial partial run found (%d classified)",
+				tc.n, tc.t, tc.t-1, res.Explored)
+		}
+		t.Logf("n=%d t=%d: bivalent depth-%d witness after %d classifications: %v",
+			tc.n, tc.t, tc.t-1, res.Explored, res.Witness)
+	}
+
+	// Exhaustively at n=3, t=1: every 1-round serial partial run is
+	// univalent (the Lemma 2 landscape for a t+2-decider).
+	cfg := lowerbound.Config{
+		N: 3, T: 1,
+		Synchrony:     model.ES,
+		Factory:       core.New(core.Options{}),
+		Proposals:     []model.Value{0, 1, 1},
+		MaxCrashRound: 3,
+		Mode:          lowerbound.AllSubsets,
+	}
+	res, ok, err := lowerbound.FindBivalentPartial(cfg, 1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("found a bivalent 1-round partial run: %v", res.Witness)
+	}
+}

@@ -1,0 +1,55 @@
+package model
+
+import "encoding/binary"
+
+// The digest helpers below define the deterministic byte encoding used for
+// run digests, indistinguishability checks, and configuration memoization.
+// Each helper is length- or tag-prefixed so that concatenations are
+// unambiguous (no two distinct structured values share an encoding).
+
+// AppendDigestInt appends a fixed-width encoding of v to dst.
+func AppendDigestInt(dst []byte, v int64) []byte {
+	var buf [9]byte
+	buf[0] = 'i'
+	binary.BigEndian.PutUint64(buf[1:], uint64(v))
+	return append(dst, buf[:]...)
+}
+
+// AppendDigestBool appends a 1-byte encoding of v to dst.
+func AppendDigestBool(dst []byte, v bool) []byte {
+	if v {
+		return append(dst, 'T')
+	}
+	return append(dst, 'F')
+}
+
+// AppendDigestString appends a length-prefixed encoding of s to dst.
+func AppendDigestString(dst []byte, s string) []byte {
+	dst = AppendDigestInt(dst, int64(len(s)))
+	return append(dst, s...)
+}
+
+// AppendDigestValues appends a length-prefixed encoding of vs to dst.
+func AppendDigestValues(dst []byte, vs []Value) []byte {
+	dst = AppendDigestInt(dst, int64(len(vs)))
+	for _, v := range vs {
+		dst = AppendDigestInt(dst, int64(v))
+	}
+	return dst
+}
+
+// AppendDigestOptValue appends an encoding of o (distinguishing ⊥ from any
+// concrete value) to dst.
+func AppendDigestOptValue(dst []byte, o OptValue) []byte {
+	v, ok := o.Get()
+	dst = AppendDigestBool(dst, ok)
+	if ok {
+		dst = AppendDigestInt(dst, int64(v))
+	}
+	return dst
+}
+
+// AppendDigestPIDSet appends an encoding of s to dst.
+func AppendDigestPIDSet(dst []byte, s PIDSet) []byte {
+	return AppendDigestInt(dst, int64(uint64(s)))
+}

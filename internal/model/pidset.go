@@ -1,0 +1,98 @@
+package model
+
+import (
+	"math/bits"
+	"strconv"
+	"strings"
+)
+
+// PIDSet is a set of process identities backed by a bitmask, supporting
+// systems of up to MaxProcesses processes. The zero value is the empty set.
+// It is the representation of the paper's Halt sets and of receiver sets in
+// adversary schedules. PIDSet is a value type: methods that grow the set
+// take a pointer receiver, everything else is pure.
+type PIDSet uint64
+
+// NewPIDSet returns the set containing the given processes.
+func NewPIDSet(ps ...ProcessID) PIDSet {
+	var s PIDSet
+	for _, p := range ps {
+		s.Add(p)
+	}
+	return s
+}
+
+// FullPIDSet returns the set {1..n}.
+func FullPIDSet(n int) PIDSet {
+	if n <= 0 {
+		return 0
+	}
+	if n >= MaxProcesses {
+		return PIDSet(^uint64(0))
+	}
+	return PIDSet((uint64(1) << uint(n)) - 1)
+}
+
+// Has reports whether p is in the set.
+func (s PIDSet) Has(p ProcessID) bool {
+	if p < 1 || p > MaxProcesses {
+		return false
+	}
+	return s&(1<<uint(p-1)) != 0
+}
+
+// Add inserts p into the set. Out-of-range IDs are ignored.
+func (s *PIDSet) Add(p ProcessID) {
+	if p < 1 || p > MaxProcesses {
+		return
+	}
+	*s |= 1 << uint(p-1)
+}
+
+// Remove deletes p from the set.
+func (s *PIDSet) Remove(p ProcessID) {
+	if p < 1 || p > MaxProcesses {
+		return
+	}
+	*s &^= 1 << uint(p-1)
+}
+
+// Union returns s ∪ o.
+func (s PIDSet) Union(o PIDSet) PIDSet { return s | o }
+
+// Intersect returns s ∩ o.
+func (s PIDSet) Intersect(o PIDSet) PIDSet { return s & o }
+
+// Diff returns s \ o.
+func (s PIDSet) Diff(o PIDSet) PIDSet { return s &^ o }
+
+// Len returns the cardinality of the set.
+func (s PIDSet) Len() int { return bits.OnesCount64(uint64(s)) }
+
+// IsEmpty reports whether the set is empty.
+func (s PIDSet) IsEmpty() bool { return s == 0 }
+
+// Members returns the elements in ascending order.
+func (s PIDSet) Members() []ProcessID {
+	out := make([]ProcessID, 0, s.Len())
+	for v := uint64(s); v != 0; {
+		i := bits.TrailingZeros64(v)
+		out = append(out, ProcessID(i+1))
+		v &^= 1 << uint(i)
+	}
+	return out
+}
+
+// String implements fmt.Stringer, rendering like {1,3,4}.
+func (s PIDSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range s.Members() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(p)))
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,156 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPIDSetBasics(t *testing.T) {
+	var s PIDSet
+	if !s.IsEmpty() || s.Len() != 0 {
+		t.Fatalf("zero set not empty: %v", s)
+	}
+	s.Add(3)
+	s.Add(1)
+	s.Add(3) // duplicate
+	if s.Len() != 2 || !s.Has(1) || !s.Has(3) || s.Has(2) {
+		t.Fatalf("unexpected set %v", s)
+	}
+	s.Remove(1)
+	if s.Has(1) || s.Len() != 1 {
+		t.Fatalf("remove failed: %v", s)
+	}
+	if got := s.String(); got != "{3}" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestPIDSetOutOfRange(t *testing.T) {
+	var s PIDSet
+	s.Add(0)
+	s.Add(-4)
+	s.Add(MaxProcesses + 1)
+	if !s.IsEmpty() {
+		t.Fatalf("out-of-range adds must be ignored, got %v", s)
+	}
+	if s.Has(0) || s.Has(MaxProcesses+1) {
+		t.Fatal("out-of-range Has must be false")
+	}
+	s.Remove(0) // must not panic
+}
+
+func TestPIDSetBoundary(t *testing.T) {
+	var s PIDSet
+	s.Add(MaxProcesses)
+	if !s.Has(MaxProcesses) || s.Len() != 1 {
+		t.Fatalf("boundary id %d not handled: %v", MaxProcesses, s)
+	}
+	full := FullPIDSet(MaxProcesses)
+	if full.Len() != MaxProcesses {
+		t.Fatalf("FullPIDSet(%d).Len() = %d", MaxProcesses, full.Len())
+	}
+}
+
+func TestFullPIDSet(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		want int
+	}{{-1, 0}, {0, 0}, {1, 1}, {5, 5}, {63, 63}, {64, 64}} {
+		got := FullPIDSet(tc.n)
+		if got.Len() != tc.want {
+			t.Errorf("FullPIDSet(%d).Len() = %d, want %d", tc.n, got.Len(), tc.want)
+		}
+		for p := ProcessID(1); int(p) <= tc.want; p++ {
+			if !got.Has(p) {
+				t.Errorf("FullPIDSet(%d) missing %d", tc.n, p)
+			}
+		}
+	}
+}
+
+func TestPIDSetAlgebra(t *testing.T) {
+	a := NewPIDSet(1, 2, 3)
+	b := NewPIDSet(3, 4)
+	if got := a.Union(b); got.Len() != 4 {
+		t.Errorf("union: %v", got)
+	}
+	if got := a.Intersect(b); got.Len() != 1 || !got.Has(3) {
+		t.Errorf("intersect: %v", got)
+	}
+	if got := a.Diff(b); got.Len() != 2 || got.Has(3) {
+		t.Errorf("diff: %v", got)
+	}
+}
+
+func TestPIDSetMembers(t *testing.T) {
+	s := NewPIDSet(5, 2, 9)
+	got := s.Members()
+	want := []ProcessID{2, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("members %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("members %v, want %v (ascending)", got, want)
+		}
+	}
+}
+
+// TestPIDSetQuick checks, with random membership vectors, that the bitmask
+// set agrees with a reference map-based set on every operation.
+func TestPIDSetQuick(t *testing.T) {
+	f := func(adds, removes []uint8) bool {
+		var s PIDSet
+		ref := make(map[ProcessID]bool)
+		for _, a := range adds {
+			p := ProcessID(int(a)%MaxProcesses + 1)
+			s.Add(p)
+			ref[p] = true
+		}
+		for _, r := range removes {
+			p := ProcessID(int(r)%MaxProcesses + 1)
+			s.Remove(p)
+			delete(ref, p)
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		for p := ProcessID(1); p <= MaxProcesses; p++ {
+			if s.Has(p) != ref[p] {
+				return false
+			}
+		}
+		members := s.Members()
+		for i := 1; i < len(members); i++ {
+			if members[i-1] >= members[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPIDSetUnionLaws checks basic set algebra laws with random sets.
+func TestPIDSetUnionLaws(t *testing.T) {
+	f := func(x, y uint64) bool {
+		a, b := PIDSet(x), PIDSet(y)
+		if a.Union(b) != b.Union(a) {
+			return false
+		}
+		if a.Intersect(b) != b.Intersect(a) {
+			return false
+		}
+		if a.Diff(b).Intersect(b) != 0 {
+			return false
+		}
+		return a.Union(b).Len() == a.Len()+b.Len()-a.Intersect(b).Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package payload
+
+import "indulgence/internal/model"
+
+// OfRound returns the messages among delivered that were sent in round k
+// (in ES, delivered may also contain older, delayed messages).
+func OfRound(k model.Round, delivered []model.Message) []model.Message {
+	out := make([]model.Message, 0, len(delivered))
+	for _, m := range delivered {
+		if m.Round == k {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// FindDecide scans delivered (any send round) for a Decide payload and
+// returns the smallest decided value found. Every algorithm in this
+// repository floods DECIDE after deciding and adopts any DECIDE it
+// receives; by uniform agreement all flooded values are equal, so the
+// minimum is just a deterministic choice.
+func FindDecide(delivered []model.Message) (model.Value, bool) {
+	var (
+		best  model.Value
+		found bool
+	)
+	for _, m := range delivered {
+		d, ok := m.Payload.(Decide)
+		if !ok {
+			continue
+		}
+		if !found || d.V < best {
+			best, found = d.V, true
+		}
+	}
+	return best, found
+}
+
+// BestEstimate returns the estimate with the highest timestamp (ties broken
+// towards the smallest value) among the Estimate and AckEst payloads in
+// msgs. It is the coordinator selection rule of the rotating-coordinator
+// algorithms. ok is false if msgs contains no estimates.
+func BestEstimate(msgs []model.Message) (est model.Value, ts int, ok bool) {
+	for _, m := range msgs {
+		var (
+			e model.Value
+			t int
+		)
+		switch p := m.Payload.(type) {
+		case Estimate:
+			e, t = p.Est, p.TS
+		case AckEst:
+			e, t = p.Est, p.TS
+		default:
+			continue
+		}
+		if !ok || t > ts || (t == ts && e < est) {
+			est, ts, ok = e, t, true
+		}
+	}
+	return est, ts, ok
+}

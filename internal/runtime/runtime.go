@@ -1,0 +1,373 @@
+// Package runtime executes the round-based algorithms as live goroutine
+// processes over an asynchronous transport — the engineering counterpart
+// of the lockstep simulator. Each process runs its own round loop: it
+// broadcasts its round message, collects inbound messages until its wait
+// policy is satisfied (at least n−t round messages, plus — under the
+// A_{t+2}/◇P discipline — every process its timeout detector does not
+// suspect), and hands the receive set to the algorithm. Timeouts adapt
+// (doubling on every false suspicion), so an eventually synchronous
+// network yields exactly the ES behaviour the paper assumes: finitely many
+// false suspicions, then synchrony.
+//
+// The runtime is where indulgence becomes visible as an engineering
+// property: injected delays cause false suspicions and slow decisions but
+// never endanger agreement.
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"indulgence/internal/core"
+	"indulgence/internal/fd"
+	"indulgence/internal/model"
+	"indulgence/internal/transport"
+	"indulgence/internal/wire"
+)
+
+// Config describes a live cluster.
+type Config struct {
+	// N and T describe the system; T bounds the crashes the run must
+	// tolerate.
+	N, T int
+	// Factory builds each process's algorithm.
+	Factory model.Factory
+	// Proposals holds one proposal per process.
+	Proposals []model.Value
+	// Endpoints holds one transport endpoint per process (Endpoints[id-1]
+	// must answer Self() == id).
+	Endpoints []transport.Transport
+	// WaitPolicy selects the receive discipline (default WaitUnsuspected,
+	// the A_{t+2} discipline; WaitQuorum is the ◇S discipline of Fig. 3).
+	WaitPolicy core.WaitPolicy
+	// BaseTimeout is the initial per-process suspicion timeout (default
+	// 25ms). It doubles on every false suspicion.
+	BaseTimeout time.Duration
+	// MaxRounds aborts a node after this many rounds (default 256).
+	MaxRounds model.Round
+}
+
+// NodeResult is one process's outcome.
+type NodeResult struct {
+	// ID identifies the process.
+	ID model.ProcessID
+	// Decision is the decided value (⊥ if none).
+	Decision model.OptValue
+	// Round is the round at the end of which the process decided.
+	Round model.Round
+	// Elapsed is the wall-clock time from start to decision.
+	Elapsed time.Duration
+	// Crashed reports whether the process was crash-injected.
+	Crashed bool
+}
+
+// Cluster is a set of live processes executing one consensus instance.
+type Cluster struct {
+	cfg       Config
+	nodes     []*node
+	decisions chan NodeResult
+
+	mu      sync.Mutex
+	started bool
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+}
+
+// New validates the configuration and assembles a cluster (no goroutines
+// start until Run).
+func New(cfg Config) (*Cluster, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("runtime: need at least 2 processes, got %d", cfg.N)
+	}
+	if len(cfg.Proposals) != cfg.N || len(cfg.Endpoints) != cfg.N {
+		return nil, fmt.Errorf("runtime: need %d proposals and endpoints, got %d and %d",
+			cfg.N, len(cfg.Proposals), len(cfg.Endpoints))
+	}
+	if cfg.Factory == nil {
+		return nil, errors.New("runtime: nil factory")
+	}
+	if cfg.WaitPolicy == 0 {
+		cfg.WaitPolicy = core.WaitUnsuspected
+	}
+	if cfg.BaseTimeout == 0 {
+		cfg.BaseTimeout = 25 * time.Millisecond
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 256
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		nodes:     make([]*node, cfg.N),
+		decisions: make(chan NodeResult, cfg.N),
+	}
+	for i := 0; i < cfg.N; i++ {
+		id := model.ProcessID(i + 1)
+		if cfg.Endpoints[i].Self() != id {
+			return nil, fmt.Errorf("runtime: endpoint %d answers Self()=%d", id, cfg.Endpoints[i].Self())
+		}
+		alg, err := cfg.Factory(model.ProcessContext{Self: id, N: cfg.N, T: cfg.T}, cfg.Proposals[i])
+		if err != nil {
+			return nil, fmt.Errorf("runtime: build algorithm for p%d: %w", id, err)
+		}
+		c.nodes[i] = &node{
+			id:        id,
+			cfg:       &c.cfg,
+			alg:       alg,
+			ep:        cfg.Endpoints[i],
+			detector:  fd.NewTimeoutDetector(cfg.BaseTimeout),
+			buffered:  make(map[model.Round][]model.Message),
+			decisions: c.decisions,
+		}
+	}
+	return c, nil
+}
+
+// Crash kills process p: its goroutine stops sending and receiving, like a
+// crash-stop failure. Safe to call at any time after Run has started.
+func (c *Cluster) Crash(p model.ProcessID) error {
+	if p < 1 || int(p) > c.cfg.N {
+		return fmt.Errorf("runtime: no process %d", p)
+	}
+	c.nodes[p-1].crash()
+	return nil
+}
+
+// Run starts every process and blocks until all non-crashed processes have
+// decided, the context is done, or every node has stopped. It returns one
+// result per process.
+func (c *Cluster) Run(ctx context.Context) ([]NodeResult, error) {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return nil, errors.New("runtime: cluster already ran")
+	}
+	c.started = true
+	runCtx, cancel := context.WithCancel(ctx)
+	c.cancel = cancel
+	for _, n := range c.nodes {
+		n.start(runCtx, &c.wg)
+	}
+	c.mu.Unlock()
+	defer func() {
+		cancel()
+		c.wg.Wait()
+	}()
+
+	results := make([]NodeResult, c.cfg.N)
+	for i := range results {
+		results[i] = NodeResult{ID: model.ProcessID(i + 1)}
+	}
+	pending := c.cfg.N
+	for pending > 0 {
+		select {
+		case res := <-c.decisions:
+			results[res.ID-1] = res
+			pending--
+		case <-ctx.Done():
+			// Collect whatever is already queued, then report.
+			for {
+				select {
+				case res := <-c.decisions:
+					results[res.ID-1] = res
+					pending--
+				default:
+					return results, ctx.Err()
+				}
+			}
+		}
+	}
+	return results, nil
+}
+
+// node is one live process.
+type node struct {
+	id        model.ProcessID
+	cfg       *Config
+	alg       model.Algorithm
+	ep        transport.Transport
+	detector  *fd.TimeoutDetector
+	buffered  map[model.Round][]model.Message
+	late      []model.Message // older-round messages awaiting delivery
+	decisions chan<- NodeResult
+
+	crashMu  sync.Mutex
+	crashFn  context.CancelFunc
+	crashed  bool
+	preCrash bool // crash requested before start
+}
+
+// start launches the node's round loop.
+func (n *node) start(ctx context.Context, wg *sync.WaitGroup) {
+	nodeCtx, cancel := context.WithCancel(ctx)
+	n.crashMu.Lock()
+	n.crashFn = cancel
+	pre := n.preCrash
+	n.crashMu.Unlock()
+	if pre {
+		cancel()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n.loop(nodeCtx)
+	}()
+}
+
+// crash cancels the node's context.
+func (n *node) crash() {
+	n.crashMu.Lock()
+	defer n.crashMu.Unlock()
+	n.crashed = true
+	if n.crashFn != nil {
+		n.crashFn()
+	} else {
+		n.preCrash = true
+	}
+}
+
+// report emits the node's terminal result exactly once.
+func (n *node) report(decided model.OptValue, round model.Round, start time.Time) {
+	n.crashMu.Lock()
+	crashed := n.crashed
+	n.crashMu.Unlock()
+	n.decisions <- NodeResult{
+		ID:       n.id,
+		Decision: decided,
+		Round:    round,
+		Elapsed:  time.Since(start),
+		Crashed:  crashed,
+	}
+}
+
+// loop is the node's round engine.
+func (n *node) loop(ctx context.Context) {
+	start := time.Now()
+	var (
+		decided      model.OptValue
+		decidedRound model.Round
+		reported     bool
+	)
+	for k := model.Round(1); k <= n.cfg.MaxRounds; k++ {
+		if ctx.Err() != nil {
+			break
+		}
+		if err := n.broadcast(k); err != nil {
+			break
+		}
+		msgs, ok := n.collect(ctx, k)
+		if !ok {
+			break
+		}
+		n.alg.EndRound(k, msgs)
+		if v, has := n.alg.Decision(); has && decided.IsBottom() {
+			decided = model.Some(v)
+			decidedRound = k
+			n.report(decided, decidedRound, start)
+			reported = true
+			// Keep participating (flooding DECIDE) until the cluster
+			// stops us, so slower processes can still decide.
+		}
+	}
+	if !reported {
+		n.report(decided, decidedRound, start)
+	}
+}
+
+// broadcast encodes and sends the round-k message to every process,
+// including this one.
+func (n *node) broadcast(k model.Round) error {
+	payloadMsg := model.Message{From: n.id, Round: k, Payload: n.alg.StartRound(k)}
+	frame, err := wire.EncodeMessage(nil, payloadMsg)
+	if err != nil {
+		return err
+	}
+	for q := model.ProcessID(1); int(q) <= n.cfg.N; q++ {
+		if err := n.ep.Send(q, frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collect gathers the round-k receive set according to the wait policy:
+// at least n−t round-k messages and — under WaitUnsuspected — a message
+// from every process the timeout detector does not suspect. Messages from
+// earlier rounds buffered since the last receive phase are delivered
+// alongside (the ES delayed-message semantics); future-round messages stay
+// buffered.
+func (n *node) collect(ctx context.Context, k model.Round) ([]model.Message, bool) {
+	quorum := n.cfg.N - n.cfg.T
+	roundMsgs := n.buffered[k]
+	delete(n.buffered, k)
+	var heard model.PIDSet
+	for _, m := range roundMsgs {
+		heard.Add(m.From)
+	}
+
+	satisfied := func() bool {
+		if len(roundMsgs) < quorum {
+			return false
+		}
+		if n.cfg.WaitPolicy == core.WaitQuorum {
+			return true
+		}
+		unsuspected := model.FullPIDSet(n.cfg.N).Diff(n.detector.Suspected())
+		return unsuspected.Diff(heard).IsEmpty()
+	}
+
+	roundStart := time.Now()
+	ticker := time.NewTicker(n.cfg.BaseTimeout / 4)
+	defer ticker.Stop()
+	for !satisfied() {
+		select {
+		case <-ctx.Done():
+			return nil, false
+		case frame, ok := <-n.ep.Recv():
+			if !ok {
+				return nil, false
+			}
+			m, _, err := wire.DecodeMessage(frame)
+			if err != nil {
+				continue // a malformed frame is dropped, not fatal
+			}
+			n.detector.Heard(m.From)
+			switch {
+			case m.Round == k:
+				if !heard.Has(m.From) {
+					heard.Add(m.From)
+					roundMsgs = append(roundMsgs, m)
+				}
+			case m.Round < k:
+				n.late = append(n.late, m)
+			default:
+				n.buffered[m.Round] = append(n.buffered[m.Round], m)
+			}
+		case <-ticker.C:
+			// Suspect every unheard process whose timeout has expired
+			// this round.
+			elapsed := time.Since(roundStart)
+			for q := model.ProcessID(1); int(q) <= n.cfg.N; q++ {
+				if q == n.id || heard.Has(q) {
+					continue
+				}
+				if elapsed >= n.detector.TimeoutFor(q) {
+					n.detector.Suspect(q)
+				}
+			}
+		}
+	}
+
+	delivered := append(roundMsgs, n.late...)
+	n.late = nil
+	sort.Slice(delivered, func(a, b int) bool {
+		if delivered[a].Round != delivered[b].Round {
+			return delivered[a].Round < delivered[b].Round
+		}
+		return delivered[a].From < delivered[b].From
+	})
+	return delivered, true
+}

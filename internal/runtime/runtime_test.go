@@ -1,0 +1,231 @@
+package runtime_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"indulgence/internal/core"
+	"indulgence/internal/model"
+	"indulgence/internal/runtime"
+	"indulgence/internal/transport"
+)
+
+func props(n int) []model.Value {
+	out := make([]model.Value, n)
+	for i := range out {
+		out[i] = model.Value(i + 1)
+	}
+	return out
+}
+
+// newMemoryCluster assembles a cluster over a fresh hub.
+func newMemoryCluster(t *testing.T, n, tt int, factory model.Factory, timeout time.Duration) (*transport.Hub, *runtime.Cluster) {
+	t.Helper()
+	hub, err := transport.NewHub(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = hub.Close() })
+	eps := make([]transport.Transport, n)
+	for i := 0; i < n; i++ {
+		ep, err := hub.Endpoint(model.ProcessID(i + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps[i] = ep
+	}
+	cl, err := runtime.New(runtime.Config{
+		N: n, T: tt,
+		Factory:     factory,
+		Proposals:   props(n),
+		Endpoints:   eps,
+		BaseTimeout: timeout,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hub, cl
+}
+
+// assertAgreement checks results for agreement and returns the decision
+// count.
+func assertAgreement(t *testing.T, results []runtime.NodeResult) int {
+	t.Helper()
+	var (
+		val     model.Value
+		have    bool
+		decided int
+	)
+	for _, r := range results {
+		v, ok := r.Decision.Get()
+		if !ok {
+			continue
+		}
+		decided++
+		if !have {
+			val, have = v, true
+		} else if v != val {
+			t.Fatalf("agreement violated: %d vs %d", val, v)
+		}
+	}
+	return decided
+}
+
+func TestQuietNetworkFastPath(t *testing.T) {
+	_, cl := newMemoryCluster(t, 5, 2, core.New(core.Options{}), 50*time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	results, err := cl.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := assertAgreement(t, results); got != 5 {
+		t.Fatalf("%d of 5 decided", got)
+	}
+	for _, r := range results {
+		if r.Round != 4 {
+			t.Errorf("p%d decided at round %d, want t+2=4", r.ID, r.Round)
+		}
+	}
+}
+
+func TestAsynchronousPeriod(t *testing.T) {
+	hub, cl := newMemoryCluster(t, 5, 2, core.New(core.Options{}), 8*time.Millisecond)
+	hub.DelayProcess(1, 60*time.Millisecond)
+	time.AfterFunc(250*time.Millisecond, hub.Heal)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	results, err := cl.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := assertAgreement(t, results); got < 5 {
+		t.Fatalf("%d of 5 decided", got)
+	}
+}
+
+func TestCrashInjection(t *testing.T) {
+	_, cl := newMemoryCluster(t, 5, 2, core.New(core.Options{}), 8*time.Millisecond)
+	if err := cl.Crash(2); err != nil { // crash before start is honoured
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	results, err := cl.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := assertAgreement(t, results); got < 4 {
+		t.Fatalf("%d of 4 live processes decided", got)
+	}
+	if !results[1].Crashed {
+		t.Fatal("p2 not marked crashed")
+	}
+	if _, ok := results[1].Decision.Get(); ok {
+		t.Fatal("crashed process decided")
+	}
+}
+
+func TestWaitQuorumPolicy(t *testing.T) {
+	hub, err := transport.NewHub(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = hub.Close() })
+	eps := make([]transport.Transport, 4)
+	for i := range eps {
+		if eps[i], err = hub.Endpoint(model.ProcessID(i + 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl, err := runtime.New(runtime.Config{
+		N: 4, T: 1,
+		Factory:     core.NewAfPlus2(),
+		Proposals:   props(4),
+		Endpoints:   eps,
+		WaitPolicy:  core.WaitQuorum,
+		BaseTimeout: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	results, err := cl.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := assertAgreement(t, results); got != 4 {
+		t.Fatalf("%d of 4 decided", got)
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	hub, err := transport.NewHub(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = hub.Close() })
+	e1, _ := hub.Endpoint(1)
+	e2, _ := hub.Endpoint(2)
+	good := runtime.Config{
+		N: 2, T: 0,
+		Factory:   core.NewAfPlus2(),
+		Proposals: props(2),
+		Endpoints: []transport.Transport{e1, e2},
+	}
+	bad := good
+	bad.N = 1
+	if _, err := runtime.New(bad); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	bad = good
+	bad.Proposals = props(3)
+	if _, err := runtime.New(bad); err == nil {
+		t.Fatal("proposal mismatch accepted")
+	}
+	bad = good
+	bad.Factory = nil
+	if _, err := runtime.New(bad); err == nil {
+		t.Fatal("nil factory accepted")
+	}
+	bad = good
+	bad.Endpoints = []transport.Transport{e2, e1}
+	if _, err := runtime.New(bad); err == nil {
+		t.Fatal("misordered endpoints accepted")
+	}
+}
+
+func TestRunOnce(t *testing.T) {
+	_, cl := newMemoryCluster(t, 3, 1, core.New(core.Options{}), 10*time.Millisecond)
+	ctx := context.Background()
+	if _, err := cl.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Run(ctx); err == nil {
+		t.Fatal("second Run accepted")
+	}
+	if err := cl.Crash(9); err == nil {
+		t.Fatal("crash of unknown process accepted")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	// With more crashes than t the survivors cannot assemble a quorum;
+	// the run must end via the context, reporting whoever decided.
+	_, cl := newMemoryCluster(t, 3, 1, core.New(core.Options{}), 5*time.Millisecond)
+	_ = cl.Crash(1)
+	_ = cl.Crash(2)
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	results, err := cl.Run(ctx)
+	if err == nil {
+		t.Fatal("expected a context error")
+	}
+	for _, r := range results[:2] {
+		if _, ok := r.Decision.Get(); ok {
+			t.Fatal("crashed process decided")
+		}
+	}
+}

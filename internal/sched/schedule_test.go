@@ -1,0 +1,148 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"indulgence/internal/model"
+)
+
+func TestFateDefaults(t *testing.T) {
+	s := New(4, 1)
+	if f := s.FateOf(3, 1, 2); f.Kind != OnTime {
+		t.Fatalf("default fate = %v, want on-time", f)
+	}
+	s.Delay(3, 1, 2, 5)
+	if f := s.FateOf(3, 1, 2); f.Kind != Delayed || f.DeliverRound != 5 {
+		t.Fatalf("delayed fate = %v", f)
+	}
+	s.Drop(2, 1, 2)
+	if f := s.FateOf(2, 1, 2); f.Kind != Lost {
+		t.Fatalf("dropped fate = %v", f)
+	}
+	// Self-messages are always on time, even if scheduled otherwise.
+	s.Drop(1, 2, 2)
+	if f := s.FateOf(1, 2, 2); f.Kind != OnTime {
+		t.Fatalf("self fate = %v, want on-time", f)
+	}
+}
+
+func TestCrashBookkeeping(t *testing.T) {
+	s := New(5, 2)
+	s.Crash(3, 4)
+	s.Crash(3, 2) // earlier round wins
+	if r, ok := s.CrashRound(3); !ok || r != 2 {
+		t.Fatalf("crash round = %d, %v", r, ok)
+	}
+	s.Crash(3, 6) // later round ignored
+	if r, _ := s.CrashRound(3); r != 2 {
+		t.Fatalf("crash round moved to %d", r)
+	}
+	if s.Crashes() != 1 {
+		t.Fatalf("crashes = %d", s.Crashes())
+	}
+	if s.Correct(3) || !s.Correct(1) {
+		t.Fatal("correctness misreported")
+	}
+	if got := s.CorrectSet(); got.Has(3) || got.Len() != 4 {
+		t.Fatalf("correct set = %v", got)
+	}
+	// A process sends in its crash round but does not complete it.
+	if !s.SendsIn(3, 2) || s.SendsIn(3, 3) {
+		t.Fatal("SendsIn wrong around crash")
+	}
+	if !s.CompletesRound(3, 1) || s.CompletesRound(3, 2) {
+		t.Fatal("CompletesRound wrong around crash")
+	}
+}
+
+func TestCrashHelpers(t *testing.T) {
+	s := New(4, 1)
+	s.CrashSilent(2, 3)
+	for q := model.ProcessID(1); q <= 4; q++ {
+		if q == 2 {
+			continue
+		}
+		if f := s.FateOf(3, 2, q); f.Kind != Lost {
+			t.Fatalf("silent crash: fate to p%d = %v", q, f)
+		}
+	}
+	s2 := New(4, 1)
+	s2.CrashWithReceivers(2, 3, model.NewPIDSet(1, 4))
+	if s2.FateOf(3, 2, 1).Kind != OnTime || s2.FateOf(3, 2, 4).Kind != OnTime {
+		t.Fatal("receivers should get the message on time")
+	}
+	if s2.FateOf(3, 2, 3).Kind != Lost {
+		t.Fatal("non-receiver should lose the message")
+	}
+}
+
+func TestMaxScheduledRound(t *testing.T) {
+	s := New(4, 1, WithGSR(3))
+	if got := s.MaxScheduledRound(); got != 3 {
+		t.Fatalf("gsr only: %d", got)
+	}
+	s.Crash(1, 7)
+	if got := s.MaxScheduledRound(); got != 7 {
+		t.Fatalf("with crash: %d", got)
+	}
+	s.Delay(2, 2, 3, 9)
+	if got := s.MaxScheduledRound(); got != 9 {
+		t.Fatalf("with delay: %d", got)
+	}
+}
+
+func TestIsSerial(t *testing.T) {
+	s := New(5, 2)
+	if !s.IsSerial() {
+		t.Fatal("failure-free synchronous run must be serial")
+	}
+	s.Crash(1, 2)
+	s.Crash(2, 3)
+	if !s.IsSerial() {
+		t.Fatal("one crash per round is serial")
+	}
+	s.Crash(3, 3)
+	if s.IsSerial() {
+		t.Fatal("two crashes in one round is not serial")
+	}
+	async := New(5, 2, WithGSR(4))
+	if async.IsSerial() {
+		t.Fatal("GSR > 1 is not serial")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := New(4, 1)
+	s.Crash(1, 2)
+	s.Delay(1, 2, 3, 4)
+	c := s.Clone()
+	c.Crash(2, 1)
+	c.Drop(2, 3, 4)
+	if s.Crashes() != 1 {
+		t.Fatal("clone crash leaked into original")
+	}
+	if s.FateOf(2, 3, 4).Kind != OnTime {
+		t.Fatal("clone fate leaked into original")
+	}
+	if c.GSR() != s.GSR() || c.N() != s.N() || c.T() != s.T() {
+		t.Fatal("clone lost parameters")
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	s := New(3, 1, WithGSR(2))
+	s.Crash(2, 1)
+	s.Drop(1, 2, 3)
+	s.Delay(1, 1, 3, 4)
+	got := s.String()
+	for _, want := range []string{"n=3", "t=1", "gsr=2", "crash(p2@r1)", "drop(r1 p2->p3)", "delay(r1 p1->p3 @r4)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
+	}
+	// Deterministic rendering.
+	if s.String() != s.String() {
+		t.Fatal("String() not deterministic")
+	}
+}

@@ -1,0 +1,305 @@
+// Package sim executes round-based algorithms under adversary schedules,
+// implementing the exact delivery semantics of the paper's two models: the
+// synchronous crash-stop model SCS and the eventually synchronous model ES.
+// It is a deterministic lockstep simulator: given the same configuration it
+// produces the same run, which is what makes the lower-bound exploration
+// and the indistinguishability constructions reproducible.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"indulgence/internal/model"
+	"indulgence/internal/sched"
+	"indulgence/internal/trace"
+)
+
+// Errors returned by Run.
+var (
+	// ErrUnstableDecision reports that an algorithm changed its decision
+	// value after deciding, violating the Algorithm contract.
+	ErrUnstableDecision = errors.New("sim: algorithm changed its decision")
+	// ErrConfig reports an invalid configuration.
+	ErrConfig = errors.New("sim: invalid configuration")
+)
+
+// Config describes one run.
+type Config struct {
+	// Synchrony selects the model (SCS or ES).
+	Synchrony model.Synchrony
+	// Schedule is the adversary script; it must validate under Synchrony.
+	Schedule *sched.Schedule
+	// Proposals holds one proposal per process (Proposals[id-1]).
+	Proposals []model.Value
+	// Factory constructs each process's algorithm.
+	Factory model.Factory
+	// MaxRounds caps the execution. 0 selects a generous default that
+	// covers every algorithm in this repository: the schedule's last
+	// scheduled round plus 3n + 8(t+2) + 12 rounds.
+	MaxRounds model.Round
+	// RunToMaxRounds keeps executing after every live process has
+	// decided (by default the run stops at that point).
+	RunToMaxRounds bool
+	// SkipTrace suppresses per-round history recording (Result.Run will
+	// be nil). Decisions and crash rounds are still reported. Used by
+	// the lower-bound explorer, which runs millions of simulations.
+	SkipTrace bool
+	// SkipValidation trusts the schedule to be valid for the model.
+	// Only generators that produce valid-by-construction schedules
+	// (such as the explorer) should set it.
+	SkipValidation bool
+}
+
+// Decision is one process's decision.
+type Decision struct {
+	// Value is the decided value.
+	Value model.Value
+	// Round is the round at the end of which the process decided
+	// (0 if it never decided).
+	Round model.Round
+}
+
+// Decided reports whether a decision was taken.
+func (d Decision) Decided() bool { return d.Round > 0 }
+
+// Result reports one run's outcome.
+type Result struct {
+	// Decisions holds one entry per process (Decisions[id-1]).
+	Decisions []Decision
+	// CrashRounds holds each process's crash round (0 = never crashed),
+	// copied from the schedule for the checkers' convenience.
+	CrashRounds []model.Round
+	// Rounds is the number of rounds executed.
+	Rounds model.Round
+	// AllAliveDecided reports whether every process alive at the end of
+	// the run had decided (the run reached quiescence rather than the
+	// round cap).
+	AllAliveDecided bool
+	// MessagesSent counts point-to-point messages entering the channels
+	// (n per broadcast, self-delivery included), the message complexity
+	// of the run.
+	MessagesSent int
+	// MessagesDelivered counts messages actually handed to receive
+	// phases (sent minus losses and minus deliveries to crashed
+	// receivers).
+	MessagesDelivered int
+	// Run is the full trace, nil when SkipTrace was set.
+	Run *trace.Run
+}
+
+// GlobalDecisionRound returns the global decision round (Sect. 1.3): the
+// largest decision round among deciding processes. ok is false if nobody
+// decided.
+func (r *Result) GlobalDecisionRound() (round model.Round, ok bool) {
+	for _, d := range r.Decisions {
+		if d.Round > round {
+			round, ok = d.Round, true
+		}
+	}
+	return round, ok
+}
+
+type delivery struct {
+	to  model.ProcessID
+	msg model.Message
+}
+
+// Run executes one run and returns its outcome. The error is non-nil only
+// for configuration problems or algorithm contract violations; consensus
+// property violations (possible with invalid resilience, as in the
+// split-brain experiment) are reported by package check, not here.
+func Run(cfg Config) (*Result, error) {
+	s := cfg.Schedule
+	if s == nil {
+		return nil, fmt.Errorf("%w: nil schedule", ErrConfig)
+	}
+	n := s.N()
+	if len(cfg.Proposals) != n {
+		return nil, fmt.Errorf("%w: %d proposals for n=%d", ErrConfig, len(cfg.Proposals), n)
+	}
+	if cfg.Factory == nil {
+		return nil, fmt.Errorf("%w: nil factory", ErrConfig)
+	}
+	if cfg.Synchrony != model.SCS && cfg.Synchrony != model.ES {
+		return nil, fmt.Errorf("%w: unknown synchrony %v", ErrConfig, cfg.Synchrony)
+	}
+	if !cfg.SkipValidation {
+		if err := s.Validate(cfg.Synchrony); err != nil {
+			return nil, err
+		}
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = s.MaxScheduledRound() + model.Round(3*n+8*(s.T()+2)+12)
+	}
+
+	algs := make([]model.Algorithm, n)
+	for i := 0; i < n; i++ {
+		ctx := model.ProcessContext{Self: model.ProcessID(i + 1), N: n, T: s.T()}
+		a, err := cfg.Factory(ctx, cfg.Proposals[i])
+		if err != nil {
+			return nil, fmt.Errorf("sim: build algorithm for p%d: %w", i+1, err)
+		}
+		algs[i] = a
+	}
+
+	res := &Result{
+		Decisions:   make([]Decision, n),
+		CrashRounds: make([]model.Round, n),
+	}
+	for i := 0; i < n; i++ {
+		if r, ok := s.CrashRound(model.ProcessID(i + 1)); ok {
+			res.CrashRounds[i] = r
+		}
+	}
+
+	var run *trace.Run
+	if !cfg.SkipTrace {
+		run = &trace.Run{
+			N:         n,
+			T:         s.T(),
+			Synchrony: cfg.Synchrony,
+			Algorithm: algs[0].Name(),
+			GSR:       s.GSR(),
+			Procs:     make([]trace.ProcessTrace, n),
+		}
+		for i := 0; i < n; i++ {
+			run.Procs[i] = trace.ProcessTrace{
+				ID:         model.ProcessID(i + 1),
+				Proposal:   cfg.Proposals[i],
+				CrashRound: res.CrashRounds[i],
+			}
+		}
+		res.Run = run
+	}
+
+	pending := make(map[model.Round][]delivery)
+	executed := model.Round(0)
+
+	for k := model.Round(1); k <= maxRounds; k++ {
+		executed = k
+		// Send phase: every process that has not crashed in an earlier
+		// round broadcasts, including to itself (self-delivery is always
+		// in-round).
+		for i := 0; i < n; i++ {
+			p := model.ProcessID(i + 1)
+			if !s.SendsIn(p, k) {
+				continue
+			}
+			payload := algs[i].StartRound(k)
+			if run != nil {
+				var sent model.Payload
+				if payload != nil {
+					sent = payload.ClonePayload()
+				}
+				run.Procs[i].Steps = append(run.Procs[i].Steps, trace.Step{
+					Round: k,
+					Sent:  sent,
+					Sends: true,
+				})
+			}
+			for j := 0; j < n; j++ {
+				q := model.ProcessID(j + 1)
+				res.MessagesSent++
+				fate := s.FateOf(k, p, q)
+				var at model.Round
+				switch fate.Kind {
+				case sched.OnTime:
+					at = k
+				case sched.Delayed:
+					at = fate.DeliverRound
+				case sched.Lost:
+					continue
+				default:
+					return nil, fmt.Errorf("%w: invalid fate kind %v", ErrConfig, fate.Kind)
+				}
+				var pl model.Payload
+				if payload != nil {
+					pl = payload.ClonePayload()
+				}
+				pending[at] = append(pending[at], delivery{
+					to:  q,
+					msg: model.Message{From: p, Round: k, Payload: pl},
+				})
+			}
+		}
+
+		// Receive phase: every process that completes round k is handed
+		// everything the adversary delivers in round k, sorted by
+		// (send round, sender).
+		arrivals := pending[k]
+		delete(pending, k)
+		inbox := make([][]model.Message, n)
+		for _, d := range arrivals {
+			if !s.CompletesRound(d.to, k) {
+				continue
+			}
+			res.MessagesDelivered++
+			inbox[d.to-1] = append(inbox[d.to-1], d.msg)
+		}
+		for i := 0; i < n; i++ {
+			p := model.ProcessID(i + 1)
+			if !s.CompletesRound(p, k) {
+				continue
+			}
+			msgs := inbox[i]
+			sort.Slice(msgs, func(a, b int) bool {
+				if msgs[a].Round != msgs[b].Round {
+					return msgs[a].Round < msgs[b].Round
+				}
+				return msgs[a].From < msgs[b].From
+			})
+			algs[i].EndRound(k, msgs)
+			if run != nil {
+				st := &run.Procs[i].Steps[len(run.Procs[i].Steps)-1]
+				st.Completes = true
+				recv := make([]model.Message, len(msgs))
+				for mi, m := range msgs {
+					recv[mi] = m.Clone()
+				}
+				st.Received = recv
+			}
+			if v, ok := algs[i].Decision(); ok {
+				if res.Decisions[i].Decided() {
+					if res.Decisions[i].Value != v {
+						return nil, fmt.Errorf("%w: p%d decided %d then %d", ErrUnstableDecision, p, res.Decisions[i].Value, v)
+					}
+				} else {
+					res.Decisions[i] = Decision{Value: v, Round: k}
+					if run != nil {
+						run.Procs[i].Decided = model.Some(v)
+						run.Procs[i].DecidedRound = k
+					}
+				}
+			}
+		}
+
+		if !cfg.RunToMaxRounds && allAliveDecided(s, res, k) {
+			break
+		}
+	}
+
+	res.Rounds = executed
+	res.AllAliveDecided = allAliveDecided(s, res, executed)
+	if run != nil {
+		run.Rounds = executed
+	}
+	return res, nil
+}
+
+// allAliveDecided reports whether every process that completed round k has
+// decided.
+func allAliveDecided(s *sched.Schedule, res *Result, k model.Round) bool {
+	for i := range res.Decisions {
+		p := model.ProcessID(i + 1)
+		if !s.CompletesRound(p, k) {
+			continue
+		}
+		if !res.Decisions[i].Decided() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,120 @@
+// Package stats aggregates round-complexity measurements and renders the
+// fixed-width tables printed by the benchmark harness, the examples and the
+// CLI.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row. Short rows are padded with empty cells; long rows
+// are truncated to the header width.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted cells, one format-argument pair per
+// column via fmt.Sprint.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		row = append(row, fmt.Sprint(c))
+	}
+	t.AddRow(row...)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		return strings.TrimRight(strings.Join(parts, "  "), " ")
+	}
+	if t.title != "" {
+		fmt.Fprintln(w, t.title)
+	}
+	fmt.Fprintln(w, line(t.headers))
+	seps := make([]string, len(t.headers))
+	for i, wd := range widths {
+		seps[i] = strings.Repeat("-", wd)
+	}
+	fmt.Fprintln(w, line(seps))
+	for _, row := range t.rows {
+		fmt.Fprintln(w, line(row))
+	}
+}
+
+// String implements fmt.Stringer.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// Summary holds order statistics of a series of integers.
+type Summary struct {
+	// Count is the number of observations.
+	Count int
+	// Min and Max are the extremes (0 when Count is 0).
+	Min, Max int
+	// Mean is the arithmetic mean (0 when Count is 0).
+	Mean float64
+}
+
+// Summarize computes the summary of xs.
+func Summarize(xs []int) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(xs), Min: xs[0], Max: xs[0]}
+	total := 0
+	for _, x := range xs {
+		total += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = float64(total) / float64(len(xs))
+	return s
+}
+
+// String implements fmt.Stringer.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%d max=%d mean=%.2f", s.Count, s.Min, s.Max, s.Mean)
+}

@@ -1,0 +1,72 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Title", "col", "longer column")
+	tb.AddRow("a", "b")
+	tb.AddRowf(12, 3.5)
+	got := tb.String()
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), got)
+	}
+	if lines[0] != "Title" {
+		t.Errorf("title line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "col") || !strings.Contains(lines[1], "longer column") {
+		t.Errorf("header line %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("separator line %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "a") || !strings.Contains(lines[3], "b") {
+		t.Errorf("row line %q", lines[3])
+	}
+	if !strings.Contains(lines[4], "12") || !strings.Contains(lines[4], "3.5") {
+		t.Errorf("formatted row line %q", lines[4])
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("only")            // short row padded
+	tb.AddRow("x", "y", "extra") // long row truncated
+	got := tb.String()
+	if strings.Contains(got, "extra") {
+		t.Errorf("over-wide row not truncated:\n%s", got)
+	}
+	// No title line when title empty.
+	if strings.HasPrefix(got, "\n") {
+		t.Errorf("leading blank line:\n%q", got)
+	}
+}
+
+func TestTableColumnAlignment(t *testing.T) {
+	tb := NewTable("", "x", "y")
+	tb.AddRow("aaaa", "b")
+	tb.AddRow("c", "dddd")
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	// The second column must start at the same offset in both rows.
+	off1 := strings.Index(lines[2], "b")
+	off2 := strings.Index(lines[3], "dddd")
+	if off1 != off2 {
+		t.Errorf("column misaligned: %d vs %d\n%s", off1, off2, tb)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]int{3, 1, 2})
+	if s.Count != 3 || s.Min != 1 || s.Max != 3 || s.Mean != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if Summarize(nil).Count != 0 {
+		t.Fatal("empty summary")
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,141 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"indulgence/internal/model"
+)
+
+// Hub is an in-memory switch connecting n endpoints. It supports
+// per-link delay injection — the tool with which the live experiments
+// reproduce the paper's asynchronous periods and false suspicions — and
+// never drops frames (reliable channels): a delayed or partitioned frame
+// is delivered when its delay elapses.
+type Hub struct {
+	n int
+
+	mu      sync.Mutex
+	boxes   []*mailbox
+	delayFn func(from, to model.ProcessID) time.Duration
+	timers  sync.WaitGroup
+	closed  bool
+}
+
+// NewHub returns a hub connecting n endpoints with no injected delays.
+func NewHub(n int) (*Hub, error) {
+	if n < 1 || n > model.MaxProcesses {
+		return nil, fmt.Errorf("transport: invalid hub size %d", n)
+	}
+	h := &Hub{n: n, boxes: make([]*mailbox, n)}
+	for i := range h.boxes {
+		h.boxes[i] = newMailbox()
+	}
+	return h, nil
+}
+
+// Endpoint returns the transport endpoint of process p.
+func (h *Hub) Endpoint(p model.ProcessID) (Transport, error) {
+	if p < 1 || int(p) > h.n {
+		return nil, fmt.Errorf("transport: no endpoint %d in hub of %d", p, h.n)
+	}
+	return &hubEndpoint{hub: h, self: p}, nil
+}
+
+// SetDelayFn installs a per-link delay policy: every frame from from to to
+// is delivered after delayFn(from, to). A nil function removes all injected
+// delays. Self-links are never delayed (a process always hears itself
+// in-round, mirroring the model).
+func (h *Hub) SetDelayFn(delayFn func(from, to model.ProcessID) time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.delayFn = delayFn
+}
+
+// DelayProcess delays every frame sent by p to other processes by d —
+// the live analogue of the schedules in which p is falsely suspected by
+// everyone (sched.DelayedSenderPrefix).
+func (h *Hub) DelayProcess(p model.ProcessID, d time.Duration) {
+	h.SetDelayFn(func(from, to model.ProcessID) time.Duration {
+		if from == p && to != p {
+			return d
+		}
+		return 0
+	})
+}
+
+// Heal removes all injected delays.
+func (h *Hub) Heal() { h.SetDelayFn(nil) }
+
+// Close shuts every endpoint down after in-flight delayed frames have been
+// handed over.
+func (h *Hub) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	boxes := h.boxes
+	h.mu.Unlock()
+	h.timers.Wait()
+	for _, b := range boxes {
+		b.close()
+	}
+	return nil
+}
+
+func (h *Hub) send(from, to model.ProcessID, frame []byte) error {
+	if to < 1 || int(to) > h.n {
+		return fmt.Errorf("transport: send to unknown process %d", to)
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return ErrClosed
+	}
+	box := h.boxes[to-1]
+	var delay time.Duration
+	if h.delayFn != nil && from != to {
+		delay = h.delayFn(from, to)
+	}
+	if delay > 0 {
+		h.timers.Add(1)
+		time.AfterFunc(delay, func() {
+			defer h.timers.Done()
+			box.put(frame)
+		})
+		h.mu.Unlock()
+		return nil
+	}
+	h.mu.Unlock()
+	box.put(frame)
+	return nil
+}
+
+// hubEndpoint is one process's view of the hub.
+type hubEndpoint struct {
+	hub  *Hub
+	self model.ProcessID
+}
+
+var _ Transport = (*hubEndpoint)(nil)
+
+// Self implements Transport.
+func (e *hubEndpoint) Self() model.ProcessID { return e.self }
+
+// Send implements Transport.
+func (e *hubEndpoint) Send(to model.ProcessID, frame []byte) error {
+	return e.hub.send(e.self, to, frame)
+}
+
+// Recv implements Transport.
+func (e *hubEndpoint) Recv() <-chan []byte { return e.hub.boxes[e.self-1].out }
+
+// Close implements Transport. Closing one endpoint only detaches its
+// mailbox; the hub itself is closed with Hub.Close.
+func (e *hubEndpoint) Close() error {
+	e.hub.boxes[e.self-1].close()
+	return nil
+}

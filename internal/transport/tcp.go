@@ -1,0 +1,181 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"indulgence/internal/model"
+	"indulgence/internal/wire"
+)
+
+// TCPCluster runs each process as a TCP endpoint on the loopback
+// interface: every process listens on an ephemeral port and dials every
+// peer once, so each ordered pair of processes has one sender-owned
+// connection carrying length-prefixed frames. It demonstrates that the
+// algorithms run unchanged over a real network stack.
+type TCPCluster struct {
+	n     int
+	nodes []*tcpEndpoint
+}
+
+// NewTCPCluster starts n loopback endpoints and fully connects them.
+func NewTCPCluster(n int) (*TCPCluster, error) {
+	if n < 1 || n > model.MaxProcesses {
+		return nil, fmt.Errorf("transport: invalid cluster size %d", n)
+	}
+	c := &TCPCluster{n: n, nodes: make([]*tcpEndpoint, n)}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("transport: listen for p%d: %w", i+1, err)
+		}
+		ep := &tcpEndpoint{
+			self:  model.ProcessID(i + 1),
+			ln:    ln,
+			box:   newMailbox(),
+			conns: make(map[model.ProcessID]net.Conn, n),
+		}
+		ep.acceptLoop()
+		c.nodes[i] = ep
+	}
+	// Dial every peer: sender i owns the connection i→j.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			conn, err := net.Dial("tcp", c.nodes[j].ln.Addr().String())
+			if err != nil {
+				c.Close()
+				return nil, fmt.Errorf("transport: dial p%d->p%d: %w", i+1, j+1, err)
+			}
+			c.nodes[i].conns[model.ProcessID(j+1)] = conn
+		}
+	}
+	return c, nil
+}
+
+// Endpoint returns the transport endpoint of process p.
+func (c *TCPCluster) Endpoint(p model.ProcessID) (Transport, error) {
+	if p < 1 || int(p) > c.n {
+		return nil, fmt.Errorf("transport: no endpoint %d in cluster of %d", p, c.n)
+	}
+	return c.nodes[p-1], nil
+}
+
+// Close shuts down every endpoint.
+func (c *TCPCluster) Close() error {
+	var firstErr error
+	for _, ep := range c.nodes {
+		if ep == nil {
+			continue
+		}
+		if err := ep.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// tcpEndpoint is one process's TCP endpoint.
+type tcpEndpoint struct {
+	self model.ProcessID
+	ln   net.Listener
+	box  *mailbox
+
+	mu      sync.Mutex
+	conns   map[model.ProcessID]net.Conn // sender-owned outbound connections
+	inbound []net.Conn
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+var _ Transport = (*tcpEndpoint)(nil)
+
+// acceptLoop accepts inbound connections and pumps their frames into the
+// mailbox until the listener closes.
+func (e *tcpEndpoint) acceptLoop() {
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		for {
+			conn, err := e.ln.Accept()
+			if err != nil {
+				return
+			}
+			e.mu.Lock()
+			if e.closed {
+				e.mu.Unlock()
+				_ = conn.Close()
+				return
+			}
+			e.inbound = append(e.inbound, conn)
+			e.mu.Unlock()
+			e.wg.Add(1)
+			go func() {
+				defer e.wg.Done()
+				for {
+					frame, err := wire.ReadFrame(conn)
+					if err != nil {
+						return
+					}
+					e.box.put(frame)
+				}
+			}()
+		}
+	}()
+}
+
+// Self implements Transport.
+func (e *tcpEndpoint) Self() model.ProcessID { return e.self }
+
+// Send implements Transport. Self-sends short-circuit through the mailbox
+// (a process always hears itself without touching the network).
+func (e *tcpEndpoint) Send(to model.ProcessID, frame []byte) error {
+	if to == e.self {
+		e.box.put(frame)
+		return nil
+	}
+	e.mu.Lock()
+	conn, ok := e.conns[to]
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if !ok {
+		return fmt.Errorf("transport: no connection p%d->p%d", e.self, to)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return wire.WriteFrame(conn, frame)
+}
+
+// Recv implements Transport.
+func (e *tcpEndpoint) Recv() <-chan []byte { return e.box.out }
+
+// Close implements Transport: stops the listener, closes every connection
+// and waits for the reader goroutines to exit.
+func (e *tcpEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := e.conns
+	inbound := e.inbound
+	e.mu.Unlock()
+	err := e.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	for _, c := range inbound {
+		_ = c.Close()
+	}
+	e.wg.Wait()
+	e.box.close()
+	return err
+}

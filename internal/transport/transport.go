@@ -1,0 +1,117 @@
+// Package transport provides the message transports of the live runtime:
+// an in-memory hub with injectable per-link delays (for reproducing the
+// paper's asynchronous periods on one machine) and a TCP loopback
+// transport built on net (for running the algorithms as real networked
+// processes). Both move opaque frames produced by package wire; neither
+// interprets them.
+//
+// Delivery guarantees mirror the ES channel axioms: frames are never
+// dropped (reliable channels) but may be delayed arbitrarily while a delay
+// or partition is injected; per-link FIFO order is not guaranteed under
+// injected delays, which is harmless because round messages are
+// self-describing.
+package transport
+
+import (
+	"errors"
+	"sync"
+
+	"indulgence/internal/model"
+)
+
+// ErrClosed reports use of a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// Transport moves frames between processes. Implementations must be safe
+// for concurrent use.
+type Transport interface {
+	// Self returns the identity this endpoint sends as.
+	Self() model.ProcessID
+	// Send enqueues a frame for delivery to the given process (including
+	// to itself). It never blocks on the receiver.
+	Send(to model.ProcessID, frame []byte) error
+	// Recv returns the channel on which inbound frames arrive. The
+	// channel is closed when the transport is closed.
+	Recv() <-chan []byte
+	// Close releases the endpoint. Further Sends fail with ErrClosed.
+	Close() error
+}
+
+// mailbox is an unbounded, closable FIFO of frames feeding a channel. The
+// unbounded buffer is deliberate: a sender must never block on a slow
+// receiver (that would let one crashed process wedge the cluster), and
+// frames must never be dropped (reliable channels). Memory is bounded in
+// practice by the runtime's round pacing.
+type mailbox struct {
+	mu     sync.Mutex
+	queue  [][]byte
+	wake   chan struct{}
+	out    chan []byte
+	closed bool
+	done   chan struct{}
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{
+		wake: make(chan struct{}, 1),
+		out:  make(chan []byte),
+		done: make(chan struct{}),
+	}
+	go m.pump()
+	return m
+}
+
+// put enqueues a frame; it is a no-op after close.
+func (m *mailbox) put(frame []byte) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.queue = append(m.queue, frame)
+	m.mu.Unlock()
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pump moves frames from the queue to the out channel until closed.
+func (m *mailbox) pump() {
+	defer close(m.out)
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 {
+			closed := m.closed
+			m.mu.Unlock()
+			if closed {
+				return
+			}
+			select {
+			case <-m.wake:
+			case <-m.done:
+			}
+			m.mu.Lock()
+		}
+		frame := m.queue[0]
+		m.queue = m.queue[1:]
+		m.mu.Unlock()
+		select {
+		case m.out <- frame:
+		case <-m.done:
+			return
+		}
+	}
+}
+
+// close stops the pump; pending frames are discarded.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.done)
+}

@@ -1,0 +1,245 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"indulgence/internal/model"
+)
+
+func recvWithTimeout(t *testing.T, tr Transport, d time.Duration) []byte {
+	t.Helper()
+	select {
+	case frame, ok := <-tr.Recv():
+		if !ok {
+			t.Fatal("transport closed")
+		}
+		return frame
+	case <-time.After(d):
+		t.Fatal("timed out waiting for a frame")
+		return nil
+	}
+}
+
+func TestHubDelivery(t *testing.T) {
+	hub, err := NewHub(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	a, err := hub.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := hub.Endpoint(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Self() != 1 || b.Self() != 2 {
+		t.Fatal("Self() wrong")
+	}
+	if err := a.Send(2, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvWithTimeout(t, b, time.Second); string(got) != "hi" {
+		t.Fatalf("got %q", got)
+	}
+	// Self-send loops back.
+	if err := a.Send(1, []byte("self")); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvWithTimeout(t, a, time.Second); string(got) != "self" {
+		t.Fatalf("got %q", got)
+	}
+	// Unknown destination errors.
+	if err := a.Send(9, []byte("x")); err == nil {
+		t.Fatal("send to unknown process succeeded")
+	}
+}
+
+func TestHubFIFOWithoutDelays(t *testing.T) {
+	hub, err := NewHub(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	a, _ := hub.Endpoint(1)
+	b, _ := hub.Endpoint(2)
+	for i := byte(0); i < 100; i++ {
+		if err := a.Send(2, []byte{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := byte(0); i < 100; i++ {
+		got := recvWithTimeout(t, b, time.Second)
+		if got[0] != i {
+			t.Fatalf("frame %d arrived as %d (FIFO broken)", i, got[0])
+		}
+	}
+}
+
+func TestHubDelayInjection(t *testing.T) {
+	hub, err := NewHub(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	a, _ := hub.Endpoint(1)
+	b, _ := hub.Endpoint(2)
+	hub.DelayProcess(1, 50*time.Millisecond)
+	start := time.Now()
+	if err := a.Send(2, []byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	got := recvWithTimeout(t, b, time.Second)
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("delayed frame arrived after %v", elapsed)
+	}
+	if string(got) != "slow" {
+		t.Fatalf("got %q", got)
+	}
+	// Heal removes the delay.
+	hub.Heal()
+	start = time.Now()
+	if err := a.Send(2, []byte("fast")); err != nil {
+		t.Fatal(err)
+	}
+	recvWithTimeout(t, b, time.Second)
+	if elapsed := time.Since(start); elapsed > 30*time.Millisecond {
+		t.Fatalf("healed frame took %v", elapsed)
+	}
+}
+
+func TestHubClose(t *testing.T) {
+	hub, err := NewHub(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := hub.Endpoint(1)
+	if err := hub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(2, []byte("x")); err == nil {
+		t.Fatal("send after close succeeded")
+	}
+	// Recv channel is closed.
+	select {
+	case _, ok := <-a.Recv():
+		if ok {
+			t.Fatal("unexpected frame after close")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("recv channel not closed")
+	}
+	// Idempotent close.
+	if err := hub.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHubBounds(t *testing.T) {
+	if _, err := NewHub(0); err == nil {
+		t.Fatal("empty hub accepted")
+	}
+	hub, err := NewHub(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	if _, err := hub.Endpoint(3); err == nil {
+		t.Fatal("out-of-range endpoint accepted")
+	}
+}
+
+func TestTCPClusterRoundTrip(t *testing.T) {
+	c, err := NewTCPCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	a, err := c.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Endpoint(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(2, []byte("over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvWithTimeout(t, b, 2*time.Second); string(got) != "over tcp" {
+		t.Fatalf("got %q", got)
+	}
+	// Self-send short-circuits.
+	if err := b.Send(2, []byte("loop")); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvWithTimeout(t, b, 2*time.Second); string(got) != "loop" {
+		t.Fatalf("got %q", got)
+	}
+	// Bidirectional.
+	if err := b.Send(1, []byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvWithTimeout(t, a, 2*time.Second); string(got) != "back" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestTCPClusterClose(t *testing.T) {
+	c, err := NewTCPCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := c.Endpoint(1)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(2, []byte("x")); err == nil {
+		t.Fatal("send after close succeeded")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMailboxAfterClose(t *testing.T) {
+	m := newMailbox()
+	m.put([]byte("a"))
+	m.close()
+	m.put([]byte("b")) // no-op, no panic
+	// Drain whatever was pumped before close; the channel must close.
+	deadline := time.After(time.Second)
+	for {
+		select {
+		case _, ok := <-m.out:
+			if !ok {
+				return
+			}
+		case <-deadline:
+			t.Fatal("mailbox did not close")
+		}
+	}
+}
+
+func TestHubConcurrentSenders(t *testing.T) {
+	hub, err := NewHub(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	receiver, _ := hub.Endpoint(4)
+	const perSender = 200
+	for i := 1; i <= 3; i++ {
+		ep, _ := hub.Endpoint(model.ProcessID(i))
+		go func(e Transport) {
+			for j := 0; j < perSender; j++ {
+				_ = e.Send(4, []byte{byte(e.Self())})
+			}
+		}(ep)
+	}
+	for i := 0; i < 3*perSender; i++ {
+		recvWithTimeout(t, receiver, 2*time.Second)
+	}
+}

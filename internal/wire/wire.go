@@ -1,0 +1,287 @@
+// Package wire is the binary codec for round messages, used by the live
+// runtime's transports (in-memory and TCP). Messages are encoded as a
+// one-byte payload tag followed by varint-encoded fields; on the stream
+// they travel in length-prefixed frames. The encoding is deterministic and
+// self-contained — no reflection, no registration at run time — so the
+// codec is also usable as a stable on-disk format for recorded runs.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"indulgence/internal/model"
+	"indulgence/internal/payload"
+)
+
+// Codec errors.
+var (
+	// ErrTruncated reports an encoding shorter than its structure.
+	ErrTruncated = errors.New("wire: truncated message")
+	// ErrUnknownPayload reports an unknown payload tag or type.
+	ErrUnknownPayload = errors.New("wire: unknown payload")
+	// ErrFrameTooLarge reports a frame exceeding the reader's limit.
+	ErrFrameTooLarge = errors.New("wire: frame too large")
+)
+
+// Payload tags. Tag 0 encodes a nil payload.
+const (
+	tagNil byte = iota
+	tagValues
+	tagEstHalt
+	tagNewEstimate
+	tagDecide
+	tagEstimate
+	tagPropose
+	tagAck
+	tagAckEst
+	tagAdopt
+	tagWrap
+)
+
+// MaxFrameSize bounds decoded frames (1 MiB is far beyond any round
+// message in this repository).
+const MaxFrameSize = 1 << 20
+
+// EncodePayload appends the tag-prefixed encoding of a payload (possibly
+// nil) to dst.
+func EncodePayload(dst []byte, p model.Payload) ([]byte, error) {
+	return appendPayload(dst, p)
+}
+
+// DecodePayload decodes one tag-prefixed payload from b, returning it and
+// the number of bytes consumed.
+func DecodePayload(b []byte) (model.Payload, int, error) {
+	return decodePayload(b)
+}
+
+// EncodeMessage appends the encoding of m to dst and returns the extended
+// slice.
+func EncodeMessage(dst []byte, m model.Message) ([]byte, error) {
+	dst = binary.AppendVarint(dst, int64(m.From))
+	dst = binary.AppendVarint(dst, int64(m.Round))
+	return appendPayload(dst, m.Payload)
+}
+
+// DecodeMessage decodes one message from b, returning it and the number of
+// bytes consumed.
+func DecodeMessage(b []byte) (model.Message, int, error) {
+	var m model.Message
+	off := 0
+	from, n := binary.Varint(b[off:])
+	if n <= 0 {
+		return m, 0, fmt.Errorf("%w: sender", ErrTruncated)
+	}
+	off += n
+	round, n := binary.Varint(b[off:])
+	if n <= 0 {
+		return m, 0, fmt.Errorf("%w: round", ErrTruncated)
+	}
+	off += n
+	pl, n, err := decodePayload(b[off:])
+	if err != nil {
+		return m, 0, err
+	}
+	off += n
+	m.From = model.ProcessID(from)
+	m.Round = model.Round(round)
+	m.Payload = pl
+	return m, off, nil
+}
+
+func appendOptValue(dst []byte, o model.OptValue) []byte {
+	v, ok := o.Get()
+	if !ok {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	return binary.AppendVarint(dst, int64(v))
+}
+
+func decodeOptValue(b []byte) (model.OptValue, int, error) {
+	if len(b) < 1 {
+		return model.OptValue{}, 0, fmt.Errorf("%w: optvalue flag", ErrTruncated)
+	}
+	if b[0] == 0 {
+		return model.Bottom(), 1, nil
+	}
+	v, n := binary.Varint(b[1:])
+	if n <= 0 {
+		return model.OptValue{}, 0, fmt.Errorf("%w: optvalue", ErrTruncated)
+	}
+	return model.Some(model.Value(v)), 1 + n, nil
+}
+
+func appendPayload(dst []byte, p model.Payload) ([]byte, error) {
+	switch pl := p.(type) {
+	case nil:
+		return append(dst, tagNil), nil
+	case payload.Values:
+		dst = append(dst, tagValues)
+		dst = binary.AppendUvarint(dst, uint64(len(pl.Vals)))
+		for _, v := range pl.Vals {
+			dst = binary.AppendVarint(dst, int64(v))
+		}
+		return dst, nil
+	case payload.EstHalt:
+		dst = append(dst, tagEstHalt)
+		dst = binary.AppendVarint(dst, int64(pl.Est))
+		return binary.AppendUvarint(dst, uint64(pl.Halt)), nil
+	case payload.NewEstimate:
+		return appendOptValue(append(dst, tagNewEstimate), pl.NE), nil
+	case payload.Decide:
+		return binary.AppendVarint(append(dst, tagDecide), int64(pl.V)), nil
+	case payload.Estimate:
+		dst = append(dst, tagEstimate)
+		dst = binary.AppendVarint(dst, int64(pl.Est))
+		return binary.AppendVarint(dst, int64(pl.TS)), nil
+	case payload.Propose:
+		return binary.AppendVarint(append(dst, tagPropose), int64(pl.V)), nil
+	case payload.Ack:
+		return appendOptValue(append(dst, tagAck), pl.Val), nil
+	case payload.AckEst:
+		dst = append(dst, tagAckEst)
+		dst = binary.AppendVarint(dst, int64(pl.Est))
+		dst = binary.AppendVarint(dst, int64(pl.TS))
+		return appendOptValue(dst, pl.Ack), nil
+	case payload.Adopt:
+		return binary.AppendVarint(append(dst, tagAdopt), int64(pl.Est)), nil
+	case payload.Wrap:
+		return appendPayload(append(dst, tagWrap), pl.Inner)
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnknownPayload, p)
+	}
+}
+
+func decodePayload(b []byte) (model.Payload, int, error) {
+	if len(b) < 1 {
+		return nil, 0, fmt.Errorf("%w: payload tag", ErrTruncated)
+	}
+	tag := b[0]
+	b = b[1:]
+	switch tag {
+	case tagNil:
+		return nil, 1, nil
+	case tagValues:
+		count, n := binary.Uvarint(b)
+		if n <= 0 || count > MaxFrameSize {
+			return nil, 0, fmt.Errorf("%w: values count", ErrTruncated)
+		}
+		off := n
+		vals := make([]model.Value, 0, count)
+		for i := uint64(0); i < count; i++ {
+			v, vn := binary.Varint(b[off:])
+			if vn <= 0 {
+				return nil, 0, fmt.Errorf("%w: values[%d]", ErrTruncated, i)
+			}
+			off += vn
+			vals = append(vals, model.Value(v))
+		}
+		return payload.Values{Vals: vals}, 1 + off, nil
+	case tagEstHalt:
+		est, n := binary.Varint(b)
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("%w: esthalt est", ErrTruncated)
+		}
+		halt, hn := binary.Uvarint(b[n:])
+		if hn <= 0 {
+			return nil, 0, fmt.Errorf("%w: esthalt halt", ErrTruncated)
+		}
+		return payload.EstHalt{Est: model.Value(est), Halt: model.PIDSet(halt)}, 1 + n + hn, nil
+	case tagNewEstimate:
+		o, n, err := decodeOptValue(b)
+		if err != nil {
+			return nil, 0, err
+		}
+		return payload.NewEstimate{NE: o}, 1 + n, nil
+	case tagDecide:
+		v, n := binary.Varint(b)
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("%w: decide", ErrTruncated)
+		}
+		return payload.Decide{V: model.Value(v)}, 1 + n, nil
+	case tagEstimate:
+		est, n := binary.Varint(b)
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("%w: estimate est", ErrTruncated)
+		}
+		ts, tn := binary.Varint(b[n:])
+		if tn <= 0 {
+			return nil, 0, fmt.Errorf("%w: estimate ts", ErrTruncated)
+		}
+		return payload.Estimate{Est: model.Value(est), TS: int(ts)}, 1 + n + tn, nil
+	case tagPropose:
+		v, n := binary.Varint(b)
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("%w: propose", ErrTruncated)
+		}
+		return payload.Propose{V: model.Value(v)}, 1 + n, nil
+	case tagAck:
+		o, n, err := decodeOptValue(b)
+		if err != nil {
+			return nil, 0, err
+		}
+		return payload.Ack{Val: o}, 1 + n, nil
+	case tagAckEst:
+		est, n := binary.Varint(b)
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("%w: ackest est", ErrTruncated)
+		}
+		ts, tn := binary.Varint(b[n:])
+		if tn <= 0 {
+			return nil, 0, fmt.Errorf("%w: ackest ts", ErrTruncated)
+		}
+		o, on, err := decodeOptValue(b[n+tn:])
+		if err != nil {
+			return nil, 0, err
+		}
+		return payload.AckEst{Est: model.Value(est), TS: int(ts), Ack: o}, 1 + n + tn + on, nil
+	case tagAdopt:
+		v, n := binary.Varint(b)
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("%w: adopt", ErrTruncated)
+		}
+		return payload.Adopt{Est: model.Value(v)}, 1 + n, nil
+	case tagWrap:
+		inner, n, err := decodePayload(b)
+		if err != nil {
+			return nil, 0, err
+		}
+		return payload.Wrap{Inner: inner}, 1 + n, nil
+	default:
+		return nil, 0, fmt.Errorf("%w: tag %d", ErrUnknownPayload, tag)
+	}
+}
+
+// WriteFrame writes b to w as a length-prefixed frame.
+func WriteFrame(w io.Writer, b []byte) error {
+	if len(b) > MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(b))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame from r.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(hdr[:])
+	if size > MaxFrameSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, size)
+	}
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
