@@ -175,8 +175,56 @@ func BenchmarkMicroSimulatedRunLean(b *testing.B) {
 	}
 }
 
+// BenchmarkMicroSimulatedRunPooled measures the traceless run on a reused
+// Simulator — the exact per-run cost inside the explorer and the batched
+// sweeps, with all scratch state amortized.
+func BenchmarkMicroSimulatedRunPooled(b *testing.B) {
+	proposals := []indulgence.Value{3, 1, 4, 1, 5}
+	factory := indulgence.NewAtPlus2(indulgence.AtPlus2Options{})
+	s := indulgence.FailureFree(5, 2)
+	sm := indulgence.NewSimulator()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sm.Run(indulgence.SimConfig{
+			Synchrony:      indulgence.ES,
+			Schedule:       s,
+			Proposals:      proposals,
+			Factory:        factory,
+			SkipTrace:      true,
+			SkipValidation: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroSimulateBatch measures a 64-run batch through the worker
+// pool (per-run cost; compare with the Lean and Pooled variants).
+func BenchmarkMicroSimulateBatch(b *testing.B) {
+	proposals := []indulgence.Value{3, 1, 4, 1, 5}
+	factory := indulgence.NewAtPlus2(indulgence.AtPlus2Options{})
+	s := indulgence.FailureFree(5, 2)
+	cfgs := make([]indulgence.SimConfig, 64)
+	for i := range cfgs {
+		cfgs[i] = indulgence.SimConfig{
+			Synchrony:      indulgence.ES,
+			Schedule:       s,
+			Proposals:      proposals,
+			Factory:        factory,
+			SkipTrace:      true,
+			SkipValidation: true,
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i += len(cfgs) {
+		if _, err := indulgence.SimulateBatch(0, cfgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMicroExplore measures a complete exhaustive exploration
-// (n=3, t=1, all subsets — 769 serial runs).
+// (n=3, t=1, crash rounds 1..3, all subsets — 37 serial runs).
 func BenchmarkMicroExplore(b *testing.B) {
 	factory := indulgence.NewAtPlus2(indulgence.AtPlus2Options{})
 	b.ReportAllocs()

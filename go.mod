@@ -1,0 +1,3 @@
+module indulgence
+
+go 1.24

@@ -159,8 +159,24 @@ func DivergencePrefixLeader(t int, k Round) *Schedule { return sched.DivergenceP
 // DivergencePrefixLeader.
 func DivergenceProposalsLeader(t int) []Value { return sched.DivergenceProposalsLeader(t) }
 
+// Simulator executes many runs while reusing scratch state (pending
+// queues, inboxes, algorithm tables) — the allocation-lean substrate under
+// the exhaustive explorer and the experiment sweeps. Not safe for
+// concurrent use; SimulateBatch spawns one per worker.
+type Simulator = sim.Simulator
+
+// NewSimulator returns a reusable simulator.
+func NewSimulator() *Simulator { return sim.NewSimulator() }
+
 // Simulate executes one run under a schedule in the lockstep simulator.
 func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// SimulateBatch executes many independent runs concurrently on a bounded
+// worker pool (workers <= 0 selects GOMAXPROCS) and returns their results
+// in input order; the outcome is identical for every worker count.
+func SimulateBatch(workers int, cfgs []SimConfig) ([]*SimResult, error) {
+	return sim.RunBatch(workers, cfgs)
+}
 
 // CheckConsensus verifies validity, uniform agreement and termination of a
 // simulated run.

@@ -3,9 +3,11 @@ package experiments
 import (
 	"fmt"
 
+	"indulgence/internal/check"
 	"indulgence/internal/core"
 	"indulgence/internal/model"
 	"indulgence/internal/sched"
+	"indulgence/internal/sim"
 	"indulgence/internal/stats"
 )
 
@@ -13,15 +15,12 @@ import (
 // algorithms at a time and exhibit a *deterministic witness run* in which
 // the crippled variant misbehaves while the faithful algorithm stays
 // correct — the executable version of "why every line of Fig. 2/Fig. 5 is
-// there".
+// there". Each ablated/faithful pair is simulated concurrently on the
+// shared sim.RunBatch pool; rows are rendered in the fixed pair order, so
+// the tables are identical for any worker count.
 
-// ablationRow runs one factory on one schedule and appends a table row.
-func ablationRow(o *Outcome, table *stats.Table, name string, factory model.Factory,
-	s *sched.Schedule, props []model.Value) (agreement bool, gdr model.Round, err error) {
-	res, rep, err := runOnce(factory, s, props)
-	if err != nil {
-		return false, 0, fmt.Errorf("%s: %w", name, err)
-	}
+// ablationRow renders one simulated variant as a table row.
+func ablationRow(table *stats.Table, name string, res *sim.Result, rep check.Report) (agreement bool, gdr model.Round) {
 	decisions := make([]string, 0, len(res.Decisions))
 	for _, d := range res.Decisions {
 		if d.Decided() {
@@ -31,7 +30,7 @@ func ablationRow(o *Outcome, table *stats.Table, name string, factory model.Fact
 		}
 	}
 	table.AddRowf(name, fmt.Sprint(decisions), rep.Agreement, gdrOf(res))
-	return rep.Agreement, gdrOf(res), nil
+	return rep.Agreement, gdrOf(res)
 }
 
 // AblationPhase1 removes one round from Phase 1 (t rounds instead of t+1).
@@ -52,15 +51,15 @@ func AblationPhase1() (*Outcome, error) {
 	props := []model.Value{0, 1, 1}
 	table := stats.NewTable("Witness run: n=3, t=1, proposals (0,1,1), p1 unheard for 2 rounds",
 		"variant", "decisions", "agreement", "global round")
-	ok, _, err := ablationRow(o, table, "A_t+2[p1=1] (ablated)", core.New(core.Options{Phase1Rounds: 1}), s, props)
+	ra, rb, repa, repb, err := runPair(
+		core.New(core.Options{Phase1Rounds: 1}), s,
+		core.New(core.Options{}), s.Clone(), props)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("A1: %w", err)
 	}
+	ok, _ := ablationRow(table, "A_t+2[p1=1] (ablated)", ra, repa)
 	o.expect(!ok, "A1: shortened Phase 1 should violate agreement on the witness run")
-	ok, _, err = ablationRow(o, table, "A_t+2 (faithful)", core.New(core.Options{}), s.Clone(), props)
-	if err != nil {
-		return nil, err
-	}
+	ok, _ = ablationRow(table, "A_t+2 (faithful)", rb, repb)
 	o.expect(ok, "A1: faithful A_t+2 should keep agreement on the witness run")
 	o.Tables = append(o.Tables, table)
 	o.Notes = append(o.Notes,
@@ -85,15 +84,15 @@ func AblationHaltExchange() (*Outcome, error) {
 	props := []model.Value{0, 1, 1}
 	table := stats.NewTable("Witness run: n=3, t=1, proposals (0,1,1), p1 unheard for 3 rounds",
 		"variant", "decisions", "agreement", "global round")
-	ok, _, err := ablationRow(o, table, "A_t+2[nohaltx] (ablated)", core.New(core.Options{DisableHaltExchange: true}), s, props)
+	ra, rb, repa, repb, err := runPair(
+		core.New(core.Options{DisableHaltExchange: true}), s,
+		core.New(core.Options{}), s.Clone(), props)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("A2: %w", err)
 	}
+	ok, _ := ablationRow(table, "A_t+2[nohaltx] (ablated)", ra, repa)
 	o.expect(!ok, "A2: disabling the Halt exchange should violate agreement on the witness run")
-	ok, _, err = ablationRow(o, table, "A_t+2 (faithful)", core.New(core.Options{}), s.Clone(), props)
-	if err != nil {
-		return nil, err
-	}
+	ok, _ = ablationRow(table, "A_t+2 (faithful)", rb, repb)
 	o.expect(ok, "A2: faithful A_t+2 should keep agreement on the witness run")
 	o.Tables = append(o.Tables, table)
 	return o, nil
@@ -114,15 +113,15 @@ func AblationThreshold() (*Outcome, error) {
 	lenient := stats.NewTable("Threshold t+1 on the A2 witness run (n=3, t=1)",
 		"variant", "decisions", "agreement", "global round")
 	s := sched.DelayedSenderPrefix(3, 1, 3, 1)
-	ok, _, err := ablationRow(o, lenient, "A_t+2[thr=2] (lenient)", core.New(core.Options{DetectorThreshold: 2}), s, props)
+	ra, rb, repa, repb, err := runPair(
+		core.New(core.Options{DetectorThreshold: 2}), s,
+		core.New(core.Options{}), s.Clone(), props)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("A3: %w", err)
 	}
+	ok, _ := ablationRow(lenient, "A_t+2[thr=2] (lenient)", ra, repa)
 	o.expect(!ok, "A3: lenient threshold should violate agreement on the witness run")
-	ok, _, err = ablationRow(o, lenient, "A_t+2 (faithful)", core.New(core.Options{}), s.Clone(), props)
-	if err != nil {
-		return nil, err
-	}
+	ok, _ = ablationRow(lenient, "A_t+2 (faithful)", rb, repb)
 	o.expect(ok, "A3: faithful A_t+2 should keep agreement on the witness run")
 	o.Tables = append(o.Tables, lenient)
 
@@ -130,15 +129,15 @@ func AblationThreshold() (*Outcome, error) {
 		"variant", "decisions", "agreement", "global round")
 	crash := sched.New(3, 1)
 	crash.CrashSilent(2, 1)
-	_, gdr, err := ablationRow(o, strict, "A_t+2[thr=-1] (strict)", core.New(core.Options{DetectorThreshold: -1}), crash, props)
+	ra, rb, repa, repb, err = runPair(
+		core.New(core.Options{DetectorThreshold: -1}), crash,
+		core.New(core.Options{}), crash.Clone(), props)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("A3: %w", err)
 	}
+	_, gdr := ablationRow(strict, "A_t+2[thr=-1] (strict)", ra, repa)
 	o.expect(int(gdr) > 1+2, "A3: strict threshold should forfeit the t+2 fast decision, decided at %d", gdr)
-	_, gdr, err = ablationRow(o, strict, "A_t+2 (faithful)", core.New(core.Options{}), crash.Clone(), props)
-	if err != nil {
-		return nil, err
-	}
+	_, gdr = ablationRow(strict, "A_t+2 (faithful)", rb, repb)
 	o.expect(int(gdr) == 1+2, "A3: faithful A_t+2 should decide at t+2=3, decided at %d", gdr)
 	o.Tables = append(o.Tables, strict)
 	o.Notes = append(o.Notes,
@@ -166,16 +165,15 @@ func AblationPlurality() (*Outcome, error) {
 	s.CrashSilent(2, 2)                                        // the early decider vanishes
 	table := stats.NewTable("Witness run: n=7, t=2, proposals (1,2,...,2), p1 crashes hiding 1 from p2 only",
 		"variant", "decisions", "agreement", "global round")
-	ok, _, err := ablationRow(o, table, "A_f+2[noplur] (ablated)",
-		core.NewAfPlus2Opts(core.AfOptions{DisablePluralityAdoption: true}), s, props)
+	ra, rb, repa, repb, err := runPair(
+		core.NewAfPlus2Opts(core.AfOptions{DisablePluralityAdoption: true}), s,
+		core.NewAfPlus2(), s.Clone(), props)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("A4: %w", err)
 	}
+	ok, _ := ablationRow(table, "A_f+2[noplur] (ablated)", ra, repa)
 	o.expect(!ok, "A4: removing plurality adoption should violate agreement on the witness run")
-	ok, _, err = ablationRow(o, table, "A_f+2 (faithful)", core.NewAfPlus2(), s.Clone(), props)
-	if err != nil {
-		return nil, err
-	}
+	ok, _ = ablationRow(table, "A_f+2 (faithful)", rb, repb)
 	o.expect(ok, "A4: faithful A_f+2 should keep agreement on the witness run")
 	o.Tables = append(o.Tables, table)
 	return o, nil

@@ -10,6 +10,13 @@
 //   - valency analysis of partial runs (the Lemma 2–5 apparatus); and
 //   - the executable Claim 5.1 constructions (runs s1, s0, a2, a1, a0 of
 //     Fig. 1) with their indistinguishability assertions (construction.go).
+//
+// The explorer splits the serial-run tree at the first crash placement
+// into independent branches and explores them on a bounded worker pool
+// (Config.Workers), each worker owning its own reusable simulator and
+// schedule scratch. Per-branch aggregates are merged in the serial
+// depth-first order, so every result — including worst-case witnesses —
+// is identical for every worker count.
 package lowerbound
 
 import (
@@ -18,6 +25,7 @@ import (
 
 	"indulgence/internal/check"
 	"indulgence/internal/model"
+	"indulgence/internal/pool"
 	"indulgence/internal/sched"
 	"indulgence/internal/sim"
 )
@@ -64,6 +72,10 @@ type Config struct {
 	// Mode selects the receiver-subset enumeration (default
 	// PrefixSubsets).
 	Mode SubsetMode
+	// Workers bounds the explorer's parallelism: 0 selects one worker per
+	// runnable CPU (pool.Workers), 1 forces the serial path. Exploration
+	// results are independent of the worker count (witnesses included).
+	Workers int
 	// Base, if non-nil, is a schedule prefix (an asynchronous prefix, or
 	// a serial partial run that may already contain crashes); the
 	// explorer superimposes further crashes on clones of it. Its N, T and
@@ -118,6 +130,17 @@ func (c *Config) defaults() error {
 	return nil
 }
 
+// resolvedHorizon returns the horizon an exploration of cfg will use —
+// the explicit Horizon, or its default. Entry points whose visitors need
+// the horizon (to label undecided runs as Horizon+1) call it on their own
+// copy, leaving cfg itself untouched for foldSerialRuns' defaulting.
+func resolvedHorizon(cfg Config) (model.Round, error) {
+	if err := cfg.defaults(); err != nil {
+		return 0, err
+	}
+	return cfg.Horizon, nil
+}
+
 // Result reports an exploration's findings.
 type Result struct {
 	// WorstRound is the largest global decision round over all explored
@@ -145,170 +168,70 @@ type Result struct {
 // and reports the worst-case global decision round, a witness schedule and
 // any consensus violation.
 func Explore(cfg Config) (*Result, error) {
-	res := &Result{}
-	err := forEachSerialRun(cfg, func(s *sched.Schedule, r *sim.Result) {
-		res.Runs++
-		gdr, decided := r.GlobalDecisionRound()
-		if !r.AllAliveDecided || !decided {
-			gdr = cfg.Horizon + 1
-			res.Undecided = true
-		}
-		if gdr > res.WorstRound {
-			res.WorstRound = gdr
-			res.Witness = s.Clone()
-			if e, ok := check.EarliestDecisionRound(r); ok {
-				res.WitnessEarliest = e
-			} else {
-				res.WitnessEarliest = 0
-			}
-		}
-		if res.PropertyViolation == nil {
-			rep := check.Consensus(r, cfg.Proposals)
-			if !rep.Validity || !rep.Agreement {
-				res.PropertyViolation = rep.Err()
-				res.ViolationWitness = s.Clone()
-			}
-		}
-	})
+	// An undecided run must be recorded as Horizon+1 even when the caller
+	// left Horizon at its zero default.
+	horizon, err := resolvedHorizon(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return res, nil
+	return foldSerialRuns(cfg,
+		func() *Result { return &Result{} },
+		func(res *Result, s *sched.Schedule, r *sim.Result) {
+			res.Runs++
+			gdr, decided := r.GlobalDecisionRound()
+			if !r.AllAliveDecided || !decided {
+				gdr = horizon + 1
+				res.Undecided = true
+			}
+			if gdr > res.WorstRound {
+				res.WorstRound = gdr
+				res.Witness = s.Clone()
+				if e, ok := check.EarliestDecisionRound(r); ok {
+					res.WitnessEarliest = e
+				} else {
+					res.WitnessEarliest = 0
+				}
+			}
+			if res.PropertyViolation == nil {
+				rep := check.Consensus(r, cfg.Proposals)
+				if !rep.Validity || !rep.Agreement {
+					res.PropertyViolation = rep.Err()
+					res.ViolationWitness = s.Clone()
+				}
+			}
+		},
+		func(dst, src *Result) {
+			dst.Runs += src.Runs
+			dst.Undecided = dst.Undecided || src.Undecided
+			if src.WorstRound > dst.WorstRound {
+				dst.WorstRound = src.WorstRound
+				dst.Witness = src.Witness
+				dst.WitnessEarliest = src.WitnessEarliest
+			}
+			if dst.PropertyViolation == nil {
+				dst.PropertyViolation = src.PropertyViolation
+				dst.ViolationWitness = src.ViolationWitness
+			}
+		})
 }
 
 // DecisionValues returns the set of values decided across all serial runs
 // in the configured family — the valency of the (possibly empty) prefix.
 func DecisionValues(cfg Config) (map[model.Value]struct{}, error) {
-	vals := make(map[model.Value]struct{})
-	err := forEachSerialRun(cfg, func(_ *sched.Schedule, r *sim.Result) {
-		for _, d := range r.Decisions {
-			if d.Decided() {
-				vals[d.Value] = struct{}{}
+	return foldSerialRuns(cfg,
+		func() map[model.Value]struct{} { return make(map[model.Value]struct{}) },
+		func(vals map[model.Value]struct{}, _ *sched.Schedule, r *sim.Result) {
+			for _, d := range r.Decisions {
+				if d.Decided() {
+					vals[d.Value] = struct{}{}
+				}
 			}
-		}
-	})
-	if err != nil {
-		return nil, err
-	}
-	return vals, nil
-}
-
-// forEachSerialRun enumerates every serial run of the family and invokes
-// fn with its schedule and simulation result.
-func forEachSerialRun(cfg Config, fn func(*sched.Schedule, *sim.Result)) error {
-	if err := cfg.defaults(); err != nil {
-		return err
-	}
-	var newSched func() *sched.Schedule
-	if cfg.Base != nil {
-		newSched = cfg.Base.Clone
-	} else {
-		newSched = func() *sched.Schedule { return sched.New(cfg.N, cfg.T) }
-	}
-
-	type crash struct {
-		round   model.Round
-		proc    model.ProcessID
-		missing model.PIDSet
-	}
-	var (
-		chosen  []crash
-		runSim  func() error
-		descend func(r model.Round) error
-	)
-
-	runSim = func() error {
-		s := newSched()
-		for _, c := range chosen {
-			receivers := model.FullPIDSet(cfg.N).Diff(c.missing)
-			receivers.Remove(c.proc)
-			s.CrashWithReceivers(c.proc, c.round, receivers)
-		}
-		r, err := sim.Run(sim.Config{
-			Synchrony:      cfg.Synchrony,
-			Schedule:       s,
-			Proposals:      cfg.Proposals,
-			Factory:        cfg.Factory,
-			MaxRounds:      cfg.Horizon,
-			SkipTrace:      true,
-			SkipValidation: true,
+		},
+		func(dst, src map[model.Value]struct{}) {
+			for v := range src {
+				dst[v] = struct{}{}
+			}
 		})
-		if err != nil {
-			return fmt.Errorf("lowerbound: simulate %v: %w", s, err)
-		}
-		fn(s, r)
-		return nil
-	}
-
-	// missingSets enumerates the candidate sets of receivers that miss a
-	// crashing process p's last messages.
-	missingSets := func(p model.ProcessID) []model.PIDSet {
-		others := make([]model.ProcessID, 0, cfg.N-1)
-		for q := model.ProcessID(1); int(q) <= cfg.N; q++ {
-			if q != p {
-				others = append(others, q)
-			}
-		}
-		if cfg.Mode == PrefixSubsets {
-			sets := make([]model.PIDSet, 0, cfg.N)
-			var cur model.PIDSet
-			sets = append(sets, cur)
-			for _, q := range others {
-				cur.Add(q)
-				sets = append(sets, cur)
-			}
-			return sets
-		}
-		total := 1 << len(others)
-		sets := make([]model.PIDSet, 0, total)
-		for mask := 0; mask < total; mask++ {
-			var set model.PIDSet
-			for i, q := range others {
-				if mask&(1<<i) != 0 {
-					set.Add(q)
-				}
-			}
-			sets = append(sets, set)
-		}
-		return sets
-	}
-
-	descend = func(r model.Round) error {
-		if len(chosen) == cfg.MaxCrashes || r > cfg.MaxCrashRound {
-			return runSim()
-		}
-		// No crash in round r.
-		if err := descend(r + 1); err != nil {
-			return err
-		}
-		// One crash in round r: any process not yet crashed (in the base
-		// prefix or in this branch).
-		for p := model.ProcessID(1); int(p) <= cfg.N; p++ {
-			if cfg.Base != nil && !cfg.Base.Correct(p) {
-				continue
-			}
-			already := false
-			for _, c := range chosen {
-				if c.proc == p {
-					already = true
-					break
-				}
-			}
-			if already {
-				continue
-			}
-			for _, miss := range missingSets(p) {
-				chosen = append(chosen, crash{round: r, proc: p, missing: miss})
-				if err := descend(r + 1); err != nil {
-					return err
-				}
-				chosen = chosen[:len(chosen)-1]
-			}
-		}
-		return nil
-	}
-
-	return descend(cfg.FirstCrashRound)
 }
 
 // Distribution returns the histogram of global decision rounds over every
@@ -317,16 +240,261 @@ func forEachSerialRun(cfg Config, fn func(*sched.Schedule, *sim.Result)) error {
 // distribution exposes the whole profile — the average-case face of the
 // price of indulgence.
 func Distribution(cfg Config) (map[model.Round]int, error) {
-	hist := make(map[model.Round]int)
-	err := forEachSerialRun(cfg, func(_ *sched.Schedule, r *sim.Result) {
-		gdr, decided := r.GlobalDecisionRound()
-		if !decided || !r.AllAliveDecided {
-			gdr = cfg.Horizon + 1
-		}
-		hist[gdr]++
-	})
+	// Undecided runs are keyed by Horizon+1, resolved like in Explore.
+	horizon, err := resolvedHorizon(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return hist, nil
+	return foldSerialRuns(cfg,
+		func() map[model.Round]int { return make(map[model.Round]int) },
+		func(hist map[model.Round]int, _ *sched.Schedule, r *sim.Result) {
+			gdr, decided := r.GlobalDecisionRound()
+			if !decided || !r.AllAliveDecided {
+				gdr = horizon + 1
+			}
+			hist[gdr]++
+		},
+		func(dst, src map[model.Round]int) {
+			for r, c := range src {
+				dst[r] += c
+			}
+		})
+}
+
+// crash is one crash placement: proc crashes in round round and exactly
+// the processes in missing never receive its last message.
+type crash struct {
+	round   model.Round
+	proc    model.ProcessID
+	missing model.PIDSet
+}
+
+// branch is one independent subtree of the serial-run family, identified
+// by the placement of the first crash. first.proc == 0 denotes the
+// crash-free run (a single leaf).
+type branch struct {
+	first crash
+}
+
+// explorer holds the read-only state shared by all workers of one
+// exploration.
+type explorer struct {
+	cfg  Config
+	miss [][]model.PIDSet // miss[p-1]: candidate missing-receiver sets of p
+}
+
+// missingSets enumerates the candidate sets of receivers that miss a
+// crashing process p's last messages.
+func (e *explorer) missingSets(p model.ProcessID) []model.PIDSet {
+	others := make([]model.ProcessID, 0, e.cfg.N-1)
+	for q := model.ProcessID(1); int(q) <= e.cfg.N; q++ {
+		if q != p {
+			others = append(others, q)
+		}
+	}
+	if e.cfg.Mode == PrefixSubsets {
+		sets := make([]model.PIDSet, 0, e.cfg.N)
+		var cur model.PIDSet
+		sets = append(sets, cur)
+		for _, q := range others {
+			cur.Add(q)
+			sets = append(sets, cur)
+		}
+		return sets
+	}
+	total := 1 << len(others)
+	sets := make([]model.PIDSet, 0, total)
+	for mask := 0; mask < total; mask++ {
+		var set model.PIDSet
+		for i, q := range others {
+			if mask&(1<<i) != 0 {
+				set.Add(q)
+			}
+		}
+		sets = append(sets, set)
+	}
+	return sets
+}
+
+// eligible reports whether p may crash (it is not already crashed in the
+// base prefix).
+func (e *explorer) eligible(p model.ProcessID) bool {
+	return e.cfg.Base == nil || e.cfg.Base.Correct(p)
+}
+
+// branches enumerates the top-level branches in serial depth-first order:
+// the crash-free leaf first, then first-crash placements from the latest
+// round down to FirstCrashRound (the recursion visits the crash-free
+// continuation of each round before the crashes of that round, so later
+// first-crash rounds precede earlier ones in the depth-first order),
+// within a round by process id, within a process by missing-set order.
+func (e *explorer) branches() []branch {
+	out := []branch{{}}
+	if e.cfg.MaxCrashes <= 0 {
+		return out
+	}
+	for k := e.cfg.MaxCrashRound; k >= e.cfg.FirstCrashRound; k-- {
+		for p := model.ProcessID(1); int(p) <= e.cfg.N; p++ {
+			if !e.eligible(p) {
+				continue
+			}
+			for _, miss := range e.miss[p-1] {
+				out = append(out, branch{first: crash{round: k, proc: p, missing: miss}})
+			}
+		}
+	}
+	return out
+}
+
+// worker executes branches serially: it owns a reusable simulator, a
+// prototype schedule and a scratch schedule rebuilt per run.
+type worker struct {
+	e       *explorer
+	sim     sim.Simulator
+	proto   *sched.Schedule
+	scratch *sched.Schedule
+	chosen  []crash
+	visit   func(*sched.Schedule, *sim.Result)
+}
+
+func (e *explorer) newWorker() *worker {
+	proto := e.cfg.Base
+	if proto == nil {
+		proto = sched.New(e.cfg.N, e.cfg.T)
+	}
+	return &worker{
+		e:       e,
+		proto:   proto,
+		scratch: sched.New(e.cfg.N, e.cfg.T),
+		chosen:  make([]crash, 0, e.cfg.MaxCrashes),
+	}
+}
+
+// runBranch explores one branch in depth-first order.
+func (w *worker) runBranch(b branch) error {
+	w.chosen = w.chosen[:0]
+	if b.first.proc == 0 {
+		return w.runSim()
+	}
+	w.chosen = append(w.chosen, b.first)
+	return w.descend(b.first.round + 1)
+}
+
+// runSim simulates the run given by the chosen crashes and hands it to the
+// visitor. The schedule is scratch state reused for the next run; visitors
+// must Clone it if they keep it.
+func (w *worker) runSim() error {
+	s := w.scratch.CopyFrom(w.proto)
+	for _, c := range w.chosen {
+		receivers := model.FullPIDSet(w.e.cfg.N).Diff(c.missing)
+		receivers.Remove(c.proc)
+		s.CrashWithReceivers(c.proc, c.round, receivers)
+	}
+	r, err := w.sim.Run(sim.Config{
+		Synchrony:      w.e.cfg.Synchrony,
+		Schedule:       s,
+		Proposals:      w.e.cfg.Proposals,
+		Factory:        w.e.cfg.Factory,
+		MaxRounds:      w.e.cfg.Horizon,
+		SkipTrace:      true,
+		SkipValidation: true,
+	})
+	if err != nil {
+		return fmt.Errorf("lowerbound: simulate %v: %w", s, err)
+	}
+	w.visit(s, r)
+	return nil
+}
+
+// descend continues the crash placement from round r onwards: no crash in
+// round r, or one crash of any not-yet-crashed process with each candidate
+// missing set.
+func (w *worker) descend(r model.Round) error {
+	if len(w.chosen) == w.e.cfg.MaxCrashes || r > w.e.cfg.MaxCrashRound {
+		return w.runSim()
+	}
+	// No crash in round r.
+	if err := w.descend(r + 1); err != nil {
+		return err
+	}
+	// One crash in round r: any process not yet crashed (in the base
+	// prefix or in this branch).
+	for p := model.ProcessID(1); int(p) <= w.e.cfg.N; p++ {
+		if !w.e.eligible(p) {
+			continue
+		}
+		already := false
+		for _, c := range w.chosen {
+			if c.proc == p {
+				already = true
+				break
+			}
+		}
+		if already {
+			continue
+		}
+		for _, miss := range w.e.miss[p-1] {
+			w.chosen = append(w.chosen, crash{round: r, proc: p, missing: miss})
+			if err := w.descend(r + 1); err != nil {
+				return err
+			}
+			w.chosen = w.chosen[:len(w.chosen)-1]
+		}
+	}
+	return nil
+}
+
+// foldSerialRuns enumerates every serial run of the family, feeding each
+// run to visit on some aggregate P, and merges the per-branch aggregates
+// in serial depth-first order. visit observes runs in the exact serial
+// order within each branch, and merge is applied in branch order, so the
+// fold is deterministic for every worker count. The schedule handed to
+// visit is scratch state: clone it to keep it.
+func foldSerialRuns[P any](cfg Config, newP func() P, visit func(P, *sched.Schedule, *sim.Result), merge func(dst, src P)) (P, error) {
+	var zero P
+	if err := cfg.defaults(); err != nil {
+		return zero, err
+	}
+	e := &explorer{cfg: cfg, miss: make([][]model.PIDSet, cfg.N)}
+	for p := model.ProcessID(1); int(p) <= cfg.N; p++ {
+		e.miss[p-1] = e.missingSets(p)
+	}
+	branches := e.branches()
+
+	if pool.Workers(cfg.Workers, len(branches)) == 1 {
+		// Serial fast path: one accumulator, visited in branch order —
+		// the same fold the parallel path reproduces through its
+		// branch-ordered merge, without per-branch partials.
+		acc := newP()
+		w := e.newWorker()
+		w.visit = func(s *sched.Schedule, r *sim.Result) { visit(acc, s, r) }
+		for _, b := range branches {
+			if err := w.runBranch(b); err != nil {
+				return zero, err
+			}
+		}
+		return acc, nil
+	}
+
+	partials := make([]P, len(branches))
+	errs := make([]error, len(branches))
+	pool.ForEach(cfg.Workers, len(branches), func() func(int) {
+		w := e.newWorker()
+		return func(bi int) {
+			p := newP()
+			partials[bi] = p
+			w.visit = func(s *sched.Schedule, r *sim.Result) { visit(p, s, r) }
+			errs[bi] = w.runBranch(branches[bi])
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return zero, err
+		}
+	}
+	acc := newP()
+	for _, p := range partials {
+		merge(acc, p)
+	}
+	return acc, nil
 }

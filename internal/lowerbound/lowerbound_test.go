@@ -267,3 +267,51 @@ func TestFindBivalentPartial(t *testing.T) {
 		t.Fatalf("found a bivalent 1-round partial run: %v", res.Witness)
 	}
 }
+
+// neverDecides is an algorithm that participates but never decides — the
+// explorer's model-checker stress case.
+type neverDecides struct{}
+
+func (neverDecides) Name() string                         { return "never" }
+func (neverDecides) StartRound(model.Round) model.Payload { return nil }
+func (neverDecides) EndRound(model.Round, []model.Message) {
+}
+func (neverDecides) Decision() (model.Value, bool) { return 0, false }
+
+// TestUndecidedRunsReportHorizon pins the Horizon bookkeeping: a run that
+// never fully decides must be recorded as Horizon+1 (with the Undecided
+// flag) even when the caller leaves Horizon at its zero default — both in
+// Explore's worst case and in Distribution's histogram key.
+func TestUndecidedRunsReportHorizon(t *testing.T) {
+	factory := func(model.ProcessContext, model.Value) (model.Algorithm, error) {
+		return neverDecides{}, nil
+	}
+	cfg := lowerbound.Config{
+		N: 3, T: 1,
+		Synchrony:  model.ES,
+		Factory:    factory,
+		Proposals:  props(3),
+		MaxCrashes: -1, // crash-free run only
+	}
+	// The defaulted horizon for this config: MaxCrashRound + 3t + 8.
+	wantHorizon := model.Round(1+2*1+1) + model.Round(3*1+8)
+
+	res, err := lowerbound.Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Undecided {
+		t.Fatal("undecided run not flagged")
+	}
+	if res.WorstRound != wantHorizon+1 {
+		t.Fatalf("WorstRound = %d, want Horizon+1 = %d", res.WorstRound, wantHorizon+1)
+	}
+
+	hist, err := lowerbound.Distribution(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist[wantHorizon+1] != 1 || len(hist) != 1 {
+		t.Fatalf("histogram = %v, want {%d: 1}", hist, wantHorizon+1)
+	}
+}

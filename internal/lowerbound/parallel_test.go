@@ -1,0 +1,163 @@
+package lowerbound_test
+
+import (
+	"fmt"
+	"testing"
+
+	"indulgence/internal/baseline"
+	"indulgence/internal/core"
+	"indulgence/internal/lowerbound"
+	"indulgence/internal/model"
+	"indulgence/internal/sched"
+)
+
+// exploreSummary renders everything Explore reports, witnesses included,
+// so two explorations can be compared for exact equality.
+func exploreSummary(r *lowerbound.Result) string {
+	witness, violWitness := "<nil>", "<nil>"
+	if r.Witness != nil {
+		witness = r.Witness.String()
+	}
+	if r.ViolationWitness != nil {
+		violWitness = r.ViolationWitness.String()
+	}
+	return fmt.Sprintf("worst=%d witness=%s earliest=%d runs=%d undecided=%v violation=%v violWitness=%s",
+		r.WorstRound, witness, r.WitnessEarliest, r.Runs, r.Undecided, r.PropertyViolation, violWitness)
+}
+
+// TestParallelExploreDeterminism asserts that Explore, Distribution and
+// DecisionValues report identical results — including the worst-case
+// witness schedule — for every worker count, across both subset modes and
+// several algorithms. This is the merge-order guarantee of the parallel
+// explorer: worker interleaving must never show through.
+func TestParallelExploreDeterminism(t *testing.T) {
+	algos := []struct {
+		name    string
+		factory model.Factory
+	}{
+		{"atplus2", core.New(core.Options{})},
+		{"hurfinraynal", baseline.NewHurfinRaynal()},
+		{"ct", baseline.NewCT()},
+	}
+	modes := []lowerbound.SubsetMode{lowerbound.PrefixSubsets, lowerbound.AllSubsets}
+	workerCounts := []int{2, 3, 8, 32}
+
+	for _, a := range algos {
+		for _, mode := range modes {
+			t.Run(fmt.Sprintf("%s/mode=%d", a.name, mode), func(t *testing.T) {
+				cfg := lowerbound.Config{
+					N: 3, T: 1,
+					Synchrony:     model.ES,
+					Factory:       a.factory,
+					Proposals:     []model.Value{1, 2, 3},
+					MaxCrashRound: 4,
+					Mode:          mode,
+					Workers:       1,
+				}
+				serial, err := lowerbound.Explore(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				serialSummary := exploreSummary(serial)
+				serialDist, err := lowerbound.Distribution(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				serialVals, err := lowerbound.DecisionValues(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				for _, workers := range workerCounts {
+					pcfg := cfg
+					pcfg.Workers = workers
+					par, err := lowerbound.Explore(pcfg)
+					if err != nil {
+						t.Fatalf("workers=%d: %v", workers, err)
+					}
+					if got := exploreSummary(par); got != serialSummary {
+						t.Errorf("workers=%d Explore diverged:\ngot  %s\nwant %s", workers, got, serialSummary)
+					}
+					dist, err := lowerbound.Distribution(pcfg)
+					if err != nil {
+						t.Fatalf("workers=%d: %v", workers, err)
+					}
+					if fmt.Sprint(dist) != fmt.Sprint(serialDist) {
+						t.Errorf("workers=%d Distribution diverged:\ngot  %v\nwant %v", workers, dist, serialDist)
+					}
+					vals, err := lowerbound.DecisionValues(pcfg)
+					if err != nil {
+						t.Fatalf("workers=%d: %v", workers, err)
+					}
+					if fmt.Sprint(vals) != fmt.Sprint(serialVals) {
+						t.Errorf("workers=%d DecisionValues diverged:\ngot  %v\nwant %v", workers, vals, serialVals)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelExploreWithBase checks worker-count independence when the
+// exploration extends a base prefix that already contains a crash (the
+// "synchronous after round k" family), where the branch enumeration must
+// skip already-crashed processes and count the base crash against the
+// budget.
+func TestParallelExploreWithBase(t *testing.T) {
+	base := sched.New(5, 2, sched.WithGSR(2))
+	base.CrashWithReceivers(2, 1, model.NewPIDSet(1, 3))
+	cfg := lowerbound.Config{
+		Synchrony:       model.ES,
+		Factory:         core.New(core.Options{}),
+		Proposals:       []model.Value{1, 2, 3, 4, 5},
+		FirstCrashRound: 2,
+		MaxCrashRound:   5,
+		Base:            base,
+		Workers:         1,
+	}
+	serial, err := lowerbound.Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Runs <= 1 {
+		t.Fatalf("base exploration too small to be meaningful: %d runs", serial.Runs)
+	}
+	want := exploreSummary(serial)
+	for _, workers := range []int{2, 8} {
+		pcfg := cfg
+		pcfg.Workers = workers
+		par, err := lowerbound.Explore(pcfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := exploreSummary(par); got != want {
+			t.Errorf("workers=%d diverged:\ngot  %s\nwant %s", workers, got, want)
+		}
+	}
+}
+
+// TestParallelExploreDefaultWorkers checks the default worker selection
+// path (Workers=0) agrees with the serial result.
+func TestParallelExploreDefaultWorkers(t *testing.T) {
+	cfg := lowerbound.Config{
+		N: 3, T: 1,
+		Synchrony:     model.ES,
+		Factory:       core.New(core.Options{}),
+		Proposals:     []model.Value{1, 2, 3},
+		MaxCrashRound: 3,
+		Mode:          lowerbound.AllSubsets,
+		Workers:       1,
+	}
+	serial, err := lowerbound.Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 0
+	def, err := lowerbound.Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exploreSummary(def) != exploreSummary(serial) {
+		t.Errorf("default workers diverged:\ngot  %s\nwant %s", exploreSummary(def), exploreSummary(serial))
+	}
+}

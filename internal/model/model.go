@@ -162,11 +162,16 @@ func (m Message) Clone() Message {
 	return c
 }
 
-// Payload is the algorithm-specific content of a message. Implementations
-// must be treated as immutable once sent; ClonePayload returns a deep copy
-// for safe hand-off across process boundaries, and AppendDigest must be a
-// deterministic, injective-per-Kind encoding (it drives run digests and the
-// indistinguishability checks behind the paper's lower-bound argument).
+// Payload is the algorithm-specific content of a message. Payloads are
+// shared-immutable: once a payload has been returned from StartRound it
+// must never be mutated again — not by the sender and not by any receiver.
+// Under that contract the simulator delivers the same payload value to
+// every recipient without cloning; ClonePayload returns a deep copy for
+// the cases that still need ownership (trace recording, wire hand-off, and
+// algorithms that opt out of the contract via PayloadMutator). AppendDigest
+// must be a deterministic, injective-per-Kind encoding (it drives run
+// digests and the indistinguishability checks behind the paper's
+// lower-bound argument).
 type Payload interface {
 	// Kind returns a short stable identifier of the payload type, unique
 	// across all payload types in the repository (used by digests and the
@@ -190,7 +195,13 @@ type Payload interface {
 //  2. EndRound(k, delivered) is called once with every message delivered
 //     in round k's receive phase: all round-k messages the adversary
 //     delivers on time plus, in ES, older messages whose delay expires at
-//     round k. Messages are sorted by (Round, From).
+//     round k. Messages are sorted by (Round, From). The delivered slice
+//     is only valid for the duration of the call (the simulator reuses its
+//     backing array across rounds); algorithms that retain messages must
+//     copy the slice. Payloads inside delivered messages are shared with
+//     the sender and the other recipients and must not be mutated (see
+//     Payload); an algorithm that needs to mutate them declares it via
+//     PayloadMutator and receives private clones instead.
 //
 // Decision reports the decided value as soon as the algorithm decides;
 // once set it must never change (the checkers verify this). Algorithms
@@ -206,6 +217,18 @@ type Algorithm interface {
 	EndRound(k Round, delivered []Message)
 	// Decision returns the decided value, if any.
 	Decision() (Value, bool)
+}
+
+// PayloadMutator is an optional extension of Algorithm for implementations
+// that mutate the payloads handed to EndRound (none of the algorithms in
+// this repository do). When any algorithm of a run reports true, the
+// simulator falls back to cloning every delivered payload per recipient,
+// restoring exclusive ownership at the cost of the allocation-free
+// shared-immutable fast path.
+type PayloadMutator interface {
+	// MutatesReceivedPayloads reports whether EndRound may mutate the
+	// payloads of the messages it is handed.
+	MutatesReceivedPayloads() bool
 }
 
 // Factory constructs one process's algorithm instance. It is invoked once

@@ -3,15 +3,20 @@ package payload
 import "indulgence/internal/model"
 
 // OfRound returns the messages among delivered that were sent in round k
-// (in ES, delivered may also contain older, delayed messages).
+// (in ES, delivered may also contain older, delayed messages). delivered
+// must be sorted by (Round, From) as the Algorithm contract guarantees, so
+// the round-k messages form a contiguous block and the result is a
+// read-only subslice of delivered — no allocation.
 func OfRound(k model.Round, delivered []model.Message) []model.Message {
-	out := make([]model.Message, 0, len(delivered))
-	for _, m := range delivered {
-		if m.Round == k {
-			out = append(out, m)
-		}
+	lo := 0
+	for lo < len(delivered) && delivered[lo].Round < k {
+		lo++
 	}
-	return out
+	hi := lo
+	for hi < len(delivered) && delivered[hi].Round == k {
+		hi++
+	}
+	return delivered[lo:hi:hi]
 }
 
 // FindDecide scans delivered (any send round) for a Decide payload and

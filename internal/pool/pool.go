@@ -1,0 +1,63 @@
+// Package pool provides the bounded worker pool shared by the batch
+// simulator (sim.RunBatch) and the lower-bound explorer: a fixed number
+// of workers claim indexed tasks from an atomic counter, with worker-local
+// state held in per-worker closures. Keeping the scaffolding in one place
+// guarantees the two hot paths never diverge on clamping or claiming
+// semantics.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers clamps a requested worker count: non-positive requests select
+// min(GOMAXPROCS, NumCPU) — the work is CPU-bound, so oversubscribing
+// runnable CPUs only adds scheduling overhead — and no pool ever runs
+// more workers than tasks.
+func Workers(requested, tasks int) int {
+	if requested <= 0 {
+		requested = min(runtime.GOMAXPROCS(0), runtime.NumCPU())
+	}
+	return max(1, min(requested, tasks))
+}
+
+// ForEach executes body(i) for every i in [0, n) on a pool of workers
+// (clamped via Workers). newBody is invoked once per worker and returns
+// that worker's body, so worker-local state (a reused simulator, schedule
+// scratch) lives in the closure. With one worker everything runs inline on
+// the calling goroutine. Bodies must record their own results and errors
+// by index; ForEach returns when all tasks are done.
+func ForEach(workers, n int, newBody func() func(i int)) {
+	workers = Workers(workers, n)
+	if n == 0 {
+		return
+	}
+	if workers == 1 {
+		body := newBody()
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var (
+		next int64 = -1
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body := newBody()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				body(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

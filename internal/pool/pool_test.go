@@ -1,0 +1,70 @@
+package pool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersClamp(t *testing.T) {
+	def := min(runtime.GOMAXPROCS(0), runtime.NumCPU())
+	cases := []struct{ requested, tasks, want int }{
+		{0, 100, def},
+		{-3, 100, def},
+		{5, 100, 5},
+		{5, 3, 3},
+		{0, 0, 1},
+		{8, 1, 1},
+	}
+	for _, tc := range cases {
+		if got := Workers(tc.requested, tc.tasks); got != tc.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", tc.requested, tc.tasks, got, tc.want)
+		}
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 500
+		var counts [n]int64
+		var bodies int64
+		ForEach(workers, n, func() func(int) {
+			atomic.AddInt64(&bodies, 1)
+			return func(i int) { atomic.AddInt64(&counts[i], 1) }
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, c)
+			}
+		}
+		if got := int(atomic.LoadInt64(&bodies)); got > workers {
+			t.Fatalf("workers=%d: %d worker bodies created", workers, got)
+		}
+	}
+}
+
+func TestForEachSingleWorkerRunsInOrder(t *testing.T) {
+	var order []int
+	ForEach(1, 10, func() func(int) {
+		return func(i int) { order = append(order, i) }
+	})
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial ForEach out of order: %v", order)
+		}
+	}
+	if len(order) != 10 {
+		t.Fatalf("executed %d of 10 tasks", len(order))
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	called := false
+	ForEach(4, 0, func() func(int) {
+		called = true
+		return func(int) {}
+	})
+	if called {
+		t.Fatal("worker body created for an empty task set")
+	}
+}

@@ -270,6 +270,31 @@ func (s *Schedule) IsSerial() bool {
 	return true
 }
 
+// CopyFrom resets s to a deep copy of src while keeping s's allocated map
+// capacity — the allocation-free counterpart of Clone for callers that
+// rebuild many schedule variants from one prototype (the lower-bound
+// explorer's workers).
+func (s *Schedule) CopyFrom(src *Schedule) *Schedule {
+	s.n, s.t, s.gsr, s.allowUnsafe = src.n, src.t, src.gsr, src.allowUnsafe
+	if s.crashes == nil {
+		s.crashes = make(map[model.ProcessID]model.Round, len(src.crashes))
+	} else {
+		clear(s.crashes)
+	}
+	if s.fates == nil {
+		s.fates = make(map[fateKey]Fate, len(src.fates))
+	} else {
+		clear(s.fates)
+	}
+	for p, r := range src.crashes {
+		s.crashes[p] = r
+	}
+	for k, f := range src.fates {
+		s.fates[k] = f
+	}
+	return s
+}
+
 // Clone returns a deep copy of the schedule.
 func (s *Schedule) Clone() *Schedule {
 	c := &Schedule{

@@ -146,3 +146,40 @@ func TestScheduleString(t *testing.T) {
 		t.Fatal("String() not deterministic")
 	}
 }
+
+func TestCopyFrom(t *testing.T) {
+	proto := New(4, 1, WithGSR(3), AllowUnsafeResilience())
+	proto.Crash(2, 1)
+	proto.Delay(1, 1, 3, 4)
+
+	// CopyFrom overwrites unrelated prior state and matches Clone.
+	s := New(9, 5)
+	s.Crash(7, 2)
+	s.Drop(1, 8, 9)
+	s.CopyFrom(proto)
+	if s.String() != proto.String() {
+		t.Fatalf("CopyFrom mismatch:\ngot  %s\nwant %s", s, proto)
+	}
+	if s.N() != 4 || s.T() != 1 || s.GSR() != 3 {
+		t.Fatalf("parameters not copied: %s", s)
+	}
+	if err := s.Validate(model.ES); err != nil {
+		t.Fatalf("allowUnsafe not copied: %v", err)
+	}
+
+	// Mutating the copy leaves the prototype untouched.
+	s.Crash(4, 2)
+	s.Drop(2, 1, 2)
+	if !proto.Correct(4) {
+		t.Fatal("CopyFrom aliased the crash map")
+	}
+	if proto.FateOf(2, 1, 2).Kind != OnTime {
+		t.Fatal("CopyFrom aliased the fate map")
+	}
+
+	// Repeated CopyFrom restores the prototype state exactly.
+	s.CopyFrom(proto)
+	if s.String() != proto.String() {
+		t.Fatalf("second CopyFrom mismatch:\ngot  %s\nwant %s", s, proto)
+	}
+}

@@ -4,14 +4,22 @@
 // It is a deterministic lockstep simulator: given the same configuration it
 // produces the same run, which is what makes the lower-bound exploration
 // and the indistinguishability constructions reproducible.
+//
+// The package offers three entry points, fastest last:
+//
+//   - Run executes a single run (a convenience wrapper);
+//   - Simulator executes many runs while reusing scratch state — the hot
+//     path of the exhaustive explorer and the random sweeps;
+//   - RunBatch fans a slice of independent runs out over a bounded worker
+//     pool, one Simulator per worker, preserving input order.
 package sim
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"indulgence/internal/model"
+	"indulgence/internal/pool"
 	"indulgence/internal/sched"
 	"indulgence/internal/trace"
 )
@@ -43,8 +51,10 @@ type Config struct {
 	// decided (by default the run stops at that point).
 	RunToMaxRounds bool
 	// SkipTrace suppresses per-round history recording (Result.Run will
-	// be nil). Decisions and crash rounds are still reported. Used by
-	// the lower-bound explorer, which runs millions of simulations.
+	// be nil). Decisions and crash rounds are still reported, and
+	// delivered payloads are shared between recipients rather than cloned
+	// (see model.Payload). Used by the lower-bound explorer, which runs
+	// millions of simulations.
 	SkipTrace bool
 	// SkipValidation trusts the schedule to be valid for the model.
 	// Only generators that produce valid-by-construction schedules
@@ -110,183 +120,36 @@ type delivery struct {
 // for configuration problems or algorithm contract violations; consensus
 // property violations (possible with invalid resilience, as in the
 // split-brain experiment) are reported by package check, not here.
+//
+// Run is a convenience wrapper over a fresh Simulator; callers executing
+// many runs should reuse a Simulator (or RunBatch) instead.
 func Run(cfg Config) (*Result, error) {
-	s := cfg.Schedule
-	if s == nil {
-		return nil, fmt.Errorf("%w: nil schedule", ErrConfig)
-	}
-	n := s.N()
-	if len(cfg.Proposals) != n {
-		return nil, fmt.Errorf("%w: %d proposals for n=%d", ErrConfig, len(cfg.Proposals), n)
-	}
-	if cfg.Factory == nil {
-		return nil, fmt.Errorf("%w: nil factory", ErrConfig)
-	}
-	if cfg.Synchrony != model.SCS && cfg.Synchrony != model.ES {
-		return nil, fmt.Errorf("%w: unknown synchrony %v", ErrConfig, cfg.Synchrony)
-	}
-	if !cfg.SkipValidation {
-		if err := s.Validate(cfg.Synchrony); err != nil {
-			return nil, err
-		}
-	}
-	maxRounds := cfg.MaxRounds
-	if maxRounds == 0 {
-		maxRounds = s.MaxScheduledRound() + model.Round(3*n+8*(s.T()+2)+12)
-	}
+	var sm Simulator
+	return sm.Run(cfg)
+}
 
-	algs := make([]model.Algorithm, n)
-	for i := 0; i < n; i++ {
-		ctx := model.ProcessContext{Self: model.ProcessID(i + 1), N: n, T: s.T()}
-		a, err := cfg.Factory(ctx, cfg.Proposals[i])
+// RunBatch executes the given runs concurrently on a bounded worker pool
+// (clamped via pool.Workers; workers <= 0 selects one worker per runnable
+// CPU) and returns their results in input order. Each worker owns one
+// Simulator, so the batch amortizes scratch state exactly like a
+// hand-rolled Simulator loop while exploiting every core. Every run is
+// always executed; if any fail, the error of the lowest-indexed failing
+// run is returned and the results of successful runs are still populated.
+// Determinism: each run is independent and the output order is the input
+// order, so the outcome is identical for every worker count.
+func RunBatch(workers int, cfgs []Config) ([]*Result, error) {
+	results := make([]*Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	pool.ForEach(workers, len(cfgs), func() func(int) {
+		var sm Simulator
+		return func(i int) { results[i], errs[i] = sm.Run(cfgs[i]) }
+	})
+	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("sim: build algorithm for p%d: %w", i+1, err)
-		}
-		algs[i] = a
-	}
-
-	res := &Result{
-		Decisions:   make([]Decision, n),
-		CrashRounds: make([]model.Round, n),
-	}
-	for i := 0; i < n; i++ {
-		if r, ok := s.CrashRound(model.ProcessID(i + 1)); ok {
-			res.CrashRounds[i] = r
+			return results, fmt.Errorf("sim: batch run %d: %w", i, err)
 		}
 	}
-
-	var run *trace.Run
-	if !cfg.SkipTrace {
-		run = &trace.Run{
-			N:         n,
-			T:         s.T(),
-			Synchrony: cfg.Synchrony,
-			Algorithm: algs[0].Name(),
-			GSR:       s.GSR(),
-			Procs:     make([]trace.ProcessTrace, n),
-		}
-		for i := 0; i < n; i++ {
-			run.Procs[i] = trace.ProcessTrace{
-				ID:         model.ProcessID(i + 1),
-				Proposal:   cfg.Proposals[i],
-				CrashRound: res.CrashRounds[i],
-			}
-		}
-		res.Run = run
-	}
-
-	pending := make(map[model.Round][]delivery)
-	executed := model.Round(0)
-
-	for k := model.Round(1); k <= maxRounds; k++ {
-		executed = k
-		// Send phase: every process that has not crashed in an earlier
-		// round broadcasts, including to itself (self-delivery is always
-		// in-round).
-		for i := 0; i < n; i++ {
-			p := model.ProcessID(i + 1)
-			if !s.SendsIn(p, k) {
-				continue
-			}
-			payload := algs[i].StartRound(k)
-			if run != nil {
-				var sent model.Payload
-				if payload != nil {
-					sent = payload.ClonePayload()
-				}
-				run.Procs[i].Steps = append(run.Procs[i].Steps, trace.Step{
-					Round: k,
-					Sent:  sent,
-					Sends: true,
-				})
-			}
-			for j := 0; j < n; j++ {
-				q := model.ProcessID(j + 1)
-				res.MessagesSent++
-				fate := s.FateOf(k, p, q)
-				var at model.Round
-				switch fate.Kind {
-				case sched.OnTime:
-					at = k
-				case sched.Delayed:
-					at = fate.DeliverRound
-				case sched.Lost:
-					continue
-				default:
-					return nil, fmt.Errorf("%w: invalid fate kind %v", ErrConfig, fate.Kind)
-				}
-				var pl model.Payload
-				if payload != nil {
-					pl = payload.ClonePayload()
-				}
-				pending[at] = append(pending[at], delivery{
-					to:  q,
-					msg: model.Message{From: p, Round: k, Payload: pl},
-				})
-			}
-		}
-
-		// Receive phase: every process that completes round k is handed
-		// everything the adversary delivers in round k, sorted by
-		// (send round, sender).
-		arrivals := pending[k]
-		delete(pending, k)
-		inbox := make([][]model.Message, n)
-		for _, d := range arrivals {
-			if !s.CompletesRound(d.to, k) {
-				continue
-			}
-			res.MessagesDelivered++
-			inbox[d.to-1] = append(inbox[d.to-1], d.msg)
-		}
-		for i := 0; i < n; i++ {
-			p := model.ProcessID(i + 1)
-			if !s.CompletesRound(p, k) {
-				continue
-			}
-			msgs := inbox[i]
-			sort.Slice(msgs, func(a, b int) bool {
-				if msgs[a].Round != msgs[b].Round {
-					return msgs[a].Round < msgs[b].Round
-				}
-				return msgs[a].From < msgs[b].From
-			})
-			algs[i].EndRound(k, msgs)
-			if run != nil {
-				st := &run.Procs[i].Steps[len(run.Procs[i].Steps)-1]
-				st.Completes = true
-				recv := make([]model.Message, len(msgs))
-				for mi, m := range msgs {
-					recv[mi] = m.Clone()
-				}
-				st.Received = recv
-			}
-			if v, ok := algs[i].Decision(); ok {
-				if res.Decisions[i].Decided() {
-					if res.Decisions[i].Value != v {
-						return nil, fmt.Errorf("%w: p%d decided %d then %d", ErrUnstableDecision, p, res.Decisions[i].Value, v)
-					}
-				} else {
-					res.Decisions[i] = Decision{Value: v, Round: k}
-					if run != nil {
-						run.Procs[i].Decided = model.Some(v)
-						run.Procs[i].DecidedRound = k
-					}
-				}
-			}
-		}
-
-		if !cfg.RunToMaxRounds && allAliveDecided(s, res, k) {
-			break
-		}
-	}
-
-	res.Rounds = executed
-	res.AllAliveDecided = allAliveDecided(s, res, executed)
-	if run != nil {
-		run.Rounds = executed
-	}
-	return res, nil
+	return results, nil
 }
 
 // allAliveDecided reports whether every process that completed round k has

@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"fmt"
+	"slices"
+
+	"indulgence/internal/model"
+	"indulgence/internal/sched"
+	"indulgence/internal/trace"
+)
+
+// Simulator executes runs while reusing its scratch state — the pending
+// delivery queues, the per-process inboxes and the algorithm table — so
+// that repeated simulations (the exhaustive explorer, the random sweeps)
+// stop paying the per-run setup cost. A Simulator is not safe for
+// concurrent use; spawn one per goroutine (RunBatch and the lower-bound
+// explorer do exactly that).
+//
+// The Result returned by Run is freshly allocated and remains valid after
+// subsequent runs. Message payloads inside a recorded trace are deep
+// copies; everywhere else payloads follow the shared-immutable contract of
+// model.Payload.
+type Simulator struct {
+	algs    []model.Algorithm
+	pending [][]delivery      // pending[r]: deliveries due in round r
+	inbox   [][]model.Message // inbox[i]: messages for process i+1 this round
+}
+
+// NewSimulator returns a Simulator with empty scratch state. The zero
+// value is also usable; New exists for symmetry and future options.
+func NewSimulator() *Simulator { return &Simulator{} }
+
+// Reset drops every reference retained in the scratch state (pending
+// messages, inboxes, algorithm instances of the previous run) while
+// keeping the allocated capacity. Run resets implicitly; call Reset only
+// to release payload memory while keeping the Simulator itself.
+func (sm *Simulator) Reset() {
+	for i := range sm.algs {
+		sm.algs[i] = nil
+	}
+	// Walk the full capacity: a smaller follow-up run reslices pending and
+	// inbox below earlier lengths, leaving populated slices parked between
+	// len and cap.
+	pending := sm.pending[:cap(sm.pending)]
+	for r := range pending {
+		clearDeliveries(pending[r])
+		pending[r] = pending[r][:0]
+	}
+	inbox := sm.inbox[:cap(sm.inbox)]
+	for i := range inbox {
+		clearMessages(inbox[i])
+		inbox[i] = inbox[i][:0]
+	}
+}
+
+func clearDeliveries(ds []delivery) {
+	ds = ds[:cap(ds)]
+	for i := range ds {
+		ds[i] = delivery{}
+	}
+}
+
+func clearMessages(ms []model.Message) {
+	ms = ms[:cap(ms)]
+	for i := range ms {
+		ms[i] = model.Message{}
+	}
+}
+
+// cmpMessages orders deliveries by (send round, sender) — the order the
+// Algorithm contract promises to EndRound.
+func cmpMessages(a, b model.Message) int {
+	if a.Round != b.Round {
+		return int(a.Round - b.Round)
+	}
+	return int(a.From - b.From)
+}
+
+// Run executes one run and returns its outcome, like the package-level Run
+// but reusing the Simulator's scratch state. The error is non-nil only for
+// configuration problems or algorithm contract violations.
+func (sm *Simulator) Run(cfg Config) (*Result, error) {
+	s := cfg.Schedule
+	if s == nil {
+		return nil, fmt.Errorf("%w: nil schedule", ErrConfig)
+	}
+	n := s.N()
+	if len(cfg.Proposals) != n {
+		return nil, fmt.Errorf("%w: %d proposals for n=%d", ErrConfig, len(cfg.Proposals), n)
+	}
+	if cfg.Factory == nil {
+		return nil, fmt.Errorf("%w: nil factory", ErrConfig)
+	}
+	if cfg.Synchrony != model.SCS && cfg.Synchrony != model.ES {
+		return nil, fmt.Errorf("%w: unknown synchrony %v", ErrConfig, cfg.Synchrony)
+	}
+	if !cfg.SkipValidation {
+		if err := s.Validate(cfg.Synchrony); err != nil {
+			return nil, err
+		}
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = s.MaxScheduledRound() + model.Round(3*n+8*(s.T()+2)+12)
+	}
+
+	algs := sm.algs[:0]
+	for i := 0; i < n; i++ {
+		ctx := model.ProcessContext{Self: model.ProcessID(i + 1), N: n, T: s.T()}
+		a, err := cfg.Factory(ctx, cfg.Proposals[i])
+		if err != nil {
+			return nil, fmt.Errorf("sim: build algorithm for p%d: %w", i+1, err)
+		}
+		algs = append(algs, a)
+	}
+	sm.algs = algs
+
+	res := &Result{
+		Decisions:   make([]Decision, n),
+		CrashRounds: make([]model.Round, n),
+	}
+	for i := 0; i < n; i++ {
+		if r, ok := s.CrashRound(model.ProcessID(i + 1)); ok {
+			res.CrashRounds[i] = r
+		}
+	}
+
+	var run *trace.Run
+	if !cfg.SkipTrace {
+		run = &trace.Run{
+			N:         n,
+			T:         s.T(),
+			Synchrony: cfg.Synchrony,
+			Algorithm: algs[0].Name(),
+			GSR:       s.GSR(),
+			Procs:     make([]trace.ProcessTrace, n),
+		}
+		for i := 0; i < n; i++ {
+			run.Procs[i] = trace.ProcessTrace{
+				ID:         model.ProcessID(i + 1),
+				Proposal:   cfg.Proposals[i],
+				CrashRound: res.CrashRounds[i],
+			}
+		}
+		res.Run = run
+	}
+
+	// Payloads are shared-immutable (model.Payload): one broadcast payload
+	// is delivered to every recipient without cloning, unless a trace is
+	// recorded or some algorithm opts out via model.PayloadMutator.
+	cloneDeliveries := run != nil
+	if !cloneDeliveries {
+		for _, a := range algs {
+			if pm, ok := a.(model.PayloadMutator); ok && pm.MutatesReceivedPayloads() {
+				cloneDeliveries = true
+				break
+			}
+		}
+	}
+
+	// pending is indexed by delivery round; entries keep their backing
+	// arrays across runs. Deliveries scheduled past maxRounds can never be
+	// received and are dropped at enqueue time.
+	pending := sm.pending
+	if int(maxRounds) >= cap(pending) {
+		pending = append(pending[:cap(pending)], make([][]delivery, int(maxRounds)+1-cap(pending))...)
+	}
+	pending = pending[:int(maxRounds)+1]
+	for r := range pending {
+		pending[r] = pending[r][:0]
+	}
+	sm.pending = pending
+
+	inbox := sm.inbox
+	if n > cap(inbox) {
+		inbox = append(inbox[:cap(inbox)], make([][]model.Message, n-cap(inbox))...)
+	}
+	inbox = inbox[:n]
+	sm.inbox = inbox
+
+	executed := model.Round(0)
+
+	for k := model.Round(1); k <= maxRounds; k++ {
+		executed = k
+		// Send phase: every process that has not crashed in an earlier
+		// round broadcasts, including to itself (self-delivery is always
+		// in-round).
+		for i := 0; i < n; i++ {
+			p := model.ProcessID(i + 1)
+			if !s.SendsIn(p, k) {
+				continue
+			}
+			payload := algs[i].StartRound(k)
+			if run != nil {
+				var sent model.Payload
+				if payload != nil {
+					sent = payload.ClonePayload()
+				}
+				run.Procs[i].Steps = append(run.Procs[i].Steps, trace.Step{
+					Round: k,
+					Sent:  sent,
+					Sends: true,
+				})
+			}
+			for j := 0; j < n; j++ {
+				q := model.ProcessID(j + 1)
+				res.MessagesSent++
+				fate := s.FateOf(k, p, q)
+				var at model.Round
+				switch fate.Kind {
+				case sched.OnTime:
+					at = k
+				case sched.Delayed:
+					at = fate.DeliverRound
+				case sched.Lost:
+					continue
+				default:
+					return nil, fmt.Errorf("%w: invalid fate kind %v", ErrConfig, fate.Kind)
+				}
+				if at > maxRounds {
+					continue
+				}
+				pl := payload
+				if cloneDeliveries && payload != nil {
+					pl = payload.ClonePayload()
+				}
+				if pending[at] == nil {
+					pending[at] = make([]delivery, 0, n*n)
+				}
+				pending[at] = append(pending[at], delivery{
+					to:  q,
+					msg: model.Message{From: p, Round: k, Payload: pl},
+				})
+			}
+		}
+
+		// Receive phase: every process that completes round k is handed
+		// everything the adversary delivers in round k, sorted by
+		// (send round, sender).
+		arrivals := pending[k]
+		for i := 0; i < n; i++ {
+			inbox[i] = inbox[i][:0]
+		}
+		for _, d := range arrivals {
+			if !s.CompletesRound(d.to, k) {
+				continue
+			}
+			res.MessagesDelivered++
+			if inbox[d.to-1] == nil {
+				inbox[d.to-1] = make([]model.Message, 0, n)
+			}
+			inbox[d.to-1] = append(inbox[d.to-1], d.msg)
+		}
+		for i := 0; i < n; i++ {
+			p := model.ProcessID(i + 1)
+			if !s.CompletesRound(p, k) {
+				continue
+			}
+			msgs := inbox[i]
+			slices.SortFunc(msgs, cmpMessages)
+			algs[i].EndRound(k, msgs)
+			if run != nil {
+				st := &run.Procs[i].Steps[len(run.Procs[i].Steps)-1]
+				st.Completes = true
+				recv := make([]model.Message, len(msgs))
+				for mi, m := range msgs {
+					recv[mi] = m.Clone()
+				}
+				st.Received = recv
+			}
+			if v, ok := algs[i].Decision(); ok {
+				if res.Decisions[i].Decided() {
+					if res.Decisions[i].Value != v {
+						return nil, fmt.Errorf("%w: p%d decided %d then %d", ErrUnstableDecision, p, res.Decisions[i].Value, v)
+					}
+				} else {
+					res.Decisions[i] = Decision{Value: v, Round: k}
+					if run != nil {
+						run.Procs[i].Decided = model.Some(v)
+						run.Procs[i].DecidedRound = k
+					}
+				}
+			}
+		}
+
+		if !cfg.RunToMaxRounds && allAliveDecided(s, res, k) {
+			break
+		}
+	}
+
+	res.Rounds = executed
+	res.AllAliveDecided = allAliveDecided(s, res, executed)
+	if run != nil {
+		run.Rounds = executed
+	}
+	return res, nil
+}
