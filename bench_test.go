@@ -10,9 +10,11 @@
 package indulgence_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"indulgence"
 	"indulgence/internal/experiments"
@@ -300,4 +302,80 @@ func BenchmarkMicroSimHR(b *testing.B) {
 			b.Fatalf("gdr = %d", gdr)
 		}
 	}
+}
+
+// BenchmarkMicroServiceThroughput measures the consensus service end to
+// end: one iteration drives 256 closed-loop proposals through batched
+// concurrent instances over an in-memory cluster and reports
+// decisions/sec (instances) and proposals/sec as custom metrics.
+func BenchmarkMicroServiceThroughput(b *testing.B) {
+	const (
+		n, t      = 4, 1
+		proposals = 256
+		clients   = 32
+	)
+	b.ReportAllocs()
+	var totalProps, totalInstances int
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		hub, err := indulgence.NewHub(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eps := make([]indulgence.Transport, n)
+		for j := range eps {
+			if eps[j], err = hub.Endpoint(indulgence.ProcessID(j + 1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		svc, err := indulgence.NewService(indulgence.ServiceConfig{
+			N: n, T: t,
+			Factory:     indulgence.NewAtPlus2(indulgence.AtPlus2Options{}),
+			BaseTimeout: 5 * time.Millisecond,
+			MaxBatch:    4,
+			Linger:      time.Millisecond,
+			MaxInflight: 32,
+		}, eps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		var wg sync.WaitGroup
+		next := make(chan indulgence.Value, proposals)
+		for v := 1; v <= proposals; v++ {
+			next <- indulgence.Value(v)
+		}
+		close(next)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for v := range next {
+					fut, err := svc.Propose(ctx, v)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if _, err := fut.Wait(ctx); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if err := svc.Close(); err != nil {
+			b.Fatal(err)
+		}
+		st := svc.Snapshot()
+		if len(st.Violations) != 0 {
+			b.Fatalf("consensus violations: %v", st.Violations)
+		}
+		totalProps += st.Resolved
+		totalInstances += st.Instances
+		_ = hub.Close()
+	}
+	elapsed := time.Since(start).Seconds()
+	b.ReportMetric(float64(totalProps)/elapsed, "proposals/sec")
+	b.ReportMetric(float64(totalInstances)/elapsed, "decisions/sec")
 }

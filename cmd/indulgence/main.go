@@ -1,7 +1,7 @@
 // Command indulgence is the command-line front end of the reproduction:
 // it runs single simulated runs, worst-case serial-run explorations, the
-// full experiment suite (regenerating every table in EXPERIMENTS.md), and
-// live goroutine clusters.
+// full experiment suite (regenerating every table in EXPERIMENTS.md), live
+// goroutine clusters, and the multi-instance consensus service.
 //
 // Usage:
 //
@@ -10,6 +10,11 @@
 //	indulgence table [-id E1|E2|...|A4|all] [-samples N]
 //	indulgence live  [-algo A] [-n N] [-t T] [-transport memory|tcp]
 //	                 [-delay D] [-crash P] [-timeout D]
+//	indulgence serve [-algo A] [-n N] [-t T] [-transport memory|tcp]
+//	                 [-batch B] [-linger D] [-inflight I]
+//	indulgence bench-service [-algo A] [-n N] [-t T] [-transport memory|tcp]
+//	                 [-proposals P] [-clients C] [-batch B] [-linger D]
+//	                 [-inflight I] [-delay D] [-heal D] [-timeout D]
 //
 // Algorithms: atplus2, atplus2ff, diamonds, afplus2, floodset, floodsetws,
 // ct, hurfinraynal, amr. Schedules: ff, killer2, killer3, splitbrain,
@@ -35,7 +40,6 @@ import (
 	"indulgence/internal/sched"
 	"indulgence/internal/sim"
 	"indulgence/internal/stats"
-	"indulgence/internal/transport"
 )
 
 func main() {
@@ -59,6 +63,10 @@ func run(args []string) error {
 		return cmdTable(args[1:])
 	case "live":
 		return cmdLive(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
+	case "bench-service":
+		return cmdBenchService(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -69,12 +77,14 @@ func run(args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: indulgence <run|worst|table|live> [flags]
+	fmt.Fprintln(os.Stderr, `usage: indulgence <run|worst|table|live|serve|bench-service> [flags]
 
-  run    simulate one run of an algorithm under a schedule
-  worst  explore all serial runs and report the worst-case decision round
-  table  regenerate the paper's experiment tables (E1..E9, A1..A4, all)
-  live   run a live goroutine cluster (in-memory or TCP transport)
+  run            simulate one run of an algorithm under a schedule
+  worst          explore all serial runs and report the worst-case decision round
+  table          regenerate the paper's experiment tables (E1..E9, A1..A4, all)
+  live           run a live goroutine cluster (in-memory or TCP transport)
+  serve          run the consensus service; proposals read from stdin, one per line
+  bench-service  closed-loop load test of the consensus service
 
 run 'indulgence <cmd> -h' for the flags of each subcommand.`)
 }
@@ -342,34 +352,11 @@ func cmdLive(args []string) error {
 		policy = core.WaitQuorum
 	}
 
-	eps := make([]transport.Transport, *n)
-	var hub *transport.Hub
-	switch *trans {
-	case "memory":
-		hub, err = transport.NewHub(*n)
-		if err != nil {
-			return err
-		}
-		defer func() { _ = hub.Close() }()
-		for i := range eps {
-			if eps[i], err = hub.Endpoint(model.ProcessID(i + 1)); err != nil {
-				return err
-			}
-		}
-	case "tcp":
-		tc, err := transport.NewTCPCluster(*n)
-		if err != nil {
-			return err
-		}
-		defer func() { _ = tc.Close() }()
-		for i := range eps {
-			if eps[i], err = tc.Endpoint(model.ProcessID(i + 1)); err != nil {
-				return err
-			}
-		}
-	default:
-		return fmt.Errorf("unknown transport %q", *trans)
+	eps, hub, closeTransport, err := buildEndpoints(*trans, *n)
+	if err != nil {
+		return err
 	}
+	defer closeTransport()
 
 	props := make([]model.Value, *n)
 	for i := range props {

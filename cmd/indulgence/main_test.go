@@ -85,3 +85,50 @@ func TestRunTraceExport(t *testing.T) {
 		t.Fatalf("trace content: n=%d rounds=%d", run.N, run.Rounds)
 	}
 }
+
+func TestServeSubcommand(t *testing.T) {
+	in, err := os.CreateTemp(t.TempDir(), "stdin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.WriteString("1\n2\n\nnot-a-number\n3\n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdin
+	os.Stdin = in
+	defer func() { os.Stdin = old; _ = in.Close() }()
+	if err := run([]string{"serve", "-n", "4", "-t", "1", "-timeout", "10ms",
+		"-batch", "2", "-linger", "5ms"}); err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+}
+
+func TestBenchServiceSubcommand(t *testing.T) {
+	if err := run([]string{"bench-service", "-n", "4", "-t", "1", "-proposals", "64",
+		"-clients", "16", "-batch", "4", "-inflight", "16", "-timeout", "5ms",
+		"-delay", "10ms", "-heal", "50ms"}); err != nil {
+		t.Fatalf("bench-service memory: %v", err)
+	}
+	if err := run([]string{"bench-service", "-n", "3", "-t", "1", "-transport", "tcp",
+		"-proposals", "32", "-clients", "8", "-timeout", "10ms"}); err != nil {
+		t.Fatalf("bench-service tcp: %v", err)
+	}
+}
+
+func TestServiceSubcommandErrors(t *testing.T) {
+	cases := [][]string{
+		{"serve", "-algo", "unknown"},
+		{"serve", "-transport", "warp"},
+		{"bench-service", "-algo", "unknown"},
+		{"bench-service", "-transport", "warp"},
+		{"bench-service", "-transport", "tcp", "-delay", "5ms", "-proposals", "1", "-clients", "1"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"indulgence/internal/model"
+	"indulgence/internal/service"
+	"indulgence/internal/stats"
+	"indulgence/internal/transport"
+)
+
+// buildEndpoints assembles n transport endpoints over the chosen
+// transport. hub is nil for tcp; closer shuts the transport down.
+func buildEndpoints(trans string, n int) (eps []transport.Transport, hub *transport.Hub, closer func(), err error) {
+	eps = make([]transport.Transport, n)
+	switch trans {
+	case "memory":
+		hub, err = transport.NewHub(n)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		for i := range eps {
+			if eps[i], err = hub.Endpoint(model.ProcessID(i + 1)); err != nil {
+				_ = hub.Close()
+				return nil, nil, nil, err
+			}
+		}
+		return eps, hub, func() { _ = hub.Close() }, nil
+	case "tcp":
+		tc, err := transport.NewTCPCluster(n)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		for i := range eps {
+			if eps[i], err = tc.Endpoint(model.ProcessID(i + 1)); err != nil {
+				_ = tc.Close()
+				return nil, nil, nil, err
+			}
+		}
+		return eps, nil, func() { _ = tc.Close() }, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("unknown transport %q", trans)
+	}
+}
+
+// serviceFlags are the flags shared by serve and bench-service.
+type serviceFlags struct {
+	algo     *string
+	n, t     *int
+	trans    *string
+	batch    *int
+	linger   *time.Duration
+	inflight *int
+	timeout  *time.Duration
+}
+
+func newServiceFlags(fs *flag.FlagSet) serviceFlags {
+	return serviceFlags{
+		algo:     fs.String("algo", "atplus2", "algorithm"),
+		n:        fs.Int("n", 5, "number of processes"),
+		t:        fs.Int("t", 2, "resilience bound"),
+		trans:    fs.String("transport", "memory", "transport: memory or tcp"),
+		batch:    fs.Int("batch", 8, "max proposals per consensus instance"),
+		linger:   fs.Duration("linger", 2*time.Millisecond, "max wait to fill a batch"),
+		inflight: fs.Int("inflight", 64, "max concurrently running instances"),
+		timeout:  fs.Duration("timeout", 25*time.Millisecond, "base suspicion timeout"),
+	}
+}
+
+// start builds the transport and the service from the parsed flags.
+func (f serviceFlags) start() (*service.Service, *transport.Hub, func(), error) {
+	factory, err := factoryByName(*f.algo)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	eps, hub, closeTransport, err := buildEndpoints(*f.trans, *f.n)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	svc, err := service.New(service.Config{
+		N: *f.n, T: *f.t,
+		Factory:     factory,
+		BaseTimeout: *f.timeout,
+		MaxBatch:    *f.batch,
+		Linger:      *f.linger,
+		MaxInflight: *f.inflight,
+	}, eps)
+	if err != nil {
+		closeTransport()
+		return nil, nil, nil, err
+	}
+	return svc, hub, closeTransport, nil
+}
+
+// cmdServe runs the consensus service interactively: every line on stdin
+// is one integer proposal; its decision is printed when the instance it
+// was batched into resolves. EOF drains the service and prints a summary.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	f := newServiceFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	svc, _, closeTransport, err := f.start()
+	if err != nil {
+		return err
+	}
+	defer closeTransport()
+
+	fmt.Printf("consensus service up: %s, n=%d t=%d, %s transport, batch ≤ %d, linger %s, ≤ %d instances inflight\n",
+		*f.algo, *f.n, *f.t, *f.trans, *f.batch, *f.linger, *f.inflight)
+	fmt.Println("enter one integer proposal per line (EOF to stop):")
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var scanErr error
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(line, 10, 64)
+		if err != nil {
+			fmt.Printf("not a proposal: %q\n", line)
+			continue
+		}
+		fut, err := svc.Propose(ctx, model.Value(v))
+		if err != nil {
+			scanErr = err
+			break
+		}
+		wg.Add(1)
+		go func(v int64) {
+			defer wg.Done()
+			dec, err := fut.Wait(ctx)
+			if err != nil {
+				fmt.Printf("proposal %d failed: %v\n", v, err)
+				return
+			}
+			fmt.Printf("proposal %d -> instance %d decided %d (round %d, batch of %d)\n",
+				v, dec.Instance, dec.Value, dec.Round, dec.Batch)
+		}(v)
+	}
+	if scanErr == nil {
+		scanErr = sc.Err()
+	}
+	wg.Wait()
+	if err := svc.Close(); err != nil {
+		return err
+	}
+	st := svc.Snapshot()
+	fmt.Printf("served %d proposals over %d instances; latency %s\n",
+		st.Resolved, st.Instances, st.Latency)
+	if len(st.Violations) > 0 {
+		return fmt.Errorf("%d consensus violations: %v", len(st.Violations), st.Violations)
+	}
+	return scanErr
+}
+
+// cmdBenchService is the closed-loop load generator: C client workers
+// each submit proposals back-to-back (propose, wait, repeat) until P
+// proposals have resolved, optionally under an injected asynchronous
+// period, and the run reports throughput and latency percentiles.
+func cmdBenchService(args []string) error {
+	fs := flag.NewFlagSet("bench-service", flag.ContinueOnError)
+	f := newServiceFlags(fs)
+	var (
+		proposals = fs.Int("proposals", 2048, "total proposals to drive")
+		clients   = fs.Int("clients", 128, "closed-loop client workers")
+		delay     = fs.Duration("delay", 0, "delay injected on p1's outbound links (memory transport)")
+		heal      = fs.Duration("heal", 500*time.Millisecond, "when to heal the injected delay")
+		limit     = fs.Duration("limit", 5*time.Minute, "overall deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	svc, hub, closeTransport, err := f.start()
+	if err != nil {
+		return err
+	}
+	defer closeTransport()
+	if *delay > 0 {
+		if hub == nil {
+			return fmt.Errorf("delay injection needs the memory transport")
+		}
+		hub.DelayProcess(1, *delay)
+		time.AfterFunc(*heal, hub.Heal)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *limit)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+		next     = make(chan model.Value, *proposals)
+	)
+	for i := 0; i < *proposals; i++ {
+		next <- model.Value(i + 1)
+	}
+	close(next)
+	begin := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v := range next {
+				fut, err := svc.Propose(ctx, v)
+				if err == nil {
+					_, err = fut.Wait(ctx)
+				}
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("proposal %d: %w", v, err)
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(begin)
+	if err := svc.Close(); err != nil {
+		return err
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+
+	st := svc.Snapshot()
+	table := stats.NewTable(
+		fmt.Sprintf("bench-service: %s, n=%d t=%d, %s transport, %d clients, batch ≤ %d, ≤ %d inflight",
+			*f.algo, *f.n, *f.t, *f.trans, *clients, *f.batch, *f.inflight),
+		"metric", "value")
+	table.AddRowf("proposals resolved", st.Resolved)
+	table.AddRowf("instances decided", st.Instances)
+	table.AddRowf("wall time", elapsed.Round(time.Millisecond))
+	table.AddRowf("proposals/sec", fmt.Sprintf("%.0f", float64(st.Resolved)/elapsed.Seconds()))
+	table.AddRowf("decisions/sec (instances)", fmt.Sprintf("%.0f", float64(st.Instances)/elapsed.Seconds()))
+	table.AddRowf("mean batch", fmt.Sprintf("%.2f", float64(st.Resolved)/float64(max(st.Instances, 1))))
+	table.AddRowf("latency p50", st.Latency.P50.Round(time.Microsecond))
+	table.AddRowf("latency p90", st.Latency.P90.Round(time.Microsecond))
+	table.AddRowf("latency p99", st.Latency.P99.Round(time.Microsecond))
+	table.AddRowf("latency max", st.Latency.Max.Round(time.Microsecond))
+	table.AddRowf("rounds min..max (t+2 floor)", fmt.Sprintf("%d..%d (%d)", st.Rounds.Min, st.Rounds.Max, *f.t+2))
+	table.AddRowf("check violations", len(st.Violations))
+	table.Render(os.Stdout)
+	if len(st.Violations) > 0 {
+		return fmt.Errorf("%d consensus violations: %v", len(st.Violations), st.Violations)
+	}
+	if st.Failed > 0 || st.InstanceFailures > 0 {
+		return fmt.Errorf("%d proposals / %d instances failed", st.Failed, st.InstanceFailures)
+	}
+	return nil
+}

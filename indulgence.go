@@ -16,6 +16,9 @@
 //   - a live runtime executing the same algorithms as goroutine processes
 //     over in-memory or TCP transports with adaptive timeout failure
 //     detection;
+//   - a consensus service multiplexing many concurrent batched instances
+//     over one cluster's connections, with per-proposal decision futures
+//     and latency accounting;
 //   - the experiment suite regenerating every quantitative claim of the
 //     paper (see EXPERIMENTS.md).
 //
@@ -42,6 +45,7 @@ import (
 	"indulgence/internal/model"
 	"indulgence/internal/runtime"
 	"indulgence/internal/sched"
+	"indulgence/internal/service"
 	"indulgence/internal/sim"
 	"indulgence/internal/trace"
 	"indulgence/internal/transport"
@@ -184,6 +188,13 @@ func CheckConsensus(res *SimResult, proposals []Value) Report {
 	return check.Consensus(res, proposals)
 }
 
+// CheckInstance verifies validity, uniform agreement and termination over
+// the live decisions of one consensus instance (a runtime cluster or a
+// service shard); decisions[i] belongs to process i+1.
+func CheckInstance(decisions []OptValue, proposals []Value, crashed PIDSet) Report {
+	return check.Instance(decisions, proposals, crashed)
+}
+
 // ReadRunTrace deserializes a recorded run written with
 // (*RunTrace).WriteJSON.
 func ReadRunTrace(r io.Reader) (*RunTrace, error) { return trace.ReadJSON(r) }
@@ -301,6 +312,32 @@ func NewTCPCluster(n int) (*TCPCluster, error) { return transport.NewTCPCluster(
 
 // NewCluster assembles a live cluster (started with its Run method).
 func NewCluster(cfg ClusterConfig) (*Cluster, error) { return runtime.New(cfg) }
+
+// Consensus service (many concurrent instances over one live cluster).
+type (
+	// ServiceConfig describes a consensus service: batching, instance
+	// sharding and per-instance runtime parameters.
+	ServiceConfig = service.Config
+	// Service multiplexes batched consensus instances over one cluster.
+	Service = service.Service
+	// ServiceDecision is the resolution of a batched proposal.
+	ServiceDecision = service.Decision
+	// ServiceFuture resolves to the decision of a proposal's instance.
+	ServiceFuture = service.Future
+	// ServiceStats is a snapshot of service counters and latency
+	// percentiles.
+	ServiceStats = service.Stats
+	// Mux multiplexes consensus instances over one transport endpoint.
+	Mux = transport.Mux
+)
+
+// NewService starts a consensus service over one endpoint per process.
+func NewService(cfg ServiceConfig, endpoints []Transport) (*Service, error) {
+	return service.New(cfg, endpoints)
+}
+
+// NewMux multiplexes instance-addressed streams over one endpoint.
+func NewMux(ep Transport) *Mux { return transport.NewMux(ep) }
 
 // Experiments.
 type (

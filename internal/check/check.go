@@ -1,8 +1,11 @@
 // Package check verifies the consensus properties of Sect. 1.3 of the
-// paper over simulated runs: validity (a decided value was proposed),
-// uniform agreement (no two processes decide differently, whether or not
-// they later crash), and termination (every correct process decides). It
-// also extracts the round-complexity measurements the experiments report.
+// paper: validity (a decided value was proposed), uniform agreement (no
+// two processes decide differently, whether or not they later crash), and
+// termination (every correct process decides). Consensus checks recorded
+// simulator runs; Instance checks the live decisions of one runtime
+// cluster or service shard — the service audits every resolved instance
+// with it. The package also extracts the round-complexity measurements
+// the experiments report.
 package check
 
 import (
@@ -87,6 +90,53 @@ func Consensus(res *sim.Result, proposals []model.Value) Report {
 			rep.Agreement = false
 			rep.Violations = append(rep.Violations,
 				fmt.Sprintf("agreement: p%d decided %d but p%d decided %d", firstDecider, firstValue, p, d.Value))
+		}
+	}
+	return rep
+}
+
+// Instance checks the consensus properties over the live decisions of one
+// consensus instance, as collected by the runtime or the service layer:
+// decisions[i] is the decision of process i+1 (⊥ if it never decided).
+// Validity and uniform agreement are checked exactly as for simulated
+// runs; termination requires every process outside crashed to have
+// decided. GlobalDecisionRound is not populated — live rounds live in the
+// runtime's NodeResults, not here.
+func Instance(decisions []model.OptValue, proposals []model.Value, crashed model.PIDSet) Report {
+	rep := Report{Validity: true, Agreement: true, Termination: true}
+
+	proposed := make(map[model.Value]struct{}, len(proposals))
+	for _, v := range proposals {
+		proposed[v] = struct{}{}
+	}
+
+	var (
+		firstValue   model.Value
+		firstDecider model.ProcessID
+		haveDecision bool
+	)
+	for i, d := range decisions {
+		p := model.ProcessID(i + 1)
+		v, ok := d.Get()
+		if !ok {
+			if !crashed.Has(p) {
+				rep.Termination = false
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("termination: correct process p%d never decided", p))
+			}
+			continue
+		}
+		if _, ok := proposed[v]; !ok {
+			rep.Validity = false
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("validity: p%d decided unproposed value %d", p, v))
+		}
+		if !haveDecision {
+			firstValue, firstDecider, haveDecision = v, p, true
+		} else if v != firstValue {
+			rep.Agreement = false
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("agreement: p%d decided %d but p%d decided %d", firstDecider, firstValue, p, v))
 		}
 	}
 	return rep

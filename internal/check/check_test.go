@@ -94,3 +94,39 @@ func TestDecisionRounds(t *testing.T) {
 		t.Fatal("no decisions should report !ok")
 	}
 }
+
+func TestInstance(t *testing.T) {
+	props := []model.Value{1, 2, 3}
+	ok := Instance(
+		[]model.OptValue{model.Some(2), model.Some(2), model.Some(2)}, props, 0)
+	if !ok.OK() || ok.Err() != nil {
+		t.Fatalf("clean instance flagged: %+v", ok)
+	}
+
+	crashedOnly := Instance(
+		[]model.OptValue{model.Some(1), model.Bottom(), model.Some(1)}, props,
+		model.NewPIDSet(2))
+	if !crashedOnly.OK() {
+		t.Fatalf("crashed non-decider flagged: %+v", crashedOnly)
+	}
+
+	noTerm := Instance(
+		[]model.OptValue{model.Some(1), model.Bottom(), model.Some(1)}, props, 0)
+	if noTerm.Termination || noTerm.Validity != true || noTerm.Agreement != true {
+		t.Fatalf("missing decider not flagged: %+v", noTerm)
+	}
+
+	split := Instance(
+		[]model.OptValue{model.Some(1), model.Some(3)}, props, 0)
+	if split.Agreement {
+		t.Fatalf("split decision not flagged: %+v", split)
+	}
+	if !errors.Is(split.Err(), ErrViolation) {
+		t.Fatalf("Err() = %v", split.Err())
+	}
+
+	invalid := Instance([]model.OptValue{model.Some(9)}, props, 0)
+	if invalid.Validity {
+		t.Fatalf("unproposed value not flagged: %+v", invalid)
+	}
+}

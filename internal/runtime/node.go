@@ -1,0 +1,207 @@
+package runtime
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"indulgence/internal/core"
+	"indulgence/internal/fd"
+	"indulgence/internal/model"
+	"indulgence/internal/transport"
+	"indulgence/internal/wire"
+)
+
+// node is one live process: the per-shard unit of the runtime. Each node
+// owns its round loop, its algorithm state machine, and its timeout
+// detector; only the transport endpoint underneath (and, when the
+// endpoint is a mux stream, the sockets and mailboxes behind it) is
+// shared with other instances.
+type node struct {
+	id        model.ProcessID
+	cfg       *Config
+	alg       model.Algorithm
+	ep        transport.Transport
+	detector  *fd.TimeoutDetector
+	buffered  map[model.Round][]model.Message
+	late      []model.Message // older-round messages awaiting delivery
+	decisions chan<- NodeResult
+
+	crashMu  sync.Mutex
+	crashFn  context.CancelFunc
+	crashed  bool
+	preCrash bool // crash requested before start
+}
+
+// start launches the node's round loop.
+func (n *node) start(ctx context.Context, wg *sync.WaitGroup) {
+	nodeCtx, cancel := context.WithCancel(ctx)
+	n.crashMu.Lock()
+	n.crashFn = cancel
+	pre := n.preCrash
+	n.crashMu.Unlock()
+	if pre {
+		cancel()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n.loop(nodeCtx)
+	}()
+}
+
+// crash cancels the node's context.
+func (n *node) crash() {
+	n.crashMu.Lock()
+	defer n.crashMu.Unlock()
+	n.crashed = true
+	if n.crashFn != nil {
+		n.crashFn()
+	} else {
+		n.preCrash = true
+	}
+}
+
+// report emits the node's terminal result exactly once.
+func (n *node) report(decided model.OptValue, round model.Round, start time.Time) {
+	n.crashMu.Lock()
+	crashed := n.crashed
+	n.crashMu.Unlock()
+	n.decisions <- NodeResult{
+		ID:       n.id,
+		Decision: decided,
+		Round:    round,
+		Elapsed:  time.Since(start),
+		Crashed:  crashed,
+	}
+}
+
+// loop is the node's round engine.
+func (n *node) loop(ctx context.Context) {
+	start := time.Now()
+	var (
+		decided      model.OptValue
+		decidedRound model.Round
+		reported     bool
+	)
+	for k := model.Round(1); k <= n.cfg.MaxRounds; k++ {
+		if ctx.Err() != nil {
+			break
+		}
+		if err := n.broadcast(k); err != nil {
+			break
+		}
+		msgs, ok := n.collect(ctx, k)
+		if !ok {
+			break
+		}
+		n.alg.EndRound(k, msgs)
+		if v, has := n.alg.Decision(); has && decided.IsBottom() {
+			decided = model.Some(v)
+			decidedRound = k
+			n.report(decided, decidedRound, start)
+			reported = true
+			// Keep participating (flooding DECIDE) until the cluster
+			// stops us, so slower processes can still decide.
+		}
+	}
+	if !reported {
+		n.report(decided, decidedRound, start)
+	}
+}
+
+// broadcast encodes and sends the round-k message to every process,
+// including this one.
+func (n *node) broadcast(k model.Round) error {
+	payloadMsg := model.Message{From: n.id, Round: k, Payload: n.alg.StartRound(k)}
+	frame, err := wire.EncodeMessage(nil, payloadMsg)
+	if err != nil {
+		return err
+	}
+	for q := model.ProcessID(1); int(q) <= n.cfg.N; q++ {
+		if err := n.ep.Send(q, frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collect gathers the round-k receive set according to the wait policy:
+// at least n−t round-k messages and — under WaitUnsuspected — a message
+// from every process the timeout detector does not suspect. Messages from
+// earlier rounds buffered since the last receive phase are delivered
+// alongside (the ES delayed-message semantics); future-round messages stay
+// buffered.
+func (n *node) collect(ctx context.Context, k model.Round) ([]model.Message, bool) {
+	quorum := n.cfg.N - n.cfg.T
+	roundMsgs := n.buffered[k]
+	delete(n.buffered, k)
+	var heard model.PIDSet
+	for _, m := range roundMsgs {
+		heard.Add(m.From)
+	}
+
+	satisfied := func() bool {
+		if len(roundMsgs) < quorum {
+			return false
+		}
+		if n.cfg.WaitPolicy == core.WaitQuorum {
+			return true
+		}
+		unsuspected := model.FullPIDSet(n.cfg.N).Diff(n.detector.Suspected())
+		return unsuspected.Diff(heard).IsEmpty()
+	}
+
+	roundStart := time.Now()
+	ticker := time.NewTicker(n.cfg.BaseTimeout / 4)
+	defer ticker.Stop()
+	for !satisfied() {
+		select {
+		case <-ctx.Done():
+			return nil, false
+		case frame, ok := <-n.ep.Recv():
+			if !ok {
+				return nil, false
+			}
+			m, _, err := wire.DecodeMessage(frame)
+			if err != nil {
+				continue // a malformed frame is dropped, not fatal
+			}
+			n.detector.Heard(m.From)
+			switch {
+			case m.Round == k:
+				if !heard.Has(m.From) {
+					heard.Add(m.From)
+					roundMsgs = append(roundMsgs, m)
+				}
+			case m.Round < k:
+				n.late = append(n.late, m)
+			default:
+				n.buffered[m.Round] = append(n.buffered[m.Round], m)
+			}
+		case <-ticker.C:
+			// Suspect every unheard process whose timeout has expired
+			// this round.
+			elapsed := time.Since(roundStart)
+			for q := model.ProcessID(1); int(q) <= n.cfg.N; q++ {
+				if q == n.id || heard.Has(q) {
+					continue
+				}
+				if elapsed >= n.detector.TimeoutFor(q) {
+					n.detector.Suspect(q)
+				}
+			}
+		}
+	}
+
+	delivered := append(roundMsgs, n.late...)
+	n.late = nil
+	sort.Slice(delivered, func(a, b int) bool {
+		if delivered[a].Round != delivered[b].Round {
+			return delivered[a].Round < delivered[b].Round
+		}
+		return delivered[a].From < delivered[b].From
+	})
+	return delivered, true
+}

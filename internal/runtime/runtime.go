@@ -9,6 +9,16 @@
 // network yields exactly the ES behaviour the paper assumes: finitely many
 // false suspicions, then synchrony.
 //
+// A Cluster executes one consensus instance; everything a Cluster owns —
+// round loops, algorithm state machines, timeout detectors, wait policy —
+// is instantiated per instance, while the transport endpoints underneath
+// may be shared. The service layer exploits exactly this split: it runs
+// many Clusters concurrently over virtual endpoints of a transport.Mux,
+// so every instance gets fresh per-shard state but all instances share
+// one set of sockets and mailboxes. Run blocks for the common
+// one-instance case; Start/Decisions/Stop expose the same execution
+// non-blockingly for multiplexed callers.
+//
 // The runtime is where indulgence becomes visible as an engineering
 // property: injected delays cause false suspicions and slow decisions but
 // never endanger agreement.
@@ -18,7 +28,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -26,7 +35,6 @@ import (
 	"indulgence/internal/fd"
 	"indulgence/internal/model"
 	"indulgence/internal/transport"
-	"indulgence/internal/wire"
 )
 
 // Config describes a live cluster.
@@ -39,7 +47,8 @@ type Config struct {
 	// Proposals holds one proposal per process.
 	Proposals []model.Value
 	// Endpoints holds one transport endpoint per process (Endpoints[id-1]
-	// must answer Self() == id).
+	// must answer Self() == id). Endpoints may be physical (Hub, TCP) or
+	// virtual (one instance's streams of a transport.Mux).
 	Endpoints []transport.Transport
 	// WaitPolicy selects the receive discipline (default WaitUnsuspected,
 	// the A_{t+2} discipline; WaitQuorum is the ◇S discipline of Fig. 3).
@@ -78,7 +87,7 @@ type Cluster struct {
 }
 
 // New validates the configuration and assembles a cluster (no goroutines
-// start until Run).
+// start until Start or Run).
 func New(cfg Config) (*Cluster, error) {
 	if cfg.N < 2 {
 		return nil, fmt.Errorf("runtime: need at least 2 processes, got %d", cfg.N)
@@ -127,7 +136,7 @@ func New(cfg Config) (*Cluster, error) {
 }
 
 // Crash kills process p: its goroutine stops sending and receiving, like a
-// crash-stop failure. Safe to call at any time after Run has started.
+// crash-stop failure. Safe to call at any time after Start has run.
 func (c *Cluster) Crash(p model.ProcessID) error {
 	if p < 1 || int(p) > c.cfg.N {
 		return fmt.Errorf("runtime: no process %d", p)
@@ -136,14 +145,17 @@ func (c *Cluster) Crash(p model.ProcessID) error {
 	return nil
 }
 
-// Run starts every process and blocks until all non-crashed processes have
-// decided, the context is done, or every node has stopped. It returns one
-// result per process.
-func (c *Cluster) Run(ctx context.Context) ([]NodeResult, error) {
+// Start launches every process and returns immediately. Each process
+// delivers exactly one NodeResult on Decisions: at its first decision, or
+// — if it stops without one (crash, context cancellation, MaxRounds) — at
+// exit. The caller must eventually call Stop to release the goroutines; a
+// decided node keeps flooding DECIDE until then so that slower processes
+// still decide.
+func (c *Cluster) Start(ctx context.Context) error {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.started {
-		c.mu.Unlock()
-		return nil, errors.New("runtime: cluster already ran")
+		return errors.New("runtime: cluster already ran")
 	}
 	c.started = true
 	runCtx, cancel := context.WithCancel(ctx)
@@ -151,11 +163,33 @@ func (c *Cluster) Run(ctx context.Context) ([]NodeResult, error) {
 	for _, n := range c.nodes {
 		n.start(runCtx, &c.wg)
 	}
+	return nil
+}
+
+// Decisions returns the channel carrying one NodeResult per process. The
+// channel is buffered for the whole cluster and never closed.
+func (c *Cluster) Decisions() <-chan NodeResult { return c.decisions }
+
+// Stop cancels every process and waits for their goroutines to exit. It
+// is idempotent and safe to call concurrently with Decisions readers.
+func (c *Cluster) Stop() {
+	c.mu.Lock()
+	cancel := c.cancel
 	c.mu.Unlock()
-	defer func() {
+	if cancel != nil {
 		cancel()
-		c.wg.Wait()
-	}()
+	}
+	c.wg.Wait()
+}
+
+// Run starts every process and blocks until all non-crashed processes have
+// decided, the context is done, or every node has stopped. It returns one
+// result per process.
+func (c *Cluster) Run(ctx context.Context) ([]NodeResult, error) {
+	if err := c.Start(ctx); err != nil {
+		return nil, err
+	}
+	defer c.Stop()
 
 	results := make([]NodeResult, c.cfg.N)
 	for i := range results {
@@ -181,193 +215,4 @@ func (c *Cluster) Run(ctx context.Context) ([]NodeResult, error) {
 		}
 	}
 	return results, nil
-}
-
-// node is one live process.
-type node struct {
-	id        model.ProcessID
-	cfg       *Config
-	alg       model.Algorithm
-	ep        transport.Transport
-	detector  *fd.TimeoutDetector
-	buffered  map[model.Round][]model.Message
-	late      []model.Message // older-round messages awaiting delivery
-	decisions chan<- NodeResult
-
-	crashMu  sync.Mutex
-	crashFn  context.CancelFunc
-	crashed  bool
-	preCrash bool // crash requested before start
-}
-
-// start launches the node's round loop.
-func (n *node) start(ctx context.Context, wg *sync.WaitGroup) {
-	nodeCtx, cancel := context.WithCancel(ctx)
-	n.crashMu.Lock()
-	n.crashFn = cancel
-	pre := n.preCrash
-	n.crashMu.Unlock()
-	if pre {
-		cancel()
-	}
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		n.loop(nodeCtx)
-	}()
-}
-
-// crash cancels the node's context.
-func (n *node) crash() {
-	n.crashMu.Lock()
-	defer n.crashMu.Unlock()
-	n.crashed = true
-	if n.crashFn != nil {
-		n.crashFn()
-	} else {
-		n.preCrash = true
-	}
-}
-
-// report emits the node's terminal result exactly once.
-func (n *node) report(decided model.OptValue, round model.Round, start time.Time) {
-	n.crashMu.Lock()
-	crashed := n.crashed
-	n.crashMu.Unlock()
-	n.decisions <- NodeResult{
-		ID:       n.id,
-		Decision: decided,
-		Round:    round,
-		Elapsed:  time.Since(start),
-		Crashed:  crashed,
-	}
-}
-
-// loop is the node's round engine.
-func (n *node) loop(ctx context.Context) {
-	start := time.Now()
-	var (
-		decided      model.OptValue
-		decidedRound model.Round
-		reported     bool
-	)
-	for k := model.Round(1); k <= n.cfg.MaxRounds; k++ {
-		if ctx.Err() != nil {
-			break
-		}
-		if err := n.broadcast(k); err != nil {
-			break
-		}
-		msgs, ok := n.collect(ctx, k)
-		if !ok {
-			break
-		}
-		n.alg.EndRound(k, msgs)
-		if v, has := n.alg.Decision(); has && decided.IsBottom() {
-			decided = model.Some(v)
-			decidedRound = k
-			n.report(decided, decidedRound, start)
-			reported = true
-			// Keep participating (flooding DECIDE) until the cluster
-			// stops us, so slower processes can still decide.
-		}
-	}
-	if !reported {
-		n.report(decided, decidedRound, start)
-	}
-}
-
-// broadcast encodes and sends the round-k message to every process,
-// including this one.
-func (n *node) broadcast(k model.Round) error {
-	payloadMsg := model.Message{From: n.id, Round: k, Payload: n.alg.StartRound(k)}
-	frame, err := wire.EncodeMessage(nil, payloadMsg)
-	if err != nil {
-		return err
-	}
-	for q := model.ProcessID(1); int(q) <= n.cfg.N; q++ {
-		if err := n.ep.Send(q, frame); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// collect gathers the round-k receive set according to the wait policy:
-// at least n−t round-k messages and — under WaitUnsuspected — a message
-// from every process the timeout detector does not suspect. Messages from
-// earlier rounds buffered since the last receive phase are delivered
-// alongside (the ES delayed-message semantics); future-round messages stay
-// buffered.
-func (n *node) collect(ctx context.Context, k model.Round) ([]model.Message, bool) {
-	quorum := n.cfg.N - n.cfg.T
-	roundMsgs := n.buffered[k]
-	delete(n.buffered, k)
-	var heard model.PIDSet
-	for _, m := range roundMsgs {
-		heard.Add(m.From)
-	}
-
-	satisfied := func() bool {
-		if len(roundMsgs) < quorum {
-			return false
-		}
-		if n.cfg.WaitPolicy == core.WaitQuorum {
-			return true
-		}
-		unsuspected := model.FullPIDSet(n.cfg.N).Diff(n.detector.Suspected())
-		return unsuspected.Diff(heard).IsEmpty()
-	}
-
-	roundStart := time.Now()
-	ticker := time.NewTicker(n.cfg.BaseTimeout / 4)
-	defer ticker.Stop()
-	for !satisfied() {
-		select {
-		case <-ctx.Done():
-			return nil, false
-		case frame, ok := <-n.ep.Recv():
-			if !ok {
-				return nil, false
-			}
-			m, _, err := wire.DecodeMessage(frame)
-			if err != nil {
-				continue // a malformed frame is dropped, not fatal
-			}
-			n.detector.Heard(m.From)
-			switch {
-			case m.Round == k:
-				if !heard.Has(m.From) {
-					heard.Add(m.From)
-					roundMsgs = append(roundMsgs, m)
-				}
-			case m.Round < k:
-				n.late = append(n.late, m)
-			default:
-				n.buffered[m.Round] = append(n.buffered[m.Round], m)
-			}
-		case <-ticker.C:
-			// Suspect every unheard process whose timeout has expired
-			// this round.
-			elapsed := time.Since(roundStart)
-			for q := model.ProcessID(1); int(q) <= n.cfg.N; q++ {
-				if q == n.id || heard.Has(q) {
-					continue
-				}
-				if elapsed >= n.detector.TimeoutFor(q) {
-					n.detector.Suspect(q)
-				}
-			}
-		}
-	}
-
-	delivered := append(roundMsgs, n.late...)
-	n.late = nil
-	sort.Slice(delivered, func(a, b int) bool {
-		if delivered[a].Round != delivered[b].Round {
-			return delivered[a].Round < delivered[b].Round
-		}
-		return delivered[a].From < delivered[b].From
-	})
-	return delivered, true
 }

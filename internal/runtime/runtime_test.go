@@ -229,3 +229,74 @@ func TestContextCancellation(t *testing.T) {
 		}
 	}
 }
+
+// TestStartDecisionsStop drives the non-blocking API directly: two
+// clusters share one hub's sockets through muxes, run concurrently as
+// separate consensus instances, and both reach agreement.
+func TestStartDecisionsStop(t *testing.T) {
+	const n, tt = 5, 2
+	hub, err := transport.NewHub(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = hub.Close() })
+	muxes := make([]*transport.Mux, n)
+	for i := 0; i < n; i++ {
+		ep, err := hub.Endpoint(model.ProcessID(i + 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		muxes[i] = transport.NewMux(ep)
+		t.Cleanup(func(m *transport.Mux) func() { return func() { _ = m.Close() } }(muxes[i]))
+	}
+
+	clusters := make([]*runtime.Cluster, 2)
+	for inst := range clusters {
+		eps := make([]transport.Transport, n)
+		for i := 0; i < n; i++ {
+			ep, err := muxes[i].Open(uint64(inst))
+			if err != nil {
+				t.Fatal(err)
+			}
+			eps[i] = ep
+		}
+		cl, err := runtime.New(runtime.Config{
+			N: n, T: tt,
+			Factory:     core.New(core.Options{}),
+			Proposals:   props(n),
+			Endpoints:   eps,
+			BaseTimeout: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clusters[inst] = cl
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, cl := range clusters {
+		if err := cl.Start(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for inst, cl := range clusters {
+		results := make([]runtime.NodeResult, 0, n)
+		for len(results) < n {
+			select {
+			case res := <-cl.Decisions():
+				results = append(results, res)
+			case <-ctx.Done():
+				t.Fatalf("instance %d: %v", inst, ctx.Err())
+			}
+		}
+		if got := assertAgreement(t, results); got != n {
+			t.Fatalf("instance %d: %d of %d nodes decided", inst, got, n)
+		}
+		cl.Stop()
+		cl.Stop() // idempotent
+	}
+	if err := clusters[0].Start(ctx); err == nil {
+		t.Fatal("restarting a stopped cluster succeeded")
+	}
+}

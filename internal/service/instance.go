@@ -1,0 +1,122 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"indulgence/internal/check"
+	"indulgence/internal/model"
+	"indulgence/internal/runtime"
+	"indulgence/internal/transport"
+)
+
+// runInstance executes one consensus instance for a batch of proposals:
+// it opens the instance's virtual endpoints on every process's mux,
+// spreads the batch's values round-robin over the n processes as their
+// proposals, runs a fresh runtime.Cluster to quiescence, audits the
+// outcome with check.Instance, and resolves the batch's futures. The
+// instance slot is released on exit, unblocking the next queued batch.
+func (s *Service) runInstance(instance uint64, batch []*pending) {
+	defer s.wg.Done()
+	defer func() { <-s.slots }()
+	retire := func() {
+		for _, m := range s.muxes {
+			m.Retire(instance)
+		}
+	}
+
+	eps := make([]transport.Transport, s.cfg.N)
+	for i, m := range s.muxes {
+		ep, err := m.Open(instance)
+		if err != nil {
+			retire()
+			s.failInstance(batch, fmt.Errorf("service: open instance %d on p%d: %w", instance, i+1, err))
+			return
+		}
+		eps[i] = ep
+	}
+	props := make([]model.Value, s.cfg.N)
+	for i := range props {
+		props[i] = batch[i%len(batch)].value
+	}
+	cl, err := runtime.New(runtime.Config{
+		N: s.cfg.N, T: s.cfg.T,
+		Factory:     s.cfg.Factory,
+		Proposals:   props,
+		Endpoints:   eps,
+		WaitPolicy:  s.cfg.WaitPolicy,
+		BaseTimeout: s.cfg.BaseTimeout,
+		MaxRounds:   s.cfg.MaxRounds,
+	})
+	if err != nil {
+		retire()
+		s.failInstance(batch, fmt.Errorf("service: instance %d: %w", instance, err))
+		return
+	}
+	ctx, cancel := context.WithTimeout(s.runCtx, s.cfg.InstanceTimeout)
+	results, runErr := cl.Run(ctx)
+	cancel()
+	retire()
+
+	decisions := make([]model.OptValue, s.cfg.N)
+	var crashed model.PIDSet
+	var (
+		value model.Value
+		round model.Round
+		have  bool
+	)
+	for _, r := range results {
+		decisions[r.ID-1] = r.Decision
+		if r.Crashed {
+			crashed.Add(r.ID)
+		}
+		if v, ok := r.Decision.Get(); ok {
+			if !have {
+				value, have = v, true
+			}
+			if r.Round > round {
+				round = r.Round
+			}
+		}
+	}
+	if !have {
+		if runErr == nil {
+			runErr = fmt.Errorf("service: instance %d reached no decision", instance)
+		}
+		s.failInstance(batch, fmt.Errorf("service: instance %d: %w", instance, runErr))
+		return
+	}
+	rep := check.Instance(decisions, props, crashed)
+
+	dec := Decision{Instance: instance, Value: value, Round: round, Batch: len(batch)}
+	now := time.Now()
+	var latencies []time.Duration
+	for _, p := range batch {
+		latencies = append(latencies, now.Sub(p.enqueued))
+		p.fut.resolve(dec, nil)
+	}
+
+	s.countMu.Lock()
+	s.instances++
+	s.resolved += len(batch)
+	for _, l := range latencies {
+		s.latencies.add(l)
+	}
+	s.rounds.add(int(round))
+	for _, v := range rep.Violations {
+		s.violations = append(s.violations,
+			fmt.Sprintf("instance %d: %s", instance, v))
+	}
+	s.countMu.Unlock()
+}
+
+// failInstance resolves a batch's futures with err and records the
+// failure.
+func (s *Service) failInstance(batch []*pending, err error) {
+	failBatch(batch, err)
+	s.countMu.Lock()
+	s.instanceFail++
+	s.failed += len(batch)
+	s.countMu.Unlock()
+}

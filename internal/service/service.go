@@ -1,0 +1,370 @@
+// Package service is the consensus-as-a-service layer: it multiplexes
+// many concurrent consensus instances over a single cluster of live
+// processes. Clients hand proposals to Propose and get back a Future;
+// the service batches proposals (up to MaxBatch, waiting at most Linger),
+// assigns each batch to a fresh consensus instance, and runs up to
+// MaxInflight instances concurrently, each as its own runtime.Cluster
+// over virtual endpoints of per-process transport.Muxes. Every instance
+// therefore gets its own round loops, timeout detectors and wait policy,
+// while all instances share one set of physical connections — one Hub
+// mailbox or one TCP connection per ordered process pair.
+//
+// The decided value of an instance is, by validity, the proposal of one
+// of the batch's members (proposals are spread round-robin over the n
+// processes); the whole batch commits with that instance, so every
+// member's Future resolves to the same Decision. Each resolved instance
+// is audited with check.Instance, and any violation — which the paper
+// proves cannot happen, and which the service therefore treats as a
+// defect detector — is retained in the Stats snapshot.
+//
+// This is where the paper's "price of indulgence" becomes a service-level
+// quantity: decisions per second and per-proposal latency under injected
+// asynchrony, with the t+2 round floor visible as the latency baseline of
+// every instance.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"indulgence/internal/core"
+	"indulgence/internal/model"
+	"indulgence/internal/stats"
+	"indulgence/internal/transport"
+)
+
+// ErrClosed reports use of a closed service.
+var ErrClosed = errors.New("service: closed")
+
+// Config describes a consensus service.
+type Config struct {
+	// N and T describe the underlying system; T bounds tolerated crashes.
+	N, T int
+	// Factory builds each process's algorithm, once per instance.
+	Factory model.Factory
+	// WaitPolicy selects the receive discipline (default WaitUnsuspected).
+	WaitPolicy core.WaitPolicy
+	// BaseTimeout is the initial per-process suspicion timeout of every
+	// instance (default 25ms).
+	BaseTimeout time.Duration
+	// MaxRounds aborts an instance's node after this many rounds
+	// (default 256).
+	MaxRounds model.Round
+	// MaxBatch is the largest number of proposals decided by one instance
+	// (default 8).
+	MaxBatch int
+	// Linger is how long an under-full batch waits for more proposals
+	// before it is cut (default 2ms).
+	Linger time.Duration
+	// MaxInflight bounds the number of concurrently running instances
+	// (default 16). When every slot is busy, batches queue.
+	MaxInflight int
+	// InstanceTimeout is the per-instance deadline (default 30s). An
+	// instance that misses it fails its batch's futures.
+	InstanceTimeout time.Duration
+}
+
+// withDefaults returns cfg with zero fields replaced by defaults.
+func (cfg Config) withDefaults() Config {
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 8
+	}
+	if cfg.Linger == 0 {
+		cfg.Linger = 2 * time.Millisecond
+	}
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = 16
+	}
+	if cfg.InstanceTimeout == 0 {
+		cfg.InstanceTimeout = 30 * time.Second
+	}
+	return cfg
+}
+
+// Decision is the resolution of a proposal: the instance it was batched
+// into and the value that instance decided.
+type Decision struct {
+	// Instance identifies the consensus instance that committed the batch.
+	Instance uint64
+	// Value is the instance's decided value (the chosen batch member).
+	Value model.Value
+	// Round is the instance's global decision round — the slowest
+	// process's decision round, where the t+2 floor shows.
+	Round model.Round
+	// Batch is the number of proposals committed by the instance.
+	Batch int
+}
+
+// Future resolves to the Decision of the instance a proposal was batched
+// into.
+type Future struct {
+	done chan struct{}
+	dec  Decision
+	err  error
+}
+
+// Wait blocks until the proposal's instance resolves or ctx is done.
+func (f *Future) Wait(ctx context.Context) (Decision, error) {
+	select {
+	case <-f.done:
+		return f.dec, f.err
+	case <-ctx.Done():
+		return Decision{}, ctx.Err()
+	}
+}
+
+// resolve fills the future exactly once.
+func (f *Future) resolve(dec Decision, err error) {
+	f.dec, f.err = dec, err
+	close(f.done)
+}
+
+// pending is one enqueued proposal.
+type pending struct {
+	value    model.Value
+	enqueued time.Time
+	fut      *Future
+}
+
+// Stats is a point-in-time snapshot of service counters.
+type Stats struct {
+	// Proposals counts accepted proposals; Resolved and Failed partition
+	// the ones whose futures have fired.
+	Proposals, Resolved, Failed int
+	// Instances counts decided instances; InstanceFailures counts
+	// instances that timed out or errored without a decision.
+	Instances, InstanceFailures int
+	// Violations lists every consensus-property violation detected by
+	// check.Instance over resolved instances — validity, agreement, and
+	// termination (a correct process undecided at instance end, e.g. on
+	// an instance timeout). The paper's theorems say the safety entries
+	// stay empty; the service checks anyway.
+	Violations []string
+	// Latency summarizes per-proposal latency (enqueue to resolution)
+	// over a bounded uniform sample of the service's lifetime (the
+	// retained history is capped, so Count may be below Resolved on very
+	// long runs).
+	Latency stats.LatencySummary
+	// Rounds summarizes global decision rounds across decided instances —
+	// the t+2 price floor in round units — over the same kind of bounded
+	// sample.
+	Rounds stats.Summary
+}
+
+// Service multiplexes consensus instances over one live cluster.
+type Service struct {
+	cfg   Config
+	muxes []*transport.Mux
+
+	intake      chan *pending
+	slots       chan struct{}
+	runCtx      context.Context
+	runCancel   context.CancelFunc
+	batcherDone chan struct{}
+	wg          sync.WaitGroup
+
+	// mu guards closed: Propose holds it for reading across the intake
+	// send so Close never closes the channel under a sender.
+	mu     sync.RWMutex
+	closed bool
+
+	// nextInstance is touched only by the batcher goroutine.
+	nextInstance uint64
+
+	// countMu guards the counters, which instance goroutines update while
+	// proposers hold mu only for reading.
+	countMu      sync.Mutex
+	proposals    int
+	resolved     int
+	failed       int
+	instances    int
+	instanceFail int
+	violations   []string
+	latencies    reservoir[time.Duration]
+	rounds       reservoir[int]
+}
+
+// maxSamples bounds the latency/round history a long-running service
+// retains: summaries are computed over a uniform reservoir sample
+// (Algorithm R) of the stream, so memory and Snapshot cost stay constant
+// while the percentiles stay unbiased over the whole lifetime.
+const maxSamples = 1 << 16
+
+// reservoir keeps a bounded uniform sample of a stream. Not safe for
+// concurrent use; the service serializes adds under countMu.
+type reservoir[T any] struct {
+	seen int
+	buf  []T
+}
+
+func (r *reservoir[T]) add(x T) {
+	r.seen++
+	if len(r.buf) < maxSamples {
+		r.buf = append(r.buf, x)
+		return
+	}
+	if i := rand.Intn(r.seen); i < maxSamples {
+		r.buf[i] = x
+	}
+}
+
+// New starts a service over one transport endpoint per process
+// (endpoints[i] must answer Self() == i+1). The service wraps each
+// endpoint in a transport.Mux and owns all reads from it; the endpoints
+// themselves remain owned by the caller and are not closed by Close.
+func New(cfg Config, endpoints []transport.Transport) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("service: need at least 2 processes, got %d", cfg.N)
+	}
+	if len(endpoints) != cfg.N {
+		return nil, fmt.Errorf("service: need %d endpoints, got %d", cfg.N, len(endpoints))
+	}
+	if cfg.Factory == nil {
+		return nil, errors.New("service: nil factory")
+	}
+	for i, ep := range endpoints {
+		if ep.Self() != model.ProcessID(i+1) {
+			return nil, fmt.Errorf("service: endpoint %d answers Self()=%d", i+1, ep.Self())
+		}
+	}
+	s := &Service{
+		cfg:         cfg,
+		muxes:       make([]*transport.Mux, cfg.N),
+		intake:      make(chan *pending, cfg.MaxBatch*cfg.MaxInflight),
+		slots:       make(chan struct{}, cfg.MaxInflight),
+		batcherDone: make(chan struct{}),
+	}
+	for i, ep := range endpoints {
+		s.muxes[i] = transport.NewMux(ep)
+	}
+	s.runCtx, s.runCancel = context.WithCancel(context.Background())
+	go s.batcher()
+	return s, nil
+}
+
+// Propose enqueues a proposal and returns its Future. It blocks only when
+// the intake buffer is full (every instance slot busy and batches queued),
+// providing natural backpressure.
+func (s *Service) Propose(ctx context.Context, v model.Value) (*Future, error) {
+	p := &pending{value: v, enqueued: time.Now(), fut: &Future{done: make(chan struct{})}}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	select {
+	case s.intake <- p:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	s.countMu.Lock()
+	s.proposals++
+	s.countMu.Unlock()
+	return p.fut, nil
+}
+
+// Close stops intake, flushes the pending batch, waits for every inflight
+// instance to resolve, and shuts the muxes down. Endpoints passed to New
+// stay open. Close is idempotent.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.intake)
+	<-s.batcherDone
+	s.wg.Wait()
+	s.runCancel()
+	for _, m := range s.muxes {
+		_ = m.Close()
+	}
+	return nil
+}
+
+// Snapshot returns current counters and latency/round summaries.
+func (s *Service) Snapshot() Stats {
+	s.countMu.Lock()
+	defer s.countMu.Unlock()
+	return Stats{
+		Proposals:        s.proposals,
+		Resolved:         s.resolved,
+		Failed:           s.failed,
+		Instances:        s.instances,
+		InstanceFailures: s.instanceFail,
+		Violations:       append([]string(nil), s.violations...),
+		Latency:          stats.SummarizeDurations(s.latencies.buf),
+		Rounds:           stats.Summarize(s.rounds.buf),
+	}
+}
+
+// batcher cuts the intake stream into batches: a batch closes when it
+// reaches MaxBatch proposals or its oldest proposal has waited Linger.
+// Each batch then claims an instance slot (blocking — the bounded-shard
+// backpressure) and launches its instance.
+func (s *Service) batcher() {
+	defer close(s.batcherDone)
+	var (
+		batch   []*pending
+		lingerT *time.Timer
+		lingerC <-chan time.Time
+	)
+	stopLinger := func() {
+		if lingerT != nil {
+			lingerT.Stop()
+			lingerT, lingerC = nil, nil
+		}
+	}
+	flush := func() {
+		stopLinger()
+		if len(batch) == 0 {
+			return
+		}
+		b := batch
+		batch = nil
+		select {
+		case s.slots <- struct{}{}:
+		case <-s.runCtx.Done():
+			failBatch(b, s.runCtx.Err())
+			return
+		}
+		instance := s.nextInstance
+		s.nextInstance++
+		s.wg.Add(1)
+		go s.runInstance(instance, b)
+	}
+	for {
+		select {
+		case p, ok := <-s.intake:
+			if !ok {
+				flush()
+				return
+			}
+			batch = append(batch, p)
+			if len(batch) == 1 {
+				lingerT = time.NewTimer(s.cfg.Linger)
+				lingerC = lingerT.C
+			}
+			if len(batch) >= s.cfg.MaxBatch {
+				flush()
+			}
+		case <-lingerC:
+			lingerT, lingerC = nil, nil
+			flush()
+		}
+	}
+}
+
+// failBatch resolves every future of a batch with err.
+func failBatch(batch []*pending, err error) {
+	for _, p := range batch {
+		p.fut.resolve(Decision{}, err)
+	}
+}

@@ -1,12 +1,16 @@
-// Package stats aggregates round-complexity measurements and renders the
-// fixed-width tables printed by the benchmark harness, the examples and the
-// CLI.
+// Package stats aggregates the measurements the repository reports —
+// round-complexity summaries of simulated runs and wall-clock latency
+// distributions of the live service — and renders the fixed-width tables
+// printed by the benchmark harness, the examples and the CLI.
 package stats
 
 import (
 	"fmt"
 	"io"
+	"math"
+	"sort"
 	"strings"
+	"time"
 )
 
 // Table is a simple fixed-width text table.
@@ -117,4 +121,67 @@ func Summarize(xs []int) Summary {
 // String implements fmt.Stringer.
 func (s Summary) String() string {
 	return fmt.Sprintf("n=%d min=%d max=%d mean=%.2f", s.Count, s.Min, s.Max, s.Mean)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of sorted by the
+// nearest-rank method (index ⌈q·n⌉−1); sorted must be ascending. Zero
+// observations yield zero.
+func Quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	switch {
+	case q <= 0:
+		return sorted[0]
+	case q >= 1:
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// LatencySummary holds order statistics of a latency distribution.
+type LatencySummary struct {
+	// Count is the number of observations.
+	Count int
+	// Min, Max and Mean describe the distribution's extremes and centre.
+	Min, Max, Mean time.Duration
+	// P50, P90 and P99 are nearest-rank percentiles.
+	P50, P90, P99 time.Duration
+}
+
+// SummarizeDurations computes the latency summary of ds. The input is not
+// modified.
+func SummarizeDurations(ds []time.Duration) LatencySummary {
+	if len(ds) == 0 {
+		return LatencySummary{}
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	return LatencySummary{
+		Count: len(sorted),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		Mean:  total / time.Duration(len(sorted)),
+		P50:   Quantile(sorted, 0.50),
+		P90:   Quantile(sorted, 0.90),
+		P99:   Quantile(sorted, 0.99),
+	}
+}
+
+// String implements fmt.Stringer.
+func (s LatencySummary) String() string {
+	return fmt.Sprintf("n=%d min=%s p50=%s p90=%s p99=%s max=%s mean=%s",
+		s.Count, s.Min, s.P50, s.P90, s.P99, s.Max, s.Mean)
 }

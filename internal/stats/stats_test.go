@@ -3,6 +3,7 @@ package stats
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestTableRender(t *testing.T) {
@@ -65,6 +66,46 @@ func TestSummarize(t *testing.T) {
 	}
 	if Summarize(nil).Count != 0 {
 		t.Fatal("empty summary")
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	ds := []time.Duration{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	// Nearest-rank: index ⌈q·n⌉−1, so p50 of 10 samples is the 5th value
+	// and p90 the 9th — the maximum is reached only at q = 1 (or when
+	// ⌈q·n⌉ = n, as for p99 here).
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0, 10}, {0.5, 50}, {0.9, 90}, {0.99, 100}, {1, 100}, {-1, 10}, {2, 100},
+	}
+	for _, c := range cases {
+		if got := Quantile(ds, c.q); got != c.want {
+			t.Errorf("Quantile(q=%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(nil) = %v, want 0", got)
+	}
+}
+
+func TestSummarizeDurations(t *testing.T) {
+	if s := SummarizeDurations(nil); s != (LatencySummary{}) {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	// Deliberately unsorted input; it must not be mutated.
+	ds := []time.Duration{30 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond}
+	s := SummarizeDurations(ds)
+	if ds[0] != 30*time.Millisecond {
+		t.Fatal("input slice was mutated")
+	}
+	if s.Count != 3 || s.Min != 10*time.Millisecond || s.Max != 30*time.Millisecond ||
+		s.Mean != 20*time.Millisecond || s.P50 != 20*time.Millisecond {
+		t.Fatalf("summary = %+v", s)
 	}
 	if s.String() == "" {
 		t.Fatal("empty String()")

@@ -1,0 +1,218 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"indulgence/internal/model"
+	"indulgence/internal/wire"
+)
+
+// Mux multiplexes many consensus instances over one underlying Transport
+// endpoint, so a whole service's worth of concurrent instances shares a
+// single set of physical connections (one Hub mailbox, or one TCP
+// connection per ordered process pair) instead of one cluster per
+// instance. Outbound frames are wrapped in the wire version-1 envelope
+// carrying the instance ID; inbound frames are routed to the matching
+// virtual endpoint by that ID. Version-0 frames from pre-instance peers
+// route to instance 0, the compatibility stream.
+//
+// Frames for an instance that has not been opened locally yet are
+// buffered, never dropped — a peer shard may legitimately start an
+// instance and broadcast before this process opens it, and the reliable-
+// channel axiom must survive multiplexing. Frames for a retired (closed)
+// instance are dropped: they can only be post-decision flood traffic.
+type Mux struct {
+	ep Transport
+
+	mu      sync.Mutex
+	streams map[uint64]*muxStream
+	// retired tracks closed instance IDs awaiting frontier compaction:
+	// every ID below retiredBelow is retired, plus every member of
+	// retiredSet. Services retire instances roughly in open order, so the
+	// set stays at most a few inflight-bounds large instead of growing
+	// with service lifetime.
+	retiredBelow uint64
+	retiredSet   map[uint64]struct{}
+	closed       bool
+	done         chan struct{}
+	routerDone   chan struct{}
+}
+
+// NewMux starts a multiplexer over ep. The mux reads every inbound frame
+// of ep from the moment of creation; the caller must no longer use
+// ep.Recv directly.
+func NewMux(ep Transport) *Mux {
+	m := &Mux{
+		ep:         ep,
+		streams:    make(map[uint64]*muxStream),
+		retiredSet: make(map[uint64]struct{}),
+		done:       make(chan struct{}),
+		routerDone: make(chan struct{}),
+	}
+	go m.route()
+	return m
+}
+
+// Self returns the identity of the underlying endpoint.
+func (m *Mux) Self() model.ProcessID { return m.ep.Self() }
+
+// Open returns the virtual endpoint of the given consensus instance.
+// Frames that arrived for the instance before Open are already buffered
+// and will be delivered in order. Opening an instance twice, or after it
+// was retired, is an error.
+func (m *Mux) Open(instance uint64) (Transport, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if m.isRetiredLocked(instance) {
+		return nil, fmt.Errorf("transport: instance %d already retired", instance)
+	}
+	s, ok := m.streams[instance]
+	if !ok {
+		s = &muxStream{mux: m, instance: instance, box: newMailbox()}
+		m.streams[instance] = s
+	} else if s.opened {
+		return nil, fmt.Errorf("transport: instance %d already open", instance)
+	}
+	s.opened = true
+	return s, nil
+}
+
+// Retire closes an instance's virtual endpoint and permanently drops any
+// late frames addressed to it. Safe to call for instances never opened.
+func (m *Mux) Retire(instance uint64) {
+	m.mu.Lock()
+	s := m.streams[instance]
+	delete(m.streams, instance)
+	if !m.isRetiredLocked(instance) {
+		m.retiredSet[instance] = struct{}{}
+		for {
+			if _, ok := m.retiredSet[m.retiredBelow]; !ok {
+				break
+			}
+			delete(m.retiredSet, m.retiredBelow)
+			m.retiredBelow++
+		}
+	}
+	m.mu.Unlock()
+	if s != nil {
+		s.box.close()
+	}
+}
+
+// Close shuts the mux down: every virtual endpoint's receive channel
+// closes and the router stops. The underlying endpoint is left open — it
+// belongs to whoever created it.
+func (m *Mux) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	streams := make([]*muxStream, 0, len(m.streams))
+	for _, s := range m.streams {
+		streams = append(streams, s)
+	}
+	m.streams = nil
+	m.mu.Unlock()
+	close(m.done)
+	<-m.routerDone
+	for _, s := range streams {
+		s.box.close()
+	}
+	return nil
+}
+
+// isRetiredLocked reports whether instance was retired; callers hold mu.
+func (m *Mux) isRetiredLocked(instance uint64) bool {
+	if instance < m.retiredBelow {
+		return true
+	}
+	_, ok := m.retiredSet[instance]
+	return ok
+}
+
+// route moves inbound frames from the underlying endpoint to the virtual
+// endpoint addressed by their instance ID, creating buffer streams for
+// instances not opened yet. It exits when the mux or the underlying
+// endpoint closes; virtual receive channels of a closed underlying
+// endpoint close too, so round loops observe the closure.
+func (m *Mux) route() {
+	defer close(m.routerDone)
+	for {
+		select {
+		case <-m.done:
+			return
+		case frame, ok := <-m.ep.Recv():
+			if !ok {
+				m.mu.Lock()
+				m.closed = true
+				streams := make([]*muxStream, 0, len(m.streams))
+				for _, s := range m.streams {
+					streams = append(streams, s)
+				}
+				m.streams = nil
+				m.mu.Unlock()
+				for _, s := range streams {
+					s.box.close()
+				}
+				return
+			}
+			instance, inner, err := wire.StripInstance(frame)
+			if err != nil {
+				continue // a malformed envelope is dropped, like a malformed message
+			}
+			m.mu.Lock()
+			if m.closed || m.isRetiredLocked(instance) {
+				m.mu.Unlock()
+				continue
+			}
+			s, ok := m.streams[instance]
+			if !ok {
+				s = &muxStream{mux: m, instance: instance, box: newMailbox()}
+				m.streams[instance] = s
+			}
+			m.mu.Unlock()
+			s.box.put(inner)
+		}
+	}
+}
+
+// muxStream is one instance's virtual endpoint over a Mux.
+type muxStream struct {
+	mux      *Mux
+	instance uint64
+	box      *mailbox
+	opened   bool
+}
+
+var _ Transport = (*muxStream)(nil)
+
+// Self implements Transport.
+func (s *muxStream) Self() model.ProcessID { return s.mux.Self() }
+
+// Send implements Transport: the frame travels over the underlying
+// endpoint wrapped in the instance envelope. Frames must be version-0
+// wire frames (bare messages), which is what the runtime produces.
+// Instance 0 sends them unwrapped — it is the compatibility stream, and a
+// bare frame routes to instance 0 on any peer, muxed or not.
+func (s *muxStream) Send(to model.ProcessID, frame []byte) error {
+	if s.instance == 0 {
+		return s.mux.ep.Send(to, frame)
+	}
+	wrapped := wire.AppendInstanceHeader(make([]byte, 0, len(frame)+10), s.instance)
+	return s.mux.ep.Send(to, append(wrapped, frame...))
+}
+
+// Recv implements Transport.
+func (s *muxStream) Recv() <-chan []byte { return s.box.out }
+
+// Close implements Transport by retiring the instance on the mux.
+func (s *muxStream) Close() error {
+	s.mux.Retire(s.instance)
+	return nil
+}

@@ -1,0 +1,289 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"indulgence/internal/model"
+	"indulgence/internal/wire"
+)
+
+// msgFrame builds a minimal valid version-0 frame (a bare wire message).
+func msgFrame(t *testing.T, from model.ProcessID, round model.Round) []byte {
+	t.Helper()
+	frame, err := wire.EncodeMessage(nil, model.Message{From: from, Round: round})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+// recvFrame pulls one frame from a virtual endpoint with a deadline.
+func recvFrame(t *testing.T, ep Transport) []byte {
+	t.Helper()
+	select {
+	case frame, ok := <-ep.Recv():
+		if !ok {
+			t.Fatal("receive channel closed")
+		}
+		return frame
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for frame")
+		return nil
+	}
+}
+
+// muxPair builds a 2-process hub with one mux per endpoint.
+func muxPair(t *testing.T) (*Hub, *Mux, *Mux) {
+	t.Helper()
+	hub, err := NewHub(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = hub.Close() })
+	ep1, err := hub.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep2, err := hub.Endpoint(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := NewMux(ep1), NewMux(ep2)
+	t.Cleanup(func() { _ = m1.Close(); _ = m2.Close() })
+	return hub, m1, m2
+}
+
+func TestMuxRoutesByInstance(t *testing.T) {
+	_, m1, m2 := muxPair(t)
+	sendA, err := m1.Open(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sendB, err := m1.Open(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recvA, err := m2.Open(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recvB, err := m2.Open(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fa, fb := msgFrame(t, 1, 10), msgFrame(t, 1, 20)
+	if err := sendA.Send(2, fa); err != nil {
+		t.Fatal(err)
+	}
+	if err := sendB.Send(2, fb); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvFrame(t, recvB); string(got) != string(fb) {
+		t.Fatalf("instance 2 got % x, want % x", got, fb)
+	}
+	if got := recvFrame(t, recvA); string(got) != string(fa) {
+		t.Fatalf("instance 1 got % x, want % x", got, fa)
+	}
+	if sendA.Self() != 1 || recvA.Self() != 2 {
+		t.Fatalf("Self() = %d, %d", sendA.Self(), recvA.Self())
+	}
+}
+
+// TestMuxBuffersUnopenedInstance pins the reliable-channel guarantee
+// across multiplexing: frames for an instance the receiver has not opened
+// yet are buffered and delivered at Open, not dropped.
+func TestMuxBuffersUnopenedInstance(t *testing.T) {
+	_, m1, m2 := muxPair(t)
+	send, err := m1.Open(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := msgFrame(t, 1, 3)
+	if err := send.Send(2, frame); err != nil {
+		t.Fatal(err)
+	}
+	// Give the router time to see (and buffer) the early frame.
+	time.Sleep(10 * time.Millisecond)
+	recv, err := m2.Open(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := recvFrame(t, recv); string(got) != string(frame) {
+		t.Fatalf("buffered frame mangled: % x", got)
+	}
+}
+
+// TestMuxLegacyInterop checks both directions of the version-0
+// compatibility stream: bare frames from a non-muxed peer arrive on
+// instance 0, and instance-0 sends go out as bare frames a non-muxed peer
+// can read.
+func TestMuxLegacyInterop(t *testing.T) {
+	hub, err := NewHub(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = hub.Close() }()
+	ep1, err := hub.Endpoint(1) // legacy peer: no mux
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep2, err := hub.Endpoint(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewMux(ep2)
+	defer func() { _ = m2.Close() }()
+	compat, err := m2.Open(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	frame := msgFrame(t, 1, 1)
+	if err := ep1.Send(2, frame); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvFrame(t, compat); string(got) != string(frame) {
+		t.Fatalf("legacy frame on instance 0: % x, want % x", got, frame)
+	}
+
+	reply := msgFrame(t, 2, 1)
+	if err := compat.Send(1, reply); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvFrame(t, ep1); string(got) != string(reply) {
+		t.Fatalf("legacy peer received % x, want bare % x", got, reply)
+	}
+}
+
+func TestMuxRetire(t *testing.T) {
+	_, m1, m2 := muxPair(t)
+	send, err := m1.Open(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, err := m2.Open(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := <-recv.Recv(); ok {
+		t.Fatal("retired stream's receive channel still open")
+	}
+	// Late frames for a retired instance are dropped, not re-buffered.
+	if err := send.Send(2, msgFrame(t, 1, 9)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if _, err := m2.Open(3); err == nil {
+		t.Fatal("reopening a retired instance succeeded")
+	}
+	m2.mu.Lock()
+	_, buffered := m2.streams[3]
+	m2.mu.Unlock()
+	if buffered {
+		t.Fatal("late frame for retired instance re-created a stream")
+	}
+}
+
+// TestMuxRetireCompaction checks that the retired-instance bookkeeping
+// compacts to a frontier instead of growing with every instance.
+func TestMuxRetireCompaction(t *testing.T) {
+	_, m1, _ := muxPair(t)
+	// Retire 0..99 out of order in pairs: the set must fully compact.
+	for i := 1; i < 100; i += 2 {
+		m1.Retire(uint64(i))
+	}
+	for i := 0; i < 100; i += 2 {
+		m1.Retire(uint64(i))
+	}
+	m1.mu.Lock()
+	below, setLen := m1.retiredBelow, len(m1.retiredSet)
+	m1.mu.Unlock()
+	if below != 100 || setLen != 0 {
+		t.Fatalf("retiredBelow=%d set=%d, want 100 and 0", below, setLen)
+	}
+	if _, err := m1.Open(42); err == nil {
+		t.Fatal("opening a frontier-retired instance succeeded")
+	}
+}
+
+func TestMuxDoubleOpen(t *testing.T) {
+	_, m1, _ := muxPair(t)
+	if _, err := m1.Open(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m1.Open(1); err == nil {
+		t.Fatal("double open succeeded")
+	}
+}
+
+// TestMuxOverTCP runs the routing test over real loopback connections.
+func TestMuxOverTCP(t *testing.T) {
+	tc, err := NewTCPCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tc.Close() }()
+	ep1, err := tc.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep2, err := tc.Endpoint(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := NewMux(ep1), NewMux(ep2)
+	defer func() { _ = m1.Close(); _ = m2.Close() }()
+
+	send, err := m1.Open(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, err := m2.Open(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := msgFrame(t, 1, 4)
+	if err := send.Send(2, frame); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvFrame(t, recv); string(got) != string(frame) {
+		t.Fatalf("TCP mux frame mangled: % x", got)
+	}
+}
+
+// TestMuxUnderlyingClosePropagates checks that closing the underlying
+// endpoint closes every virtual receive channel, so round loops observe
+// the shutdown.
+func TestMuxUnderlyingClosePropagates(t *testing.T) {
+	hub, err := NewHub(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = hub.Close() }()
+	ep1, err := hub.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := NewMux(ep1)
+	defer func() { _ = m1.Close() }()
+	s, err := m1.Open(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-s.Recv():
+		if ok {
+			t.Fatal("got a frame after underlying close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("virtual receive channel did not close")
+	}
+}

@@ -3,7 +3,10 @@
 // paper's asynchronous periods on one machine) and a TCP loopback
 // transport built on net (for running the algorithms as real networked
 // processes). Both move opaque frames produced by package wire; neither
-// interprets them.
+// interprets them. A Mux layers instance multiplexing on top of either:
+// it routes the wire instance envelope so that many concurrent consensus
+// instances share one endpoint's physical connections, which is how the
+// service layer runs a whole fleet of instances over a single cluster.
 //
 // Delivery guarantees mirror the ES channel axioms: frames are never
 // dropped (reliable channels) but may be delayed arbitrarily while a delay

@@ -1,0 +1,51 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"indulgence/internal/model"
+	"indulgence/internal/payload"
+)
+
+// FuzzDecodeInstanceMessage hammers the instance-envelope decode path with
+// arbitrary bytes: it must never panic, and whenever it reports success the
+// result must re-encode to an equivalent frame (decode/encode/decode fixed
+// point). The seed corpus covers both frame versions and the marker-byte
+// boundary cases.
+func FuzzDecodeInstanceMessage(f *testing.F) {
+	seed := func(frame []byte, err error) {
+		if err == nil {
+			f.Add(frame)
+		}
+	}
+	seed(EncodeMessage(nil, model.Message{From: 1, Round: 1, Payload: nil}))
+	seed(EncodeMessage(nil, model.Message{From: 64, Round: 7, Payload: payload.Decide{V: -3}}))
+	seed(EncodeInstanceMessage(nil, 0, model.Message{From: 2, Round: 2, Payload: payload.Propose{V: 9}}))
+	seed(EncodeInstanceMessage(nil, 1<<40, model.Message{From: 3, Round: 3,
+		Payload: payload.EstHalt{Est: 1, Halt: model.NewPIDSet(1, 2)}}))
+	f.Add([]byte{instanceMarker})
+	f.Add([]byte{instanceMarker, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		instance, m, n, err := DecodeInstanceMessage(frame)
+		if err != nil {
+			return
+		}
+		if n > len(frame) {
+			t.Fatalf("consumed %d of %d bytes", n, len(frame))
+		}
+		reenc, err := EncodeInstanceMessage(nil, instance, m)
+		if err != nil {
+			t.Fatalf("re-encode of decoded message failed: %v", err)
+		}
+		inst2, m2, _, err := DecodeInstanceMessage(reenc)
+		if err != nil {
+			t.Fatalf("decode of re-encoding failed: %v", err)
+		}
+		if inst2 != instance || !reflect.DeepEqual(m2, m) {
+			t.Fatalf("decode/encode not a fixed point: (%d, %v) vs (%d, %v)",
+				instance, m, inst2, m2)
+		}
+	})
+}

@@ -4,6 +4,20 @@
 // they travel in length-prefixed frames. The encoding is deterministic and
 // self-contained — no reflection, no registration at run time — so the
 // codec is also usable as a stable on-disk format for recorded runs.
+//
+// # Frame versions
+//
+// The original frame layout (version 0) is a bare message: varint sender,
+// varint round, tag-prefixed payload. The multi-instance service layer
+// wraps messages in a version-1 envelope — the marker byte 0x01 followed
+// by a uvarint consensus-instance ID and then the bare message — so that
+// many concurrent instances can share one physical connection. The two
+// layouts are distinguishable from the first byte alone: a bare message
+// starts with the zigzag varint of its sender (a ProcessID in
+// [1, model.MaxProcesses], whose first encoded byte is never 0x01), so
+// version-0 frames decode unchanged as instance 0. Old readers are
+// insulated the other way by the frame length prefix: they fail cleanly
+// on the unknown marker instead of misparsing.
 package wire
 
 import (
@@ -44,6 +58,60 @@ const (
 // MaxFrameSize bounds decoded frames (1 MiB is far beyond any round
 // message in this repository).
 const MaxFrameSize = 1 << 20
+
+// instanceMarker opens a version-1 (instance-addressed) frame. It can
+// never open a version-0 frame: those start with the zigzag varint of a
+// sender in [1, model.MaxProcesses], which encodes to an even byte or a
+// continuation byte (high bit set), never 0x01.
+const instanceMarker byte = 0x01
+
+// AppendInstanceHeader appends the version-1 envelope header addressing
+// instance to dst. The bytes of a version-0 frame appended afterwards form
+// a complete version-1 frame; StripInstance undoes exactly this header.
+func AppendInstanceHeader(dst []byte, instance uint64) []byte {
+	dst = append(dst, instanceMarker)
+	return binary.AppendUvarint(dst, instance)
+}
+
+// StripInstance splits a frame into its consensus-instance ID and the bare
+// message bytes. Version-0 frames (no envelope) are returned whole as
+// instance 0, so pre-instance peers interoperate with the multiplexed
+// transport unchanged.
+func StripInstance(frame []byte) (instance uint64, inner []byte, err error) {
+	if len(frame) == 0 {
+		return 0, nil, fmt.Errorf("%w: empty frame", ErrTruncated)
+	}
+	if frame[0] != instanceMarker {
+		return 0, frame, nil
+	}
+	id, n := binary.Uvarint(frame[1:])
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: instance id", ErrTruncated)
+	}
+	return id, frame[1+n:], nil
+}
+
+// EncodeInstanceMessage appends the version-1 encoding of m addressed to
+// instance. Encoding to instance 0 still emits the envelope; use
+// EncodeMessage for version-0 frames.
+func EncodeInstanceMessage(dst []byte, instance uint64, m model.Message) ([]byte, error) {
+	return EncodeMessage(AppendInstanceHeader(dst, instance), m)
+}
+
+// DecodeInstanceMessage decodes a frame of either version, returning the
+// instance ID (0 for version-0 frames), the message, and the bytes
+// consumed.
+func DecodeInstanceMessage(b []byte) (uint64, model.Message, int, error) {
+	instance, inner, err := StripInstance(b)
+	if err != nil {
+		return 0, model.Message{}, 0, err
+	}
+	m, n, err := DecodeMessage(inner)
+	if err != nil {
+		return 0, model.Message{}, 0, err
+	}
+	return instance, m, len(b) - len(inner) + n, nil
+}
 
 // EncodePayload appends the tag-prefixed encoding of a payload (possibly
 // nil) to dst.

@@ -150,6 +150,79 @@ func TestFrames(t *testing.T) {
 	}
 }
 
+// TestLegacyFrameDecodesAsInstanceZero pins the backward-compatibility
+// contract: every version-0 frame (bare message, no envelope) decodes
+// through the instance-aware entry points as instance 0 with an identical
+// message.
+func TestLegacyFrameDecodesAsInstanceZero(t *testing.T) {
+	msgs := []model.Message{
+		{From: 1, Round: 1, Payload: nil},
+		{From: 64, Round: 3, Payload: payload.Decide{V: -9}},
+		{From: 2, Round: 200, Payload: payload.EstHalt{Est: 7, Halt: model.NewPIDSet(1, 2, 64)}},
+		{From: 33, Round: 5, Payload: payload.NewValues([]model.Value{1, 2, 3})},
+	}
+	for _, m := range msgs {
+		legacy, err := EncodeMessage(nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if legacy[0] == instanceMarker {
+			t.Fatalf("legacy frame for %v starts with the instance marker", m)
+		}
+		inst, dec, n, err := DecodeInstanceMessage(legacy)
+		if err != nil {
+			t.Fatalf("decode legacy %v: %v", m, err)
+		}
+		if inst != 0 || n != len(legacy) || !reflect.DeepEqual(dec, m) {
+			t.Fatalf("legacy decode: instance=%d n=%d/%d msg=%v, want instance 0, full frame, %v",
+				inst, n, len(legacy), dec, m)
+		}
+		gotInst, inner, err := StripInstance(legacy)
+		if err != nil || gotInst != 0 || !bytes.Equal(inner, legacy) {
+			t.Fatalf("StripInstance(legacy) = %d, %q, %v", gotInst, inner, err)
+		}
+	}
+}
+
+// TestInstanceEnvelopeRoundTrip covers the version-1 path, including
+// instance 0 (explicit envelope) and IDs beyond one varint byte.
+func TestInstanceEnvelopeRoundTrip(t *testing.T) {
+	m := model.Message{From: 5, Round: 9, Payload: payload.Estimate{Est: 4, TS: 2}}
+	for _, instance := range []uint64{0, 1, 127, 128, 1 << 20, 1<<64 - 1} {
+		enc, err := EncodeInstanceMessage(nil, instance, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if enc[0] != instanceMarker {
+			t.Fatalf("instance frame missing marker: % x", enc)
+		}
+		gotInst, dec, n, err := DecodeInstanceMessage(enc)
+		if err != nil {
+			t.Fatalf("decode instance %d: %v", instance, err)
+		}
+		if gotInst != instance || n != len(enc) || !reflect.DeepEqual(dec, m) {
+			t.Fatalf("round trip: instance=%d n=%d/%d msg=%v", gotInst, n, len(enc), dec)
+		}
+		// The envelope is exactly AppendInstanceHeader + version-0 bytes.
+		legacy, _ := EncodeMessage(nil, m)
+		if want := append(AppendInstanceHeader(nil, instance), legacy...); !bytes.Equal(enc, want) {
+			t.Fatalf("envelope layout drifted: % x != % x", enc, want)
+		}
+	}
+}
+
+func TestStripInstanceTruncated(t *testing.T) {
+	if _, _, err := StripInstance(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty frame: %v", err)
+	}
+	if _, _, err := StripInstance([]byte{instanceMarker}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("marker without id: %v", err)
+	}
+	if _, _, err := StripInstance([]byte{instanceMarker, 0x80}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("unterminated id varint: %v", err)
+	}
+}
+
 func TestFrameTooLarge(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteFrame(&buf, make([]byte, MaxFrameSize+1)); !errors.Is(err, ErrFrameTooLarge) {
