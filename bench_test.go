@@ -379,3 +379,94 @@ func BenchmarkMicroServiceThroughput(b *testing.B) {
 	b.ReportMetric(float64(totalProps)/elapsed, "proposals/sec")
 	b.ReportMetric(float64(totalInstances)/elapsed, "decisions/sec")
 }
+
+// BenchmarkMicroServiceThroughputJournal is BenchmarkMicroServiceThroughput
+// with the durable decision journal in the write path: every instance
+// start and every decision is fsynced (group-committed) before the
+// batch's futures resolve. The spread between the two benchmarks is the
+// full price of durability; the baseline file records it.
+func BenchmarkMicroServiceThroughputJournal(b *testing.B) {
+	const (
+		n, t      = 4, 1
+		proposals = 256
+		clients   = 32
+	)
+	b.ReportAllocs()
+	var totalProps, totalInstances, totalSyncs int
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		jn, err := indulgence.OpenJournal(b.TempDir(), indulgence.JournalOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hub, err := indulgence.NewHub(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eps := make([]indulgence.Transport, n)
+		for j := range eps {
+			if eps[j], err = hub.Endpoint(indulgence.ProcessID(j + 1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		svc, err := indulgence.NewService(indulgence.ServiceConfig{
+			N: n, T: t,
+			Factory:     indulgence.NewAtPlus2(indulgence.AtPlus2Options{}),
+			BaseTimeout: 5 * time.Millisecond,
+			MaxBatch:    4,
+			Linger:      time.Millisecond,
+			MaxInflight: 32,
+			Journal:     jn,
+		}, eps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		var wg sync.WaitGroup
+		next := make(chan indulgence.Value, proposals)
+		for v := 1; v <= proposals; v++ {
+			next <- indulgence.Value(v)
+		}
+		close(next)
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for v := range next {
+					fut, err := svc.Propose(ctx, v)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if _, err := fut.Wait(ctx); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if err := svc.Close(); err != nil {
+			b.Fatal(err)
+		}
+		st := svc.Snapshot()
+		if len(st.Violations) != 0 {
+			b.Fatalf("consensus violations: %v", st.Violations)
+		}
+		js := jn.Snapshot()
+		if js.Decisions != st.Instances {
+			b.Fatalf("journal holds %d decisions, service decided %d", js.Decisions, st.Instances)
+		}
+		totalProps += st.Resolved
+		totalInstances += st.Instances
+		totalSyncs += js.Syncs
+		if err := jn.Close(); err != nil {
+			b.Fatal(err)
+		}
+		_ = hub.Close()
+	}
+	elapsed := time.Since(start).Seconds()
+	b.ReportMetric(float64(totalProps)/elapsed, "proposals/sec")
+	b.ReportMetric(float64(totalInstances)/elapsed, "decisions/sec")
+	b.ReportMetric(float64(totalSyncs)/float64(max(b.N, 1)), "fsyncs/op")
+}

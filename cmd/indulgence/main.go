@@ -11,10 +11,12 @@
 //	indulgence live  [-algo A] [-n N] [-t T] [-transport memory|tcp]
 //	                 [-delay D] [-crash P] [-timeout D]
 //	indulgence serve [-algo A] [-n N] [-t T] [-transport memory|tcp]
-//	                 [-batch B] [-linger D] [-inflight I]
+//	                 [-batch B] [-linger D] [-inflight I] [-journal DIR]
 //	indulgence bench-service [-algo A] [-n N] [-t T] [-transport memory|tcp]
 //	                 [-proposals P] [-clients C] [-batch B] [-linger D]
 //	                 [-inflight I] [-delay D] [-heal D] [-timeout D]
+//	                 [-journal DIR]
+//	indulgence replay -journal DIR [-limit N] [-quiet] [-verify=false]
 //
 // Algorithms: atplus2, atplus2ff, diamonds, afplus2, floodset, floodsetws,
 // ct, hurfinraynal, amr. Schedules: ff, killer2, killer3, splitbrain,
@@ -67,6 +69,8 @@ func run(args []string) error {
 		return cmdServe(args[1:])
 	case "bench-service":
 		return cmdBenchService(args[1:])
+	case "replay":
+		return cmdReplay(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -77,7 +81,7 @@ func run(args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: indulgence <run|worst|table|live|serve|bench-service> [flags]
+	fmt.Fprintln(os.Stderr, `usage: indulgence <run|worst|table|live|serve|bench-service|replay> [flags]
 
   run            simulate one run of an algorithm under a schedule
   worst          explore all serial runs and report the worst-case decision round
@@ -85,6 +89,7 @@ func usage() {
   live           run a live goroutine cluster (in-memory or TCP transport)
   serve          run the consensus service; proposals read from stdin, one per line
   bench-service  closed-loop load test of the consensus service
+  replay         dump and verify a decision journal written by serve -journal
 
 run 'indulgence <cmd> -h' for the flags of each subcommand.`)
 }

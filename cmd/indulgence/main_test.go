@@ -132,3 +132,65 @@ func TestServiceSubcommandErrors(t *testing.T) {
 		}
 	}
 }
+
+// serveWithStdin runs the serve subcommand with the given lines piped to
+// stdin.
+func serveWithStdin(t *testing.T, input string, args ...string) error {
+	t.Helper()
+	in, err := os.CreateTemp(t.TempDir(), "stdin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.WriteString(input); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdin
+	os.Stdin = in
+	defer func() { os.Stdin = old; _ = in.Close() }()
+	return run(append([]string{"serve"}, args...))
+}
+
+// TestServeJournalAndReplay is the CLI tour of persistence: two serve
+// lifetimes share one journal directory, then replay dumps and audits
+// the joint log.
+func TestServeJournalAndReplay(t *testing.T) {
+	dir := t.TempDir() + "/journal"
+	common := []string{"-n", "3", "-t", "1", "-timeout", "10ms", "-batch", "2",
+		"-linger", "5ms", "-journal", dir}
+	if err := serveWithStdin(t, "1\n2\n3\n", common...); err != nil {
+		t.Fatalf("first serve lifetime: %v", err)
+	}
+	if err := serveWithStdin(t, "4\n5\n", common...); err != nil {
+		t.Fatalf("second serve lifetime: %v", err)
+	}
+	if err := run([]string{"replay", "-journal", dir}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if err := run([]string{"replay", "-journal", dir, "-quiet", "-limit", "1"}); err != nil {
+		t.Fatalf("replay quiet: %v", err)
+	}
+}
+
+func TestBenchServiceJournal(t *testing.T) {
+	dir := t.TempDir() + "/journal"
+	if err := run([]string{"bench-service", "-n", "3", "-t", "1", "-proposals", "32",
+		"-clients", "8", "-batch", "4", "-timeout", "5ms", "-journal", dir,
+		"-segment-bytes", "4096"}); err != nil {
+		t.Fatalf("bench-service with journal: %v", err)
+	}
+	if err := run([]string{"replay", "-journal", dir, "-quiet"}); err != nil {
+		t.Fatalf("replay after bench: %v", err)
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	if err := run([]string{"replay"}); err == nil {
+		t.Error("replay without -journal succeeded")
+	}
+	if err := run([]string{"replay", "-journal", t.TempDir() + "/missing"}); err == nil {
+		t.Error("replay of a missing directory succeeded")
+	}
+}

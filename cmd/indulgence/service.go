@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"indulgence/internal/journal"
 	"indulgence/internal/model"
 	"indulgence/internal/service"
 	"indulgence/internal/stats"
@@ -60,6 +61,8 @@ type serviceFlags struct {
 	linger   *time.Duration
 	inflight *int
 	timeout  *time.Duration
+	journal  *string
+	segment  *int64
 }
 
 func newServiceFlags(fs *flag.FlagSet) serviceFlags {
@@ -72,18 +75,35 @@ func newServiceFlags(fs *flag.FlagSet) serviceFlags {
 		linger:   fs.Duration("linger", 2*time.Millisecond, "max wait to fill a batch"),
 		inflight: fs.Int("inflight", 64, "max concurrently running instances"),
 		timeout:  fs.Duration("timeout", 25*time.Millisecond, "base suspicion timeout"),
+		journal:  fs.String("journal", "", "durable decision journal directory (empty = no journal)"),
+		segment:  fs.Int64("segment-bytes", 1<<20, "journal segment rotation size"),
 	}
 }
 
-// start builds the transport and the service from the parsed flags.
-func (f serviceFlags) start() (*service.Service, *transport.Hub, func(), error) {
+// start builds the transport, the optional journal and the service from
+// the parsed flags. The returned cleanup closes the transport and the
+// journal; call it after the service is closed.
+func (f serviceFlags) start() (*service.Service, *transport.Hub, *journal.Journal, func(), error) {
 	factory, err := factoryByName(*f.algo)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	eps, hub, closeTransport, err := buildEndpoints(*f.trans, *f.n)
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
+	}
+	var jn *journal.Journal
+	cleanup := closeTransport
+	if *f.journal != "" {
+		jn, err = journal.Open(*f.journal, journal.Options{SegmentBytes: *f.segment})
+		if err != nil {
+			closeTransport()
+			return nil, nil, nil, nil, err
+		}
+		cleanup = func() {
+			closeTransport()
+			_ = jn.Close()
+		}
 	}
 	svc, err := service.New(service.Config{
 		N: *f.n, T: *f.t,
@@ -92,12 +112,13 @@ func (f serviceFlags) start() (*service.Service, *transport.Hub, func(), error) 
 		MaxBatch:    *f.batch,
 		Linger:      *f.linger,
 		MaxInflight: *f.inflight,
+		Journal:     jn,
 	}, eps)
 	if err != nil {
-		closeTransport()
-		return nil, nil, nil, err
+		cleanup()
+		return nil, nil, nil, nil, err
 	}
-	return svc, hub, closeTransport, nil
+	return svc, hub, jn, cleanup, nil
 }
 
 // cmdServe runs the consensus service interactively: every line on stdin
@@ -109,14 +130,23 @@ func cmdServe(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	svc, _, closeTransport, err := f.start()
+	svc, _, jn, cleanup, err := f.start()
 	if err != nil {
 		return err
 	}
-	defer closeTransport()
+	defer cleanup()
 
 	fmt.Printf("consensus service up: %s, n=%d t=%d, %s transport, batch ≤ %d, linger %s, ≤ %d instances inflight\n",
 		*f.algo, *f.n, *f.t, *f.trans, *f.batch, *f.linger, *f.inflight)
+	if jn != nil {
+		st := jn.Snapshot()
+		fmt.Printf("journal: %s — recovered %d decisions (+%d starts), resuming at instance %d",
+			jn.Dir(), st.Decisions, st.Starts, st.Frontier)
+		if st.TornBytes > 0 {
+			fmt.Printf(" (dropped a %d-byte torn tail)", st.TornBytes)
+		}
+		fmt.Println()
+	}
 	fmt.Println("enter one integer proposal per line (EOF to stop):")
 
 	ctx := context.Background()
@@ -160,6 +190,11 @@ func cmdServe(args []string) error {
 	st := svc.Snapshot()
 	fmt.Printf("served %d proposals over %d instances; latency %s\n",
 		st.Resolved, st.Instances, st.Latency)
+	if jn != nil {
+		js := jn.Snapshot()
+		fmt.Printf("journal: %d decisions durable over %d fsyncs; fsync %s\n",
+			js.Decisions, js.Syncs, js.SyncLatency)
+	}
 	if len(st.Violations) > 0 {
 		return fmt.Errorf("%d consensus violations: %v", len(st.Violations), st.Violations)
 	}
@@ -183,11 +218,11 @@ func cmdBenchService(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	svc, hub, closeTransport, err := f.start()
+	svc, hub, jn, cleanup, err := f.start()
 	if err != nil {
 		return err
 	}
-	defer closeTransport()
+	defer cleanup()
 	if *delay > 0 {
 		if hub == nil {
 			return fmt.Errorf("delay injection needs the memory transport")
@@ -255,6 +290,13 @@ func cmdBenchService(args []string) error {
 	table.AddRowf("latency max", st.Latency.Max.Round(time.Microsecond))
 	table.AddRowf("rounds min..max (t+2 floor)", fmt.Sprintf("%d..%d (%d)", st.Rounds.Min, st.Rounds.Max, *f.t+2))
 	table.AddRowf("check violations", len(st.Violations))
+	if jn != nil {
+		js := jn.Snapshot()
+		table.AddRowf("journal decisions durable", js.Decisions)
+		table.AddRowf("journal fsyncs (group commits)", js.Syncs)
+		table.AddRowf("journal fsync p99", js.SyncLatency.P99.Round(time.Microsecond))
+		table.AddRowf("journal segments", js.Segments)
+	}
 	table.Render(os.Stdout)
 	if len(st.Violations) > 0 {
 		return fmt.Errorf("%d consensus violations: %v", len(st.Violations), st.Violations)

@@ -19,6 +19,10 @@
 //   - a consensus service multiplexing many concurrent batched instances
 //     over one cluster's connections, with per-proposal decision futures
 //     and latency accounting;
+//   - a durable decision journal (append-only, fsync-batched, CRC-framed
+//     segments) that makes the service restartable: decisions are
+//     journaled before their futures resolve, and recovery replays the
+//     log instead of re-running consensus;
 //   - the experiment suite regenerating every quantitative claim of the
 //     paper (see EXPERIMENTS.md).
 //
@@ -41,6 +45,7 @@ import (
 	"indulgence/internal/check"
 	"indulgence/internal/core"
 	"indulgence/internal/experiments"
+	"indulgence/internal/journal"
 	"indulgence/internal/lowerbound"
 	"indulgence/internal/model"
 	"indulgence/internal/runtime"
@@ -49,6 +54,7 @@ import (
 	"indulgence/internal/sim"
 	"indulgence/internal/trace"
 	"indulgence/internal/transport"
+	"indulgence/internal/wire"
 )
 
 // Core model types.
@@ -338,6 +344,44 @@ func NewService(cfg ServiceConfig, endpoints []Transport) (*Service, error) {
 
 // NewMux multiplexes instance-addressed streams over one endpoint.
 func NewMux(ep Transport) *Mux { return transport.NewMux(ep) }
+
+// Durable decision journal (crash-restart recovery for the service).
+type (
+	// Journal is the append-only, fsync-batched decision log a service
+	// journals into before resolving futures.
+	Journal = journal.Journal
+	// JournalOptions configures a journal (segment rotation, fsync).
+	JournalOptions = journal.Options
+	// JournalStats is a snapshot of journal counters and fsync latency.
+	JournalStats = journal.Stats
+	// JournalEntry is one replayed journal record (start or decision).
+	JournalEntry = journal.Entry
+	// JournalReplayInfo summarizes one read of a journal directory.
+	JournalReplayInfo = journal.ReplayInfo
+	// DecisionRecord is the durable record of one decided instance.
+	DecisionRecord = wire.DecisionRecord
+)
+
+// OpenJournal opens (creating if needed) the decision journal at dir,
+// recovering its decision index and instance frontier; pass the journal
+// to a ServiceConfig to make the service restartable.
+func OpenJournal(dir string, opts JournalOptions) (*Journal, error) {
+	return journal.Open(dir, opts)
+}
+
+// ReplayJournal iterates every intact record of a journal directory in
+// append order, tolerating a torn tail on the final segment exactly as
+// recovery does.
+func ReplayJournal(dir string, fn func(JournalEntry) error) (JournalReplayInfo, error) {
+	return journal.Replay(dir, fn)
+}
+
+// CheckReplay cross-checks a journal's decision records against live
+// observations (instance → resolved value), extending uniform agreement
+// across process lifetimes.
+func CheckReplay(records []DecisionRecord, live map[uint64]Value) Report {
+	return check.Replay(records, live)
+}
 
 // Experiments.
 type (

@@ -4,17 +4,21 @@
 // termination (every correct process decides). Consensus checks recorded
 // simulator runs; Instance checks the live decisions of one runtime
 // cluster or service shard — the service audits every resolved instance
-// with it. The package also extracts the round-complexity measurements
-// the experiments report.
+// with it; Replay cross-checks a decision journal against live
+// observations, extending uniform agreement across process lifetimes.
+// The package also extracts the round-complexity measurements the
+// experiments report.
 package check
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"indulgence/internal/model"
 	"indulgence/internal/sim"
+	"indulgence/internal/wire"
 )
 
 // ErrViolation is wrapped by Report.Err when a property is violated.
@@ -137,6 +141,62 @@ func Instance(decisions []model.OptValue, proposals []model.Value, crashed model
 			rep.Agreement = false
 			rep.Violations = append(rep.Violations,
 				fmt.Sprintf("agreement: p%d decided %d but p%d decided %d", firstDecider, firstValue, p, v))
+		}
+	}
+	return rep
+}
+
+// Replay cross-checks a decision journal against the live decisions
+// observed across one or more process lifetimes of the service: records
+// is the journal in append order (as produced by journal.Replay), and
+// live maps instance ID to the value clients saw that instance resolve
+// to. It extends uniform agreement across crashes — an instance must
+// never be on record with two values, whether the second record comes
+// from the same lifetime (a duplicate append), a later one (a re-run the
+// frontier should have prevented), or a live client. Structurally
+// impossible records (non-positive round or batch) are flagged as
+// validity violations: no decision can legally produce them, so their
+// presence means the log was not written by a correct service.
+// Termination is not assessable from a journal (a record exists only
+// once an instance terminates) and is reported as holding.
+// GlobalDecisionRound is the largest journaled decision round.
+func Replay(records []wire.DecisionRecord, live map[uint64]model.Value) Report {
+	rep := Report{Validity: true, Agreement: true, Termination: true}
+
+	seen := make(map[uint64]wire.DecisionRecord, len(records))
+	for _, r := range records {
+		if r.Round < 1 || r.Batch < 1 {
+			rep.Validity = false
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("journal: instance %d has an impossible record (round %d, batch %d)",
+					r.Instance, r.Round, r.Batch))
+		}
+		if prev, ok := seen[r.Instance]; ok {
+			if prev.Value != r.Value {
+				rep.Agreement = false
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("agreement: instance %d journaled as %d and again as %d",
+						r.Instance, prev.Value, r.Value))
+			}
+			continue
+		}
+		seen[r.Instance] = r
+		if r.Round > rep.GlobalDecisionRound {
+			rep.GlobalDecisionRound = r.Round
+		}
+	}
+
+	instances := make([]uint64, 0, len(live))
+	for inst := range live {
+		instances = append(instances, inst)
+	}
+	sort.Slice(instances, func(i, j int) bool { return instances[i] < instances[j] })
+	for _, inst := range instances {
+		if rec, ok := seen[inst]; ok && rec.Value != live[inst] {
+			rep.Agreement = false
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("agreement: instance %d journaled %d but resolved %d live",
+					inst, rec.Value, live[inst]))
 		}
 	}
 	return rep

@@ -7,6 +7,7 @@ import (
 
 	"indulgence/internal/model"
 	"indulgence/internal/sim"
+	"indulgence/internal/wire"
 )
 
 func result(decisions []sim.Decision, crashes []model.Round) *sim.Result {
@@ -128,5 +129,68 @@ func TestInstance(t *testing.T) {
 	invalid := Instance([]model.OptValue{model.Some(9)}, props, 0)
 	if invalid.Validity {
 		t.Fatalf("unproposed value not flagged: %+v", invalid)
+	}
+}
+
+func TestReplayClean(t *testing.T) {
+	records := []wire.DecisionRecord{
+		{Instance: 0, Value: 5, Round: 3, Batch: 2},
+		{Instance: 2, Value: 9, Round: 4, Batch: 1},
+		{Instance: 1, Value: 7, Round: 3, Batch: 3},
+		// A benign duplicate (same value): re-journaling a decision is
+		// wasteful but not a violation.
+		{Instance: 2, Value: 9, Round: 4, Batch: 1},
+	}
+	live := map[uint64]model.Value{0: 5, 2: 9}
+	rep := Replay(records, live)
+	if !rep.OK() {
+		t.Fatalf("clean replay flagged: %+v", rep)
+	}
+	if rep.GlobalDecisionRound != 4 {
+		t.Fatalf("global decision round = %d", rep.GlobalDecisionRound)
+	}
+	if empty := Replay(nil, nil); !empty.OK() || empty.GlobalDecisionRound != 0 {
+		t.Fatalf("empty replay = %+v", empty)
+	}
+}
+
+func TestReplayJournalConflict(t *testing.T) {
+	rep := Replay([]wire.DecisionRecord{
+		{Instance: 3, Value: 1, Round: 3, Batch: 1},
+		{Instance: 3, Value: 2, Round: 3, Batch: 1},
+	}, nil)
+	if rep.Agreement {
+		t.Fatalf("conflicting journal records not flagged: %+v", rep)
+	}
+	if !errors.Is(rep.Err(), ErrViolation) || !strings.Contains(rep.Err().Error(), "instance 3") {
+		t.Fatalf("Err() = %v", rep.Err())
+	}
+}
+
+func TestReplayLiveConflict(t *testing.T) {
+	records := []wire.DecisionRecord{{Instance: 8, Value: 4, Round: 3, Batch: 2}}
+	rep := Replay(records, map[uint64]model.Value{8: 6})
+	if rep.Agreement {
+		t.Fatalf("journal/live split not flagged: %+v", rep)
+	}
+	// A live decision the journal never saw (its append was lost with
+	// the crash window open... which Append's blocking prevents) is not
+	// checkable here and must not be flagged.
+	rep = Replay(records, map[uint64]model.Value{9: 1})
+	if !rep.OK() {
+		t.Fatalf("unjournaled live instance flagged: %+v", rep)
+	}
+}
+
+func TestReplayImpossibleRecord(t *testing.T) {
+	rep := Replay([]wire.DecisionRecord{
+		{Instance: 0, Value: 1, Round: 0, Batch: 1},
+		{Instance: 1, Value: 1, Round: 3, Batch: 0},
+	}, nil)
+	if rep.Validity {
+		t.Fatalf("impossible records not flagged: %+v", rep)
+	}
+	if len(rep.Violations) != 2 {
+		t.Fatalf("violations = %v", rep.Violations)
 	}
 }

@@ -1,0 +1,538 @@
+// Package journal is the durable decision log of the consensus service:
+// an append-only, fsync-batched, CRC-framed record of every decided
+// instance, written before the decision is served. It is what makes the
+// paper's per-decision price (the t+2 round floor) a price paid once —
+// a restarted service replays the journal instead of re-running
+// consensus for instances it already decided, and resumes its
+// instance-ID frontier past the highest journaled ID, so no instance can
+// ever decide twice across process lifetimes.
+//
+// # Disk format
+//
+// A journal is a directory of segment files seg-00000000.wal,
+// seg-00000001.wal, ... Each segment is a sequence of frames: a 4-byte
+// length, a 4-byte CRC-32C, and one record of the wire envelope family
+// — a wire.DecisionRecord, or a wire.StartRecord claiming an instance
+// ID before its first frame may touch the network (so a recovered
+// frontier can never collide with in-flight frames of an instance that
+// crashed undecided). Segments rotate once they exceed
+// Options.SegmentBytes. The format is append-only and self-checking;
+// no index or manifest files exist — recovery is a linear scan.
+//
+// # Durability and recovery contract
+//
+// The two record kinds carry two durability classes. Append (decisions)
+// returns only after an fsync, with every decision written inside one
+// group-commit window sharing that window's single fsync, so fsync
+// count scales with elapsed windows, not with decisions. AppendStart
+// (instance-ID claims) returns after its write completes, without
+// waiting for fsync: the in-flight frames a
+// start record guards against can only survive a process crash, which
+// page-cache writes survive too, and a machine crash that could lose
+// the write also loses the frames — while every later decision fsync
+// makes earlier start writes durable as a side effect.
+//
+// A crash can therefore lose only the torn tail of the final segment:
+// recovery (Open or Replay) keeps every intact prefix record, drops the
+// torn tail (Open truncates it away), and fails loudly on mid-journal
+// corruption, which no crash can produce. Records whose append call
+// never returned may still be present — durable but unacknowledged —
+// which is the safe direction: serving a journaled decision is always
+// correct, re-deciding one is not.
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+
+	"indulgence/internal/stats"
+	"indulgence/internal/wire"
+)
+
+// Journal errors.
+var (
+	// ErrClosed reports use of a closed journal.
+	ErrClosed = errors.New("journal: closed")
+	// ErrCorrupt reports damage recovery cannot attribute to a torn
+	// tail (corruption before the final segment's end).
+	ErrCorrupt = errors.New("journal: corrupt")
+	// ErrLocked reports a journal directory already owned by a live
+	// journal (this process or another).
+	ErrLocked = errors.New("journal: directory locked by another journal")
+)
+
+// Options configures a journal.
+type Options struct {
+	// SegmentBytes rotates the active segment once its size reaches
+	// this many bytes (default 1 MiB). Rotation happens between
+	// batches, so a segment can overshoot by at most one batch.
+	SegmentBytes int64
+	// GroupWindow is how long a decision append may wait for
+	// companions to share its fsync (group commit), measured from the
+	// first pending decision after the previous fsync (default 1ms;
+	// negative fsyncs every decision immediately). The window is what
+	// keeps fsync count proportional to elapsed windows instead of to
+	// decisions when decisions arrive slower than an fsync completes.
+	GroupWindow time.Duration
+	// NoSync skips fsync entirely. Replay still works, but a crash may
+	// lose acknowledged records — only for tests and throwaway
+	// journals.
+	NoSync bool
+	// OnAppend, when non-nil, is invoked on the writer goroutine after
+	// each entry has become durable and before its Append returns —
+	// the observability and fault-injection hook the crash-restart
+	// tests use to stop a service inside the journaled-but-unserved
+	// window. It must not call back into the journal.
+	OnAppend func(Entry)
+}
+
+// withDefaults returns o with zero fields replaced by defaults.
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes == 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	if o.SegmentBytes < frameHeader {
+		o.SegmentBytes = frameHeader
+	}
+	if o.GroupWindow == 0 {
+		o.GroupWindow = time.Millisecond
+	}
+	return o
+}
+
+// Stats is a point-in-time snapshot of journal counters.
+type Stats struct {
+	// Decisions and Starts count intact entries by kind (replayed at
+	// Open plus appended since); Decisions counts distinct instances.
+	Decisions, Starts int
+	// Appends counts entries appended by this process; Batches and
+	// Syncs count the group commits and fsyncs that carried them
+	// (Appends/Syncs is the group-commit fan-in).
+	Appends, Batches, Syncs int
+	// Segments is the number of segment files.
+	Segments int
+	// TornBytes is the size of the torn tail truncated at Open.
+	TornBytes int
+	// Frontier is 1 + the highest journaled instance ID.
+	Frontier uint64
+	// SyncLatency summarizes fsync wall-clock latency over a bounded
+	// uniform sample — the durability component of decision latency.
+	SyncLatency stats.LatencySummary
+}
+
+// maxGroup bounds how many decisions one fsync may carry, purely as a
+// backstop against unbounded pending growth if a timer is ever starved.
+const maxGroup = 1024
+
+// appendReq is one enqueued append waiting for persistence: a write for
+// start records, a write plus fsync for decisions.
+type appendReq struct {
+	entry Entry
+	sync  bool
+	done  chan error
+}
+
+// Journal is an open decision log. All methods are safe for concurrent
+// use; a single writer goroutine serializes disk writes and batches
+// fsyncs across concurrent Appends.
+type Journal struct {
+	dir  string
+	opts Options
+
+	intake     chan appendReq
+	writerDone chan struct{}
+
+	// mu guards closed and the recovered/live state below; Append
+	// holds it for reading across the intake send so Close never
+	// closes the channel under a sender.
+	mu        sync.RWMutex
+	closed    bool
+	index     map[uint64]wire.DecisionRecord
+	starts    int
+	frontier  uint64
+	appends   int
+	batches   int
+	syncs     int
+	segments  int
+	tornBytes int
+	syncLat   *stats.Reservoir[time.Duration]
+
+	// lockFile holds the flock that makes this process the directory's
+	// only writer; the kernel drops it if the process dies.
+	lockFile *os.File
+
+	// Writer-goroutine state: the active segment and its size.
+	seg     *os.File
+	segIdx  int
+	segSize int64
+	buf     []byte
+}
+
+// Open opens (creating if needed) the journal at dir, replays every
+// segment to rebuild the decision index and instance frontier, truncates
+// a torn tail off the final segment, and readies the final segment for
+// appending. The directory is flock-guarded: a second live Open of the
+// same dir — a concurrently running serve, say — fails with ErrLocked
+// instead of interleaving two writers' segments, while a crashed
+// owner's lock is released by the kernel, so recovery is never blocked
+// by a stale lock file. The caller owns the returned journal and must
+// Close it.
+func Open(dir string, opts Options) (*Journal, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	lock, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		_ = lock.Close()
+		return nil, fmt.Errorf("%w: %s", ErrLocked, dir)
+	}
+	j := &Journal{
+		dir:        dir,
+		opts:       opts,
+		lockFile:   lock,
+		intake:     make(chan appendReq, 256),
+		writerDone: make(chan struct{}),
+		index:      make(map[uint64]wire.DecisionRecord),
+		syncLat:    stats.NewReservoir[time.Duration](1 << 14),
+	}
+
+	fail := func(err error) (*Journal, error) {
+		_ = lock.Close() // closing the fd drops the flock
+		return nil, err
+	}
+	idxs, err := listSegments(dir)
+	if err != nil {
+		return fail(err)
+	}
+	for i, idx := range idxs {
+		path := filepath.Join(dir, segmentName(idx))
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return fail(err)
+		}
+		entries, intact, torn := scanSegment(b)
+		if torn {
+			if i != len(idxs)-1 {
+				return fail(fmt.Errorf("%w: %s has a torn tail mid-journal", ErrCorrupt, segmentName(idx)))
+			}
+			// The crash window: drop the torn tail so appends resume
+			// on a clean frame boundary.
+			if err := os.Truncate(path, int64(intact)); err != nil {
+				return fail(fmt.Errorf("journal: truncate torn tail of %s: %w", segmentName(idx), err))
+			}
+			syncDir(dir)
+			j.tornBytes = len(b) - intact
+		}
+		for _, e := range entries {
+			j.publish(e)
+		}
+	}
+
+	j.segIdx = 0
+	if len(idxs) > 0 {
+		j.segIdx = idxs[len(idxs)-1]
+	}
+	path := filepath.Join(dir, segmentName(j.segIdx))
+	seg, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fail(err)
+	}
+	st, err := seg.Stat()
+	if err != nil {
+		_ = seg.Close()
+		return fail(err)
+	}
+	j.seg, j.segSize = seg, st.Size()
+	j.segments = max(len(idxs), 1)
+	if len(idxs) == 0 {
+		syncDir(dir)
+	}
+	go j.writer()
+	return j, nil
+}
+
+// Dir returns the journal's directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Append makes the decision record rec durable and returns once it is
+// fsynced (or the write failed). Concurrent appends share one fsync
+// when they land within the same group-commit window, so durability
+// costs one fsync per batch, not per decision.
+func (j *Journal) Append(rec wire.DecisionRecord) error {
+	return j.append(Entry{Decision: rec}, true)
+}
+
+// AppendStart claims every instance ID through instance: the recovered
+// frontier resumes past it. The service appends a claim before a
+// claimed instance may send its first frame (one block-claim covers
+// many launches), so the recovered frontier covers every ID that ever
+// touched the network — including instances that crashed undecided —
+// and no successor can collide with their in-flight frames.
+// AppendStart returns once the record is written, without
+// waiting for an fsync: the frames it guards against can only survive a
+// process crash, which page-cache writes survive too, while a machine
+// crash that could lose the write also loses the frames. (Any later
+// decision fsync makes earlier start writes durable as a side effect.)
+func (j *Journal) AppendStart(instance uint64) error {
+	return j.append(Entry{Start: true, Decision: wire.DecisionRecord{Instance: instance}}, false)
+}
+
+func (j *Journal) append(e Entry, sync bool) error {
+	req := appendReq{entry: e, sync: sync, done: make(chan error, 1)}
+	j.mu.RLock()
+	if j.closed {
+		j.mu.RUnlock()
+		return ErrClosed
+	}
+	j.intake <- req
+	j.mu.RUnlock()
+	return <-req.done
+}
+
+// Get returns the journaled record of an instance, if any.
+func (j *Journal) Get(instance uint64) (wire.DecisionRecord, bool) {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	rec, ok := j.index[instance]
+	return rec, ok
+}
+
+// Frontier returns 1 + the highest journaled instance ID (0 when the
+// journal is empty): the first instance ID a recovered service may
+// assign.
+func (j *Journal) Frontier() uint64 {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	return j.frontier
+}
+
+// Len returns the number of distinct journaled instances.
+func (j *Journal) Len() int {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	return len(j.index)
+}
+
+// Snapshot returns current counters and the fsync-latency summary.
+func (j *Journal) Snapshot() Stats {
+	j.mu.RLock()
+	defer j.mu.RUnlock()
+	return Stats{
+		Decisions:   len(j.index),
+		Starts:      j.starts,
+		Appends:     j.appends,
+		Batches:     j.batches,
+		Syncs:       j.syncs,
+		Segments:    j.segments,
+		TornBytes:   j.tornBytes,
+		Frontier:    j.frontier,
+		SyncLatency: stats.SummarizeDurations(j.syncLat.Values()),
+	}
+}
+
+// Close drains queued appends, makes them durable, and closes the active
+// segment. Close is idempotent; Appends racing with it either complete
+// durably or fail with ErrClosed.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	j.mu.Unlock()
+	close(j.intake)
+	<-j.writerDone
+	err := j.seg.Close()
+	_ = j.lockFile.Close() // drops the flock
+	return err
+}
+
+// writer is the single disk-writing goroutine. Every append is written
+// to the segment as it arrives; start appends resolve right after their
+// write, while decision appends join the pending group commit. The
+// first pending decision opens a group-commit window
+// (Options.GroupWindow); every decision written before it closes shares
+// the one fsync taken at its close, so fsync count scales with elapsed
+// windows, not with decisions — a decision's durability latency is
+// bounded by one window plus one fsync.
+func (j *Journal) writer() {
+	defer close(j.writerDone)
+	var (
+		pending []appendReq // written decisions awaiting their fsync
+		fatal   error       // first disk error; latches the journal failed
+		windowT *time.Timer
+		windowC <-chan time.Time
+	)
+	stopWindow := func() {
+		if windowT != nil {
+			windowT.Stop()
+			windowT, windowC = nil, nil
+		}
+	}
+	flush := func() {
+		stopWindow()
+		if len(pending) == 0 {
+			return
+		}
+		err := fatal
+		if err == nil {
+			err = j.fsync()
+			if err != nil {
+				fatal = err
+			}
+		}
+		j.mu.Lock()
+		j.batches++
+		if err == nil {
+			j.appends += len(pending)
+			for _, req := range pending {
+				j.publish(req.entry)
+			}
+		}
+		j.mu.Unlock()
+		for _, req := range pending {
+			if err == nil && j.opts.OnAppend != nil {
+				j.opts.OnAppend(req.entry)
+			}
+			req.done <- err
+		}
+		pending = pending[:0]
+	}
+	for {
+		select {
+		case req, ok := <-j.intake:
+			if !ok {
+				flush()
+				return
+			}
+			if fatal != nil {
+				req.done <- fatal
+				continue
+			}
+			if err := j.write(req.entry); err != nil {
+				// A failed write may have left a partial frame in the
+				// segment: every frame appended after it would sit past
+				// the torn point and be silently dropped by recovery
+				// even if fsynced — an acknowledged-but-unrecoverable
+				// record. Latch the error so every later append fails
+				// instead, after one last fsync attempt for the intact
+				// frames already pending (they precede the tear).
+				fatal = err
+				flush()
+				req.done <- err
+				continue
+			}
+			if req.sync && !j.opts.NoSync {
+				pending = append(pending, req)
+				if len(pending) == 1 && j.opts.GroupWindow > 0 {
+					windowT = time.NewTimer(j.opts.GroupWindow)
+					windowC = windowT.C
+				}
+				if j.opts.GroupWindow <= 0 || len(pending) >= maxGroup {
+					flush()
+				}
+				continue
+			}
+			// Start records (and every append under NoSync) resolve at
+			// write completion.
+			j.mu.Lock()
+			j.appends++
+			j.publish(req.entry)
+			j.mu.Unlock()
+			if j.opts.OnAppend != nil {
+				j.opts.OnAppend(req.entry)
+			}
+			req.done <- nil
+		case <-windowC:
+			windowT, windowC = nil, nil
+			flush()
+		}
+	}
+}
+
+// write rotates if due and appends one framed entry to the active
+// segment. Rotation fsyncs implicitly via the segment close path only
+// when needed: the next explicit fsync covers whatever the new segment
+// accumulates.
+func (j *Journal) write(e Entry) error {
+	if err := j.rotateIfNeeded(); err != nil {
+		return err
+	}
+	j.buf = appendFrame(j.buf[:0], e)
+	if _, err := j.seg.Write(j.buf); err != nil {
+		return err
+	}
+	j.segSize += int64(len(j.buf))
+	return nil
+}
+
+// fsync syncs the active segment, timing it into the latency sample.
+func (j *Journal) fsync() error {
+	begin := time.Now()
+	if err := j.seg.Sync(); err != nil {
+		return err
+	}
+	j.recordSync(time.Since(begin))
+	return nil
+}
+
+// publish folds one durable entry into the in-memory state; callers
+// hold mu (Open's replay runs before any reader exists).
+func (j *Journal) publish(e Entry) {
+	if e.Start {
+		j.starts++
+	} else {
+		j.index[e.Decision.Instance] = e.Decision
+	}
+	if e.Instance() >= j.frontier {
+		j.frontier = e.Instance() + 1
+	}
+}
+
+// recordSync accounts one fsync under the stats lock.
+func (j *Journal) recordSync(d time.Duration) {
+	j.mu.Lock()
+	j.syncs++
+	j.syncLat.Add(d)
+	j.mu.Unlock()
+}
+
+// rotateIfNeeded closes the active segment and opens the next one when
+// the active segment has reached its size budget. The outgoing segment
+// is fsynced before it closes, so a pending group commit's frames can
+// never rotate away unsynced.
+func (j *Journal) rotateIfNeeded() error {
+	if j.segSize < j.opts.SegmentBytes {
+		return nil
+	}
+	if !j.opts.NoSync {
+		if err := j.fsync(); err != nil {
+			return err
+		}
+	}
+	if err := j.seg.Close(); err != nil {
+		return err
+	}
+	j.segIdx++
+	seg, err := os.OpenFile(filepath.Join(j.dir, segmentName(j.segIdx)),
+		os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	syncDir(j.dir)
+	j.seg, j.segSize = seg, 0
+	j.mu.Lock()
+	j.segments++
+	j.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,536 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"indulgence/internal/model"
+	"indulgence/internal/wire"
+)
+
+// rec builds a distinguishable record for instance i.
+func rec(i uint64) wire.DecisionRecord {
+	return wire.DecisionRecord{Instance: i, Value: model.Value(i) + 100, Round: 3, Batch: 2}
+}
+
+// replayAll collects every decision record of a journal directory.
+func replayAll(t *testing.T, dir string) ([]wire.DecisionRecord, ReplayInfo) {
+	t.Helper()
+	var recs []wire.DecisionRecord
+	info, err := Replay(dir, func(e Entry) error {
+		if !e.Start {
+			recs = append(recs, e.Decision)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return recs, info
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const count = 100
+	for i := uint64(0); i < count; i++ {
+		if err := j.Append(rec(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if got, ok := j.Get(42); !ok || got != rec(42) {
+		t.Fatalf("Get(42) = %+v, %v", got, ok)
+	}
+	if j.Frontier() != count || j.Len() != count {
+		t.Fatalf("frontier=%d len=%d", j.Frontier(), j.Len())
+	}
+	st := j.Snapshot()
+	if st.Appends != count || st.Decisions != count || st.Batches == 0 || st.Syncs == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.SyncLatency.Count != st.Syncs {
+		t.Fatalf("sync latency samples %d != syncs %d", st.SyncLatency.Count, st.Syncs)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, info := replayAll(t, dir)
+	if len(recs) != count || info.Decisions != count || info.TornBytes != 0 {
+		t.Fatalf("replay = %d records, info %+v", len(recs), info)
+	}
+	for i, r := range recs {
+		if r != rec(uint64(i)) {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+	if info.Frontier != count {
+		t.Fatalf("replay frontier = %d", info.Frontier)
+	}
+}
+
+func TestReopenResumesFrontier(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 10; i++ {
+		if err := j.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = j2.Close() }()
+	if j2.Frontier() != 10 || j2.Len() != 10 {
+		t.Fatalf("recovered frontier=%d len=%d", j2.Frontier(), j2.Len())
+	}
+	if got, ok := j2.Get(7); !ok || got != rec(7) {
+		t.Fatalf("recovered Get(7) = %+v, %v", got, ok)
+	}
+	// Appends resume past the recovered frontier and land in the same
+	// log.
+	if err := j2.Append(rec(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := replayAll(t, dir)
+	if len(recs) != 11 || recs[10] != rec(10) {
+		t.Fatalf("replay after reopen: %d records", len(recs))
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const count = 50
+	for i := uint64(0); i < count; i++ {
+		if err := j.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := j.Snapshot()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	idxs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idxs) < 2 {
+		t.Fatalf("no rotation: %d segments for %d records at 64-byte budget", len(idxs), count)
+	}
+	if st.Segments != len(idxs) {
+		t.Fatalf("stats report %d segments, dir has %d", st.Segments, len(idxs))
+	}
+	recs, info := replayAll(t, dir)
+	if len(recs) != count || info.Segments != len(idxs) {
+		t.Fatalf("replay across segments: %d records, info %+v", len(recs), info)
+	}
+	for i, r := range recs {
+		if r.Instance != uint64(i) {
+			t.Fatalf("append order broken across rotation: record %d is instance %d", i, r.Instance)
+		}
+	}
+}
+
+// TestTornTailTruncatedOnOpen simulates the crash window: bytes of a
+// half-written frame at the end of the final segment are dropped at Open,
+// every intact record survives, and the journal accepts new appends on a
+// clean boundary.
+func TestTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 5; i++ {
+		if err := j.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: append half a frame.
+	path := filepath.Join(dir, segmentName(0))
+	whole := appendFrame(nil, Entry{Decision: rec(99)})
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(whole[:len(whole)-3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() != 5 || j2.Frontier() != 5 {
+		t.Fatalf("recovered len=%d frontier=%d", j2.Len(), j2.Frontier())
+	}
+	if st := j2.Snapshot(); st.TornBytes != len(whole)-3 {
+		t.Fatalf("torn bytes = %d, want %d", st.TornBytes, len(whole)-3)
+	}
+	if _, ok := j2.Get(99); ok {
+		t.Fatal("torn record resurrected")
+	}
+	if err := j2.Append(rec(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, info := replayAll(t, dir)
+	if len(recs) != 6 || info.TornBytes != 0 {
+		t.Fatalf("post-recovery replay: %d records, info %+v", len(recs), info)
+	}
+}
+
+// TestCorruptionVariants drives Open and Replay through each torn-write
+// shape: short header, bogus length, short payload, flipped payload bit
+// (CRC mismatch), flipped CRC byte, and trailing garbage.
+func TestCorruptionVariants(t *testing.T) {
+	base := func() []byte {
+		var b []byte
+		for i := uint64(0); i < 3; i++ {
+			b = appendFrame(b, Entry{Decision: rec(i)})
+		}
+		return b
+	}
+	whole := appendFrame(nil, Entry{Decision: rec(3)})
+	cases := []struct {
+		name string
+		tail []byte
+	}{
+		{"short header", whole[:4]},
+		{"short payload", whole[:frameHeader+2]},
+		{"bogus length", []byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}},
+		{"zero length", make([]byte, frameHeader)},
+		{"payload bit flip", flipByte(whole, len(whole)-1)},
+		{"crc byte flip", flipByte(whole, 5)},
+		{"garbage", []byte{0x42, 0x42, 0x42}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			dir := t.TempDir()
+			intact := base()
+			if err := os.WriteFile(filepath.Join(dir, segmentName(0)),
+				append(append([]byte(nil), intact...), c.tail...), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			recs, info := replayAll(t, dir)
+			if len(recs) != 3 {
+				t.Fatalf("kept %d of 3 intact records", len(recs))
+			}
+			if info.TornBytes != len(c.tail) {
+				t.Fatalf("torn bytes = %d, want %d", info.TornBytes, len(c.tail))
+			}
+			j, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("open over torn tail: %v", err)
+			}
+			if j.Len() != 3 {
+				t.Fatalf("open kept %d of 3 records", j.Len())
+			}
+			if err := j.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestMidJournalCorruptionFails pins the other half of the contract: a
+// torn tail is only legal on the final segment, so damage to an earlier
+// segment — which no crash can produce — must fail loudly, not be
+// silently dropped.
+func TestMidJournalCorruptionFails(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 20; i++ {
+		if err := j.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	idxs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idxs) < 2 {
+		t.Fatalf("need rotation for this test, got %d segments", len(idxs))
+	}
+	first := filepath.Join(dir, segmentName(idxs[0]))
+	b, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(first, b[:len(b)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(dir, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("replay over mid-journal damage: %v", err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("open over mid-journal damage: %v", err)
+	}
+}
+
+// TestConcurrentAppendsGroupCommit checks the group-commit fan-in:
+// concurrent appenders all become durable, the index is complete, and
+// fsyncs number well below appends.
+func TestConcurrentAppendsGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers = 16
+		each    = 32
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if err := j.Append(rec(uint64(w*each + i))); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	st := j.Snapshot()
+	if st.Appends != workers*each || j.Len() != workers*each {
+		t.Fatalf("stats = %+v, len = %d", st, j.Len())
+	}
+	if st.Syncs != st.Batches || st.Batches > st.Appends {
+		t.Fatalf("%d syncs / %d batches / %d appends: group commit broken",
+			st.Syncs, st.Batches, st.Appends)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := replayAll(t, dir)
+	if len(recs) != workers*each {
+		t.Fatalf("replayed %d of %d", len(recs), workers*each)
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := j.Append(rec(0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v", err)
+	}
+}
+
+func TestOnAppendHook(t *testing.T) {
+	dir := t.TempDir()
+	var seen []uint64
+	j, err := Open(dir, Options{OnAppend: func(e Entry) {
+		seen = append(seen, e.Instance())
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 4; i++ {
+		if err := j.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+		// Append returning happens-after the hook, so reading seen
+		// here is race-free.
+		if len(seen) != int(i)+1 || seen[i] != i {
+			t.Fatalf("hook saw %v after append %d", seen, i)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayEmptyAndMissingDir(t *testing.T) {
+	dir := t.TempDir()
+	if info, err := Replay(dir, nil); err != nil || info.Decisions != 0 || info.Frontier != 0 {
+		t.Fatalf("empty dir: %+v, %v", info, err)
+	}
+	if _, err := Replay(filepath.Join(dir, "nope"), nil); err == nil {
+		t.Fatal("missing dir replayed")
+	}
+	if _, err := Replay(dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A stray file that looks almost like a segment is an error, not
+	// silently skipped data.
+	if err := os.WriteFile(filepath.Join(dir, "seg-x.wal"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(dir, nil); err == nil {
+		t.Fatal("stray segment name accepted")
+	}
+}
+
+// flipByte returns a copy of b with one byte inverted.
+func flipByte(b []byte, i int) []byte {
+	out := append([]byte(nil), b...)
+	out[i] ^= 0xFF
+	return out
+}
+
+// TestStartRecordsRaiseFrontier pins the collision guard: a started but
+// undecided instance (the crash-undecided case) still pushes the
+// recovered frontier past its ID, while the decision index ignores it.
+func TestStartRecordsRaiseFrontier(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendStart(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendStart(9); err != nil {
+		t.Fatal(err)
+	}
+	if j.Frontier() != 10 || j.Len() != 1 {
+		t.Fatalf("frontier=%d len=%d, want 10 and 1", j.Frontier(), j.Len())
+	}
+	if _, ok := j.Get(9); ok {
+		t.Fatal("start record served as a decision")
+	}
+	st := j.Snapshot()
+	if st.Starts != 2 || st.Decisions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = j2.Close() }()
+	if j2.Frontier() != 10 || j2.Len() != 1 {
+		t.Fatalf("recovered frontier=%d len=%d", j2.Frontier(), j2.Len())
+	}
+	if st := j2.Snapshot(); st.Starts != 2 || st.Decisions != 1 {
+		t.Fatalf("recovered stats = %+v", st)
+	}
+	var kinds []bool
+	if _, err := Replay(dir, func(e Entry) error {
+		kinds = append(kinds, e.Start)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) != 3 || !kinds[0] || kinds[1] || !kinds[2] {
+		t.Fatalf("replayed kinds = %v", kinds)
+	}
+}
+
+// TestOpenLocked pins the single-writer guarantee: a journal directory
+// with a live owner refuses a second Open (no interleaved writers), and
+// the lock dies with the owner (Close releases it; so would a crash).
+func TestOpenLocked(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second open of a live journal: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open after close: %v", err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteErrorLatchesFatal pins the failed-write contract: after a
+// write error (which may have torn the segment mid-frame), the journal
+// must never acknowledge another append — an fsynced record past a torn
+// frame would be acknowledged yet dropped by recovery.
+func TestWriteErrorLatchesFatal(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the active segment out from under the writer: every
+	// further write fails like a disk error would.
+	if err := j.seg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec(1)); err == nil {
+		t.Fatal("append over a dead segment succeeded")
+	}
+	if err := j.AppendStart(9); err == nil {
+		t.Fatal("start append after a write error succeeded")
+	}
+	if err := j.Append(rec(2)); err == nil {
+		t.Fatal("journal kept acknowledging after a write error")
+	}
+	_ = j.Close()
+
+	// Recovery sees exactly the records acknowledged before the error.
+	recs, _ := replayAll(t, dir)
+	if len(recs) != 1 || recs[0] != rec(0) {
+		t.Fatalf("post-failure replay = %v", recs)
+	}
+}

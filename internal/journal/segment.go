@@ -1,0 +1,202 @@
+package journal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"indulgence/internal/wire"
+)
+
+// Segment frame layout: a 4-byte big-endian payload length, a 4-byte
+// big-endian CRC-32C of the payload, then the payload (one wire
+// DecisionRecord). The CRC is what makes torn writes detectable: a crash
+// mid-frame leaves either a short header, a short payload, or a payload
+// that no longer matches its checksum — all of which recovery treats as
+// the torn tail.
+const frameHeader = 8
+
+// maxRecordSize bounds frame payloads, mirroring wire.MaxFrameSize; any
+// larger length field is treated as tail corruption.
+const maxRecordSize = wire.MaxFrameSize
+
+// castagnoli is the CRC-32C table (the polynomial used by modern storage
+// formats, hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Entry is one journal record: either an instance-start claim (appended
+// before the instance's first frame may reach the network) or a
+// decision.
+type Entry struct {
+	// Start reports an instance-start claim; for starts, only
+	// Decision.Instance is meaningful.
+	Start bool
+	// Decision is the decided outcome of the instance.
+	Decision wire.DecisionRecord
+}
+
+// Instance returns the entry's consensus-instance ID.
+func (e Entry) Instance() uint64 { return e.Decision.Instance }
+
+// appendFrame appends the framed encoding of e to dst.
+func appendFrame(dst []byte, e Entry) []byte {
+	var payload []byte
+	if e.Start {
+		payload = wire.AppendStartRecord(nil, wire.StartRecord{Instance: e.Decision.Instance})
+	} else {
+		payload = wire.AppendDecisionRecord(nil, e.Decision)
+	}
+	var hdr [frameHeader]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+	return append(append(dst, hdr[:]...), payload...)
+}
+
+// decodeEntry decodes one frame payload of either record kind; ok
+// requires the payload to be exactly one well-formed record.
+func decodeEntry(payload []byte) (Entry, bool) {
+	if len(payload) == 0 {
+		return Entry{}, false
+	}
+	if rec, n, err := wire.DecodeStartRecord(payload); err == nil {
+		return Entry{Start: true, Decision: wire.DecisionRecord{Instance: rec.Instance}}, n == len(payload)
+	}
+	rec, n, err := wire.DecodeDecisionRecord(payload)
+	if err != nil || n != len(payload) {
+		return Entry{}, false
+	}
+	return Entry{Decision: rec}, true
+}
+
+// scanSegment parses one segment's bytes into its longest intact prefix
+// of entries. It returns the entries, the byte offset parsing stopped
+// at, and whether trailing bytes were dropped (a torn tail: incomplete
+// header, bogus length, short payload, CRC mismatch, or a payload that
+// is not exactly one well-formed record). scanSegment never fails —
+// every input has a well-defined intact prefix, possibly empty.
+func scanSegment(b []byte) (entries []Entry, intact int, torn bool) {
+	off := 0
+	for {
+		if off == len(b) {
+			return entries, off, false
+		}
+		if len(b)-off < frameHeader {
+			return entries, off, true
+		}
+		size := int(binary.BigEndian.Uint32(b[off:]))
+		sum := binary.BigEndian.Uint32(b[off+4:])
+		if size == 0 || size > maxRecordSize || off+frameHeader+size > len(b) {
+			return entries, off, true
+		}
+		payload := b[off+frameHeader : off+frameHeader+size]
+		if crc32.Checksum(payload, castagnoli) != sum {
+			return entries, off, true
+		}
+		e, ok := decodeEntry(payload)
+		if !ok {
+			return entries, off, true
+		}
+		entries = append(entries, e)
+		off += frameHeader + size
+	}
+}
+
+// segmentName formats the file name of segment idx.
+func segmentName(idx int) string { return fmt.Sprintf("seg-%08d.wal", idx) }
+
+// listSegments returns the journal directory's segment indices in
+// ascending order.
+func listSegments(dir string) ([]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var idxs []int
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		idx, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".wal"))
+		if err != nil {
+			return nil, fmt.Errorf("journal: stray segment name %q", name)
+		}
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	return idxs, nil
+}
+
+// syncDir fsyncs the directory itself so segment creation and truncation
+// survive a crash of the file system's metadata. Best-effort: some file
+// systems reject directory fsync, which recovery tolerates anyway.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// ReplayInfo summarizes one read of a journal directory.
+type ReplayInfo struct {
+	// Decisions and Starts count the intact entries replayed, by kind.
+	Decisions, Starts int
+	// Segments is the number of segment files read.
+	Segments int
+	// TornBytes is the size of the dropped torn tail of the final
+	// segment (0 when the journal ends cleanly).
+	TornBytes int
+	// Frontier is 1 + the highest instance ID replayed, over starts
+	// and decisions alike (0 when empty): the first instance ID a
+	// recovered service may assign.
+	Frontier uint64
+}
+
+// Replay reads every intact entry of the journal at dir in append
+// order, calling fn for each; a non-nil fn error stops the replay and is
+// returned. A torn tail is tolerated only on the final segment — that is
+// the only place a crash can tear — and is reported in ReplayInfo;
+// mid-journal corruption fails with ErrCorrupt. Replay opens nothing for
+// writing and is safe on a journal another process wrote.
+func Replay(dir string, fn func(Entry) error) (ReplayInfo, error) {
+	var info ReplayInfo
+	idxs, err := listSegments(dir)
+	if err != nil {
+		return info, err
+	}
+	for i, idx := range idxs {
+		b, err := os.ReadFile(filepath.Join(dir, segmentName(idx)))
+		if err != nil {
+			return info, err
+		}
+		entries, intact, torn := scanSegment(b)
+		if torn && i != len(idxs)-1 {
+			return info, fmt.Errorf("%w: %s has a torn tail mid-journal", ErrCorrupt, segmentName(idx))
+		}
+		info.Segments++
+		info.TornBytes = len(b) - intact
+		for _, e := range entries {
+			if fn != nil {
+				if err := fn(e); err != nil {
+					return info, err
+				}
+			}
+			if e.Start {
+				info.Starts++
+			} else {
+				info.Decisions++
+			}
+			if e.Instance() >= info.Frontier {
+				info.Frontier = e.Instance() + 1
+			}
+		}
+	}
+	return info, nil
+}

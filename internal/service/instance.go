@@ -9,6 +9,7 @@ import (
 	"indulgence/internal/model"
 	"indulgence/internal/runtime"
 	"indulgence/internal/transport"
+	"indulgence/internal/wire"
 )
 
 // runInstance executes one consensus instance for a batch of proposals:
@@ -19,7 +20,19 @@ import (
 // instance slot is released on exit, unblocking the next queued batch.
 func (s *Service) runInstance(instance uint64, batch []*pending) {
 	defer s.wg.Done()
-	defer func() { <-s.slots }()
+	// The instance slot bounds concurrent consensus runs — round loops,
+	// detectors, in-flight frames. It is released as soon as the run is
+	// over (releaseSlot below), before the journal fsync and future
+	// resolution, so durability latency overlaps the next instance's
+	// consensus instead of throttling slot turnover.
+	slotHeld := true
+	releaseSlot := func() {
+		if slotHeld {
+			slotHeld = false
+			<-s.slots
+		}
+	}
+	defer releaseSlot()
 	retire := func() {
 		for _, m := range s.muxes {
 			m.Retire(instance)
@@ -58,6 +71,7 @@ func (s *Service) runInstance(instance uint64, batch []*pending) {
 	results, runErr := cl.Run(ctx)
 	cancel()
 	retire()
+	releaseSlot()
 
 	decisions := make([]model.OptValue, s.cfg.N)
 	var crashed model.PIDSet
@@ -87,7 +101,32 @@ func (s *Service) runInstance(instance uint64, batch []*pending) {
 		s.failInstance(batch, fmt.Errorf("service: instance %d: %w", instance, runErr))
 		return
 	}
+	// An instance cancelled by service shutdown (Abort, or a Close racing
+	// a kill) had its undecided nodes die with the service — that is a
+	// crash-stop, not a termination violation, so they are excused the
+	// way crash-injected processes are. Safety is still audited in full.
+	if runErr != nil && s.runCtx.Err() != nil {
+		for i, d := range decisions {
+			if _, ok := d.Get(); !ok {
+				crashed.Add(model.ProcessID(i + 1))
+			}
+		}
+	}
 	rep := check.Instance(decisions, props, crashed)
+
+	// Journal-before-complete: the decision record must be durable
+	// before any future resolves, so a crash can lose an
+	// acknowledgement but never an acknowledged decision. A journal
+	// failure fails the batch — clients retry onto a fresh instance —
+	// because resolving an unjournaled decision would let a restart
+	// re-run the instance.
+	if s.cfg.Journal != nil {
+		rec := wire.DecisionRecord{Instance: instance, Value: value, Round: round, Batch: len(batch)}
+		if err := s.cfg.Journal.Append(rec); err != nil {
+			s.failInstance(batch, fmt.Errorf("service: journal instance %d: %w", instance, err))
+			return
+		}
+	}
 
 	dec := Decision{Instance: instance, Value: value, Round: round, Batch: len(batch)}
 	now := time.Now()
@@ -101,9 +140,9 @@ func (s *Service) runInstance(instance uint64, batch []*pending) {
 	s.instances++
 	s.resolved += len(batch)
 	for _, l := range latencies {
-		s.latencies.add(l)
+		s.latencies.Add(l)
 	}
-	s.rounds.add(int(round))
+	s.rounds.Add(int(round))
 	for _, v := range rep.Violations {
 		s.violations = append(s.violations,
 			fmt.Sprintf("instance %d: %s", instance, v))

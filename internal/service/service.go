@@ -17,6 +17,13 @@
 // proves cannot happen, and which the service therefore treats as a
 // defect detector — is retained in the Stats snapshot.
 //
+// With a journal configured, every decision is made durable before its
+// futures resolve (journal-before-complete), and a restarted service
+// recovers from the log: it serves journaled decisions via Lookup
+// without re-running consensus and resumes its instance-ID frontier past
+// the highest journaled instance, so the paper's per-decision price is
+// paid once per decision, not once per process lifetime.
+//
 // This is where the paper's "price of indulgence" becomes a service-level
 // quantity: decisions per second and per-proposal latency under injected
 // asynchrony, with the t+2 round floor visible as the latency baseline of
@@ -27,11 +34,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
 	"indulgence/internal/core"
+	"indulgence/internal/journal"
 	"indulgence/internal/model"
 	"indulgence/internal/stats"
 	"indulgence/internal/transport"
@@ -66,6 +73,14 @@ type Config struct {
 	// InstanceTimeout is the per-instance deadline (default 30s). An
 	// instance that misses it fails its batch's futures.
 	InstanceTimeout time.Duration
+	// Journal, when non-nil, makes decisions durable: every instance's
+	// decision record is appended and fsynced (group-committed across
+	// concurrent instances) before the batch's futures resolve —
+	// journal-before-complete — and the service resumes its instance-ID
+	// frontier past the highest journaled instance, so a restarted
+	// service never re-runs an instance it already decided. The journal
+	// is owned by the caller and is not closed by Close.
+	Journal *journal.Journal
 }
 
 // withDefaults returns cfg with zero fields replaced by defaults.
@@ -172,8 +187,14 @@ type Service struct {
 	mu     sync.RWMutex
 	closed bool
 
-	// nextInstance is touched only by the batcher goroutine.
-	nextInstance uint64
+	// nextInstance and claimedThrough are touched only by the batcher
+	// goroutine. nextInstance starts at the journal's recovered
+	// frontier, so instance IDs are unique across process lifetimes;
+	// claimedThrough is the first instance ID not yet covered by a
+	// journaled start claim (IDs are claimed in MaxInflight-sized
+	// blocks, so a crash wastes at most one block of IDs).
+	nextInstance   uint64
+	claimedThrough uint64
 
 	// countMu guards the counters, which instance goroutines update while
 	// proposers hold mu only for reading.
@@ -184,33 +205,15 @@ type Service struct {
 	instances    int
 	instanceFail int
 	violations   []string
-	latencies    reservoir[time.Duration]
-	rounds       reservoir[int]
+	latencies    *stats.Reservoir[time.Duration]
+	rounds       *stats.Reservoir[int]
 }
 
 // maxSamples bounds the latency/round history a long-running service
-// retains: summaries are computed over a uniform reservoir sample
-// (Algorithm R) of the stream, so memory and Snapshot cost stay constant
+// retains: summaries are computed over a uniform reservoir sample of the
+// stream (stats.Reservoir), so memory and Snapshot cost stay constant
 // while the percentiles stay unbiased over the whole lifetime.
 const maxSamples = 1 << 16
-
-// reservoir keeps a bounded uniform sample of a stream. Not safe for
-// concurrent use; the service serializes adds under countMu.
-type reservoir[T any] struct {
-	seen int
-	buf  []T
-}
-
-func (r *reservoir[T]) add(x T) {
-	r.seen++
-	if len(r.buf) < maxSamples {
-		r.buf = append(r.buf, x)
-		return
-	}
-	if i := rand.Intn(r.seen); i < maxSamples {
-		r.buf[i] = x
-	}
-}
 
 // New starts a service over one transport endpoint per process
 // (endpoints[i] must answer Self() == i+1). The service wraps each
@@ -238,13 +241,42 @@ func New(cfg Config, endpoints []transport.Transport) (*Service, error) {
 		intake:      make(chan *pending, cfg.MaxBatch*cfg.MaxInflight),
 		slots:       make(chan struct{}, cfg.MaxInflight),
 		batcherDone: make(chan struct{}),
+		latencies:   stats.NewReservoir[time.Duration](maxSamples),
+		rounds:      stats.NewReservoir[int](maxSamples),
 	}
 	for i, ep := range endpoints {
 		s.muxes[i] = transport.NewMux(ep)
 	}
+	if cfg.Journal != nil {
+		// Recovery: resume the instance-ID frontier past every journaled
+		// start claim and decision, and bulk-retire the journaled range
+		// on every mux, so stale flood frames from a previous process
+		// lifetime are dropped instead of buffering for instances nobody
+		// will open.
+		s.nextInstance = cfg.Journal.Frontier()
+		s.claimedThrough = s.nextInstance
+		for _, m := range s.muxes {
+			m.RetireBelow(s.nextInstance)
+		}
+	}
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	go s.batcher()
 	return s, nil
+}
+
+// Lookup serves the journaled decision of an already-decided instance
+// without re-running consensus — the recovery read path. It reports
+// false when the service has no journal or the instance is not on
+// record.
+func (s *Service) Lookup(instance uint64) (Decision, bool) {
+	if s.cfg.Journal == nil {
+		return Decision{}, false
+	}
+	rec, ok := s.cfg.Journal.Get(instance)
+	if !ok {
+		return Decision{}, false
+	}
+	return Decision{Instance: rec.Instance, Value: rec.Value, Round: rec.Round, Batch: rec.Batch}, true
 }
 
 // Propose enqueues a proposal and returns its Future. It blocks only when
@@ -289,6 +321,36 @@ func (s *Service) Close() error {
 	return nil
 }
 
+// Abort hard-stops the service without flushing — the shutdown shape a
+// crash gives it, recoverable only through the journal (the
+// crash-restart tests lean on it). In-flight instances are cancelled,
+// queued batches fail their futures, and the muxes close so a successor
+// service can take over the endpoints (closed muxes fail every further
+// send, so leftover goroutines are crash-stopped off the shared
+// transport). Decision records already durable survive; an instance
+// caught between its journal append and its futures resolving may leave
+// clients unanswered about a decision that is on record — exactly the
+// window a real crash opens, and the reason recovery trusts the
+// journal, not the clients. Unlike Close, Abort waits for nothing: the
+// batcher and in-flight instance goroutines unwind on their own once
+// cancelled (a crash cannot wait for a goroutine that may itself be
+// blocked on the journal). Endpoints and the journal stay with their
+// owners.
+func (s *Service) Abort() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.runCancel()
+	close(s.intake)
+	for _, m := range s.muxes {
+		_ = m.Close()
+	}
+}
+
 // Snapshot returns current counters and latency/round summaries.
 func (s *Service) Snapshot() Stats {
 	s.countMu.Lock()
@@ -300,8 +362,8 @@ func (s *Service) Snapshot() Stats {
 		Instances:        s.instances,
 		InstanceFailures: s.instanceFail,
 		Violations:       append([]string(nil), s.violations...),
-		Latency:          stats.SummarizeDurations(s.latencies.buf),
-		Rounds:           stats.Summarize(s.rounds.buf),
+		Latency:          stats.SummarizeDurations(s.latencies.Values()),
+		Rounds:           stats.Summarize(s.rounds.Values()),
 	}
 }
 
@@ -337,6 +399,21 @@ func (s *Service) batcher() {
 		}
 		instance := s.nextInstance
 		s.nextInstance++
+		// Claim instance IDs in blocks before any of their frames can
+		// reach the network: the recovered frontier must cover
+		// crash-undecided instances too, or their in-flight frames
+		// could leak into a successor service's instance of the same
+		// ID. One written (not fsynced — see journal.AppendStart)
+		// claim covers MaxInflight launches.
+		if s.cfg.Journal != nil && instance >= s.claimedThrough {
+			claim := instance + uint64(s.cfg.MaxInflight) - 1
+			if err := s.cfg.Journal.AppendStart(claim); err != nil {
+				<-s.slots
+				failBatch(b, fmt.Errorf("service: claim instances through %d: %w", claim, err))
+				return
+			}
+			s.claimedThrough = claim + 1
+		}
 		s.wg.Add(1)
 		go s.runInstance(instance, b)
 	}

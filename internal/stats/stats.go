@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"sort"
 	"strings"
 	"time"
@@ -185,3 +186,43 @@ func (s LatencySummary) String() string {
 	return fmt.Sprintf("n=%d min=%s p50=%s p90=%s p99=%s max=%s mean=%s",
 		s.Count, s.Min, s.P50, s.P90, s.P99, s.Max, s.Mean)
 }
+
+// Reservoir keeps a bounded uniform sample of a stream (Vitter's
+// Algorithm R), so summaries over arbitrarily long runs use constant
+// memory while staying unbiased over the whole lifetime. Both the service
+// (proposal latencies, decision rounds) and the journal (fsync latencies)
+// sample through it. Not safe for concurrent use; callers serialize Add
+// under their own counters' lock.
+type Reservoir[T any] struct {
+	capacity int
+	seen     int
+	buf      []T
+}
+
+// NewReservoir returns a reservoir holding at most capacity samples
+// (capacity < 1 selects 1 << 16).
+func NewReservoir[T any](capacity int) *Reservoir[T] {
+	if capacity < 1 {
+		capacity = 1 << 16
+	}
+	return &Reservoir[T]{capacity: capacity}
+}
+
+// Add offers one observation to the sample.
+func (r *Reservoir[T]) Add(x T) {
+	r.seen++
+	if len(r.buf) < r.capacity {
+		r.buf = append(r.buf, x)
+		return
+	}
+	if i := rand.Intn(r.seen); i < r.capacity {
+		r.buf[i] = x
+	}
+}
+
+// Seen returns how many observations were offered (retained or not).
+func (r *Reservoir[T]) Seen() int { return r.seen }
+
+// Values returns the retained sample. The slice aliases the reservoir's
+// buffer; callers must not mutate it.
+func (r *Reservoir[T]) Values() []T { return r.buf }

@@ -111,3 +111,104 @@ func TestSummarizeDurations(t *testing.T) {
 		t.Fatal("empty String()")
 	}
 }
+
+// TestQuantileEdgeCases is the table-driven boundary sweep of the
+// nearest-rank rule: empty and single-sample inputs, the q=0/q=1
+// extremes, and ranks that land exactly on and just past sample
+// boundaries.
+func TestQuantileEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		sorted []time.Duration
+		q      float64
+		want   time.Duration
+	}{
+		{"empty q=0", nil, 0, 0},
+		{"empty q=0.5", nil, 0.5, 0},
+		{"empty q=1", nil, 1, 0},
+		{"single q=0", []time.Duration{42}, 0, 42},
+		{"single q=0.5", []time.Duration{42}, 0.5, 42},
+		{"single q=1", []time.Duration{42}, 1, 42},
+		{"single q<0", []time.Duration{42}, -0.1, 42},
+		{"single q>1", []time.Duration{42}, 1.1, 42},
+		{"pair q=0", []time.Duration{1, 2}, 0, 1},
+		// ⌈0.5·2⌉−1 = 0: the median of two samples is the lower one.
+		{"pair q=0.5", []time.Duration{1, 2}, 0.5, 1},
+		// ⌈0.51·2⌉−1 = 1: just past the boundary selects the upper.
+		{"pair q=0.51", []time.Duration{1, 2}, 0.51, 2},
+		{"pair q=1", []time.Duration{1, 2}, 1, 2},
+		// ⌈0.25·4⌉−1 = 0 lands exactly on the first rank boundary.
+		{"quad q=0.25", []time.Duration{1, 2, 3, 4}, 0.25, 1},
+		{"quad q=0.26", []time.Duration{1, 2, 3, 4}, 0.26, 2},
+		// q=0.75 of 4: ⌈3⌉−1 = 2.
+		{"quad q=0.75", []time.Duration{1, 2, 3, 4}, 0.75, 3},
+		// A q so close to 1 that ⌈q·n⌉ = n must clamp to the maximum,
+		// not index past the slice.
+		{"quad q=0.999", []time.Duration{1, 2, 3, 4}, 0.999, 4},
+	}
+	for _, c := range cases {
+		if got := Quantile(c.sorted, c.q); got != c.want {
+			t.Errorf("%s: Quantile = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestSummarizeDurationsEdgeCases covers the degenerate distributions:
+// no samples, one sample (every statistic collapses to it), and
+// all-equal samples.
+func TestSummarizeDurationsEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []time.Duration
+		want LatencySummary
+	}{
+		{"empty", nil, LatencySummary{}},
+		{"single", []time.Duration{5 * time.Millisecond}, LatencySummary{
+			Count: 1,
+			Min:   5 * time.Millisecond, Max: 5 * time.Millisecond,
+			Mean: 5 * time.Millisecond,
+			P50:  5 * time.Millisecond, P90: 5 * time.Millisecond, P99: 5 * time.Millisecond,
+		}},
+		{"all equal", []time.Duration{7, 7, 7}, LatencySummary{
+			Count: 3, Min: 7, Max: 7, Mean: 7, P50: 7, P90: 7, P99: 7,
+		}},
+	}
+	for _, c := range cases {
+		if got := SummarizeDurations(c.in); got != c.want {
+			t.Errorf("%s: summary = %+v, want %+v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize([]int{9}); s.Count != 1 || s.Min != 9 || s.Max != 9 || s.Mean != 9 {
+		t.Fatalf("single-sample summary = %+v", s)
+	}
+	if s := Summarize([]int{-2, 2}); s.Min != -2 || s.Max != 2 || s.Mean != 0 {
+		t.Fatalf("signed summary = %+v", s)
+	}
+}
+
+func TestReservoir(t *testing.T) {
+	r := NewReservoir[int](4)
+	for i := 1; i <= 3; i++ {
+		r.Add(i)
+	}
+	if got := r.Values(); len(got) != 3 || r.Seen() != 3 {
+		t.Fatalf("under-full reservoir: %v seen=%d", got, r.Seen())
+	}
+	for i := 4; i <= 1000; i++ {
+		r.Add(i)
+	}
+	if got := r.Values(); len(got) != 4 || r.Seen() != 1000 {
+		t.Fatalf("full reservoir: %v seen=%d", got, r.Seen())
+	}
+	for _, v := range r.Values() {
+		if v < 1 || v > 1000 {
+			t.Fatalf("sample %d outside the stream", v)
+		}
+	}
+	if NewReservoir[int](0).capacity != 1<<16 {
+		t.Fatal("default capacity not applied")
+	}
+}

@@ -103,6 +103,46 @@ func (m *Mux) Retire(instance uint64) {
 	}
 }
 
+// RetireBelow retires every instance with ID below frontier at once —
+// the recovery path's bulk retirement. A restarted service raises the
+// frontier past every journaled instance, so frames still in flight from
+// a previous process lifetime (flood traffic of instances decided before
+// the crash) are dropped on arrival instead of buffering forever for
+// instances nobody will open. Buffered frames of such instances are
+// discarded too. A no-op when frontier does not extend the retired
+// prefix.
+func (m *Mux) RetireBelow(frontier uint64) {
+	m.mu.Lock()
+	if frontier <= m.retiredBelow {
+		m.mu.Unlock()
+		return
+	}
+	var stale []*muxStream
+	for id, s := range m.streams {
+		if id < frontier {
+			delete(m.streams, id)
+			stale = append(stale, s)
+		}
+	}
+	for id := range m.retiredSet {
+		if id < frontier {
+			delete(m.retiredSet, id)
+		}
+	}
+	m.retiredBelow = frontier
+	for {
+		if _, ok := m.retiredSet[m.retiredBelow]; !ok {
+			break
+		}
+		delete(m.retiredSet, m.retiredBelow)
+		m.retiredBelow++
+	}
+	m.mu.Unlock()
+	for _, s := range stale {
+		s.box.close()
+	}
+}
+
 // Close shuts the mux down: every virtual endpoint's receive channel
 // closes and the router stops. The underlying endpoint is left open — it
 // belongs to whoever created it.
@@ -200,7 +240,20 @@ func (s *muxStream) Self() model.ProcessID { return s.mux.Self() }
 // wire frames (bare messages), which is what the runtime produces.
 // Instance 0 sends them unwrapped — it is the compatibility stream, and a
 // bare frame routes to instance 0 on any peer, muxed or not.
+//
+// Sends on a closed mux or a retired instance fail with ErrClosed
+// instead of leaking onto the shared endpoint: round loops treat a send
+// failure as terminal, which gives an aborted service's leftover nodes
+// crash-stop semantics — a successor service reusing the endpoints (and,
+// past the recovered frontier, the instance IDs) never sees their
+// frames.
 func (s *muxStream) Send(to model.ProcessID, frame []byte) error {
+	s.mux.mu.Lock()
+	dead := s.mux.closed || s.mux.isRetiredLocked(s.instance)
+	s.mux.mu.Unlock()
+	if dead {
+		return ErrClosed
+	}
 	if s.instance == 0 {
 		return s.mux.ep.Send(to, frame)
 	}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
@@ -285,5 +286,221 @@ func TestMuxUnderlyingClosePropagates(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("virtual receive channel did not close")
+	}
+}
+
+// TestMuxNeverOpenedBufferedInstance pins the fate of frames buffered
+// for an instance that is never opened: Retire drops them without a
+// goroutine or channel leak, and a mux Close with buffered-but-unopened
+// streams closes their mailboxes too.
+func TestMuxNeverOpenedBufferedInstance(t *testing.T) {
+	_, m1, m2 := muxPair(t)
+	send, err := m1.Open(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := send.Send(2, msgFrame(t, 1, model.Round(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait for the router to buffer the frames for the unopened
+	// instance.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m2.mu.Lock()
+		s := m2.streams[9]
+		var queued int
+		if s != nil {
+			s.box.mu.Lock()
+			queued = len(s.box.queue)
+			s.box.mu.Unlock()
+		}
+		m2.mu.Unlock()
+		// The mailbox pump holds one frame in hand, so 7 queued means
+		// all 8 arrived.
+		if s != nil && queued >= 7 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("frames never buffered (stream=%v, queued=%d)", s != nil, queued)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Retiring the never-opened instance drops the buffer for good.
+	m2.Retire(9)
+	m2.mu.Lock()
+	_, still := m2.streams[9]
+	m2.mu.Unlock()
+	if still {
+		t.Fatal("retired unopened stream still tracked")
+	}
+	if _, err := m2.Open(9); err == nil {
+		t.Fatal("opening a retired never-opened instance succeeded")
+	}
+
+	// And a Close with a buffered unopened stream must close its
+	// mailbox (no pump goroutine left behind).
+	if err := send.Send(2, msgFrame(t, 1, 99)); err == nil {
+		// Frame for retired instance 9: dropped. Now buffer one for a
+		// fresh never-opened instance and close the whole mux.
+		send2, err := m1.Open(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := send2.Send(2, msgFrame(t, 1, 1)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+		if err := m2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMuxRetireMidFlight races inbound delivery against retirement: a
+// sender floods an instance while the receiver retires it mid-stream.
+// Frames must arrive until the retirement point and be dropped after it,
+// with no panic, deadlock, or send error either side — the scenario of a
+// decided instance's flood traffic arriving at a shard that has moved
+// on. Run with -race, this is also the locking test for the
+// router/Retire interleaving.
+func TestMuxRetireMidFlight(t *testing.T) {
+	_, m1, m2 := muxPair(t)
+	send, err := m1.Open(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, err := m2.Open(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const flood = 200
+	sendErr := make(chan error, 1)
+	go func() {
+		for i := 0; i < flood; i++ {
+			if err := send.Send(2, msgFrame(t, 1, model.Round(i+1))); err != nil {
+				sendErr <- err
+				return
+			}
+		}
+		sendErr <- nil
+	}()
+
+	// Consume a few frames to prove delivery, then retire mid-flood.
+	for i := 0; i < 5; i++ {
+		recvFrame(t, recv)
+	}
+	m2.Retire(4)
+	if err := <-sendErr; err != nil {
+		t.Fatalf("send during retirement: %v", err)
+	}
+	// The retired stream's channel must drain to closed, not wedge.
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case _, ok := <-recv.Recv():
+			if !ok {
+				return
+			}
+		case <-deadline:
+			t.Fatal("retired stream's channel never closed")
+		}
+	}
+}
+
+// TestMuxCompactionRandomOrder retires a window of instances in a random
+// permutation: whatever the order, the retired set must compact to the
+// frontier with nothing left over — the property that keeps retirement
+// state O(inflight) instead of O(lifetime).
+func TestMuxCompactionRandomOrder(t *testing.T) {
+	_, m1, _ := muxPair(t)
+	const window = 257
+	perm := rand.New(rand.NewSource(42)).Perm(window)
+	for i, p := range perm {
+		m1.Retire(uint64(p))
+		m1.mu.Lock()
+		below, setLen := m1.retiredBelow, len(m1.retiredSet)
+		m1.mu.Unlock()
+		if int(below)+setLen != i+1 {
+			t.Fatalf("after %d retirements: frontier %d + set %d != %d", i+1, below, setLen, i+1)
+		}
+	}
+	m1.mu.Lock()
+	below, setLen := m1.retiredBelow, len(m1.retiredSet)
+	m1.mu.Unlock()
+	if below != window || setLen != 0 {
+		t.Fatalf("final state: retiredBelow=%d set=%d, want %d and 0", below, setLen, window)
+	}
+}
+
+// TestMuxRetireBelow covers the recovery path's bulk retirement: opened
+// and buffered streams below the frontier close, later instances are
+// untouched, retirements already recorded above the frontier keep
+// compacting, and the call is monotonic.
+func TestMuxRetireBelow(t *testing.T) {
+	_, m1, m2 := muxPair(t)
+	low, err := m2.Open(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := m2.Open(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buffer a frame for a never-opened stale instance (3) as a crashed
+	// lifetime would leave behind.
+	send3, err := m1.Open(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := send3.Send(2, msgFrame(t, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	// An out-of-order retirement above the frontier, to be compacted
+	// through.
+	m2.Retire(5)
+
+	m2.RetireBelow(5)
+
+	if _, ok := <-low.Recv(); ok {
+		t.Fatal("stream below frontier still delivering")
+	}
+	m2.mu.Lock()
+	below, setLen := m2.retiredBelow, len(m2.retiredSet)
+	_, stale := m2.streams[3]
+	m2.mu.Unlock()
+	if below != 6 || setLen != 0 {
+		t.Fatalf("retiredBelow=%d set=%d, want 6 (5 compacted through) and 0", below, setLen)
+	}
+	if stale {
+		t.Fatal("buffered stale stream survived RetireBelow")
+	}
+	if _, err := m2.Open(2); err == nil {
+		t.Fatal("opening below the frontier succeeded")
+	}
+
+	// Instances at or above the frontier are untouched.
+	sendHigh, err := m1.Open(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := msgFrame(t, 1, 2)
+	if err := sendHigh.Send(2, frame); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvFrame(t, high); string(got) != string(frame) {
+		t.Fatalf("instance above frontier got % x", got)
+	}
+
+	// Monotonic: lowering the frontier is a no-op.
+	m2.RetireBelow(2)
+	m2.mu.Lock()
+	below = m2.retiredBelow
+	m2.mu.Unlock()
+	if below != 6 {
+		t.Fatalf("frontier regressed to %d", below)
 	}
 }

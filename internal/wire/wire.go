@@ -18,6 +18,17 @@
 // version-0 frames decode unchanged as instance 0. Old readers are
 // insulated the other way by the frame length prefix: they fail cleanly
 // on the unknown marker instead of misparsing.
+//
+// # Record kinds
+//
+// The decision journal reuses the envelope family for its on-disk
+// records: a DecisionRecord opens with the marker byte 0x03 followed by
+// the instance ID and the decided outcome, and a StartRecord — the
+// claim that an instance ID is about to touch the network — opens with
+// 0x05. Like 0x01, the odd bytes 0x03 and 0x05 can never open a
+// version-0 frame (positive senders zigzag-encode to even first bytes,
+// and continuation bytes have the high bit set), so every kind is
+// distinguishable from its first byte alone.
 package wire
 
 import (
@@ -111,6 +122,117 @@ func DecodeInstanceMessage(b []byte) (uint64, model.Message, int, error) {
 		return 0, model.Message{}, 0, err
 	}
 	return instance, m, len(b) - len(inner) + n, nil
+}
+
+// recordMarker opens a decision record, the journal's on-disk record
+// kind. Like instanceMarker it can never open a version-0 frame — 0x03
+// is odd (positive senders zigzag-encode to even first bytes) and below
+// 0x80 (not a varint continuation byte) — and it differs from
+// instanceMarker, so frame kind is decidable from the first byte.
+const recordMarker byte = 0x03
+
+// DecisionRecord is the durable record of one decided consensus
+// instance: what the journal appends before a decision is served and
+// what recovery replays to rebuild the instance frontier.
+type DecisionRecord struct {
+	// Instance identifies the consensus instance.
+	Instance uint64
+	// Value is the instance's decided value.
+	Value model.Value
+	// Round is the instance's global decision round (the slowest
+	// process's decision round).
+	Round model.Round
+	// Batch is the number of proposals the instance committed.
+	Batch int
+}
+
+// AppendDecisionRecord appends the encoding of r to dst and returns the
+// extended slice. The layout is the record marker followed by uvarint
+// instance, varint value, varint round and uvarint batch.
+func AppendDecisionRecord(dst []byte, r DecisionRecord) []byte {
+	dst = append(dst, recordMarker)
+	dst = binary.AppendUvarint(dst, r.Instance)
+	dst = binary.AppendVarint(dst, int64(r.Value))
+	dst = binary.AppendVarint(dst, int64(r.Round))
+	return binary.AppendUvarint(dst, uint64(r.Batch))
+}
+
+// DecodeDecisionRecord decodes one record from b, returning it and the
+// number of bytes consumed.
+func DecodeDecisionRecord(b []byte) (DecisionRecord, int, error) {
+	var r DecisionRecord
+	if len(b) == 0 {
+		return r, 0, fmt.Errorf("%w: empty record", ErrTruncated)
+	}
+	if b[0] != recordMarker {
+		return r, 0, fmt.Errorf("%w: record marker %#x", ErrUnknownPayload, b[0])
+	}
+	off := 1
+	instance, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: record instance", ErrTruncated)
+	}
+	off += n
+	value, n := binary.Varint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: record value", ErrTruncated)
+	}
+	off += n
+	round, n := binary.Varint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: record round", ErrTruncated)
+	}
+	off += n
+	batch, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: record batch", ErrTruncated)
+	}
+	if batch > MaxFrameSize {
+		return r, 0, fmt.Errorf("%w: record batch %d", ErrUnknownPayload, batch)
+	}
+	off += n
+	r.Instance = instance
+	r.Value = model.Value(value)
+	r.Round = model.Round(round)
+	r.Batch = int(batch)
+	return r, off, nil
+}
+
+// startMarker opens an instance-start record, the journal's second
+// record kind: the durable claim of an instance ID, written before any
+// frame of that instance may reach the network so that no ID that ever
+// touched the wire can be reassigned after a crash.
+const startMarker byte = 0x05
+
+// StartRecord claims an instance ID for one consensus instance.
+type StartRecord struct {
+	// Instance is the claimed consensus-instance ID.
+	Instance uint64
+}
+
+// AppendStartRecord appends the encoding of r to dst and returns the
+// extended slice.
+func AppendStartRecord(dst []byte, r StartRecord) []byte {
+	dst = append(dst, startMarker)
+	return binary.AppendUvarint(dst, r.Instance)
+}
+
+// DecodeStartRecord decodes one start record from b, returning it and
+// the number of bytes consumed.
+func DecodeStartRecord(b []byte) (StartRecord, int, error) {
+	var r StartRecord
+	if len(b) == 0 {
+		return r, 0, fmt.Errorf("%w: empty record", ErrTruncated)
+	}
+	if b[0] != startMarker {
+		return r, 0, fmt.Errorf("%w: start marker %#x", ErrUnknownPayload, b[0])
+	}
+	instance, n := binary.Uvarint(b[1:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: start instance", ErrTruncated)
+	}
+	r.Instance = instance
+	return r, 1 + n, nil
 }
 
 // EncodePayload appends the tag-prefixed encoding of a payload (possibly

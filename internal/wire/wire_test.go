@@ -235,3 +235,87 @@ func TestFrameTooLarge(t *testing.T) {
 		t.Fatalf("read: %v", err)
 	}
 }
+
+// TestDecisionRecordRoundTrip pins the record codec: every field survives
+// encode/decode, including boundary instance IDs and negative values.
+func TestDecisionRecordRoundTrip(t *testing.T) {
+	cases := []DecisionRecord{
+		{},
+		{Instance: 1, Value: 7, Round: 4, Batch: 1},
+		{Instance: 1<<64 - 1, Value: -1, Round: 1, Batch: 8},
+		{Instance: 1 << 40, Value: 1<<62 - 1, Round: 256, Batch: MaxFrameSize},
+	}
+	for _, want := range cases {
+		enc := AppendDecisionRecord(nil, want)
+		got, n, err := DecodeDecisionRecord(enc)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("decode %+v consumed %d of %d bytes", want, n, len(enc))
+		}
+		if got != want {
+			t.Fatalf("round trip: %+v != %+v", got, want)
+		}
+	}
+}
+
+// TestDecisionRecordMarkerDisjoint checks the frame-kind invariant: a
+// record can never be confused with either message frame version.
+func TestDecisionRecordMarkerDisjoint(t *testing.T) {
+	rec := AppendDecisionRecord(nil, DecisionRecord{Instance: 3, Value: 1, Round: 4, Batch: 2})
+	if rec[0] == instanceMarker {
+		t.Fatal("record marker collides with the instance marker")
+	}
+	for p := model.ProcessID(1); p <= model.MaxProcesses; p++ {
+		frame, err := EncodeMessage(nil, model.Message{From: p, Round: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frame[0] == rec[0] {
+			t.Fatalf("sender %d opens with the record marker", p)
+		}
+	}
+}
+
+func TestDecisionRecordDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeDecisionRecord(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, _, err := DecodeDecisionRecord([]byte{0x05}); !errors.Is(err, ErrUnknownPayload) {
+		t.Fatalf("wrong marker: %v", err)
+	}
+	full := AppendDecisionRecord(nil, DecisionRecord{Instance: 1 << 40, Value: -9, Round: 300, Batch: 5})
+	for i := 1; i < len(full); i++ {
+		if _, _, err := DecodeDecisionRecord(full[:i]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("prefix of %d bytes: %v", i, err)
+		}
+	}
+	// An absurd batch count is rejected even when varint-complete.
+	forged := append([]byte{recordMarker, 0x01, 0x02, 0x08}, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F)
+	if _, _, err := DecodeDecisionRecord(forged); !errors.Is(err, ErrUnknownPayload) {
+		t.Fatalf("oversized batch: %v", err)
+	}
+}
+
+func TestStartRecordRoundTrip(t *testing.T) {
+	for _, want := range []StartRecord{{}, {Instance: 7}, {Instance: 1<<64 - 1}} {
+		enc := AppendStartRecord(nil, want)
+		got, n, err := DecodeStartRecord(enc)
+		if err != nil || n != len(enc) || got != want {
+			t.Fatalf("round trip %+v: got %+v n=%d err=%v", want, got, n, err)
+		}
+	}
+	if enc := AppendStartRecord(nil, StartRecord{Instance: 1}); enc[0] == recordMarker || enc[0] == instanceMarker {
+		t.Fatal("start marker collides with another kind")
+	}
+	if _, _, err := DecodeStartRecord(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, _, err := DecodeStartRecord([]byte{startMarker}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("missing instance: %v", err)
+	}
+	if _, _, err := DecodeStartRecord([]byte{recordMarker, 1}); !errors.Is(err, ErrUnknownPayload) {
+		t.Fatalf("wrong marker: %v", err)
+	}
+}
