@@ -12,6 +12,10 @@
 //	                 [-delay D] [-crash P] [-timeout D]
 //	indulgence serve [-algo A] [-n N] [-t T] [-transport memory|tcp]
 //	                 [-batch B] [-linger D] [-inflight I] [-journal DIR]
+//	indulgence serve -peers p1=host:port,... -self N [-peers-file F]
+//	                 [-cluster-id C] [-join-timeout D] [flags as above]
+//	indulgence cluster [-n N] [-t T] [-proposals P] [-restart K]
+//	                 [-journal DIR] [-bin PATH]
 //	indulgence bench-service [-algo A] [-n N] [-t T] [-transport memory|tcp]
 //	                 [-proposals P] [-clients C] [-batch B] [-linger D]
 //	                 [-inflight I] [-delay D] [-heal D] [-timeout D]
@@ -69,6 +73,8 @@ func run(args []string) error {
 		return cmdServe(args[1:])
 	case "bench-service":
 		return cmdBenchService(args[1:])
+	case "cluster":
+		return cmdCluster(args[1:])
 	case "replay":
 		return cmdReplay(args[1:])
 	case "help", "-h", "--help":
@@ -88,7 +94,10 @@ func usage() {
   table          regenerate the paper's experiment tables (E1..E9, A1..A4, all)
   live           run a live goroutine cluster (in-memory or TCP transport)
   serve          run the consensus service; proposals read from stdin, one per line
+                 (with -peers: run as one member of a multi-process cluster)
   bench-service  closed-loop load test of the consensus service
+  cluster        spawn a local multi-process cluster of serve -peers members,
+                 optionally kill/restart one, and audit agreement across them
   replay         dump and verify a decision journal written by serve -journal
 
 run 'indulgence <cmd> -h' for the flags of each subcommand.`)

@@ -63,6 +63,16 @@ type serviceFlags struct {
 	timeout  *time.Duration
 	journal  *string
 	segment  *int64
+
+	// Multi-process peer mode (serve only): a non-empty -peers or
+	// -peers-file makes this process ONE member of a cluster of
+	// separately launched processes instead of hosting all n in-process.
+	peers       *string
+	peersFile   *string
+	self        *int
+	clusterID   *string
+	joinTimeout *time.Duration
+	verbose     *bool
 }
 
 func newServiceFlags(fs *flag.FlagSet) serviceFlags {
@@ -77,6 +87,13 @@ func newServiceFlags(fs *flag.FlagSet) serviceFlags {
 		timeout:  fs.Duration("timeout", 25*time.Millisecond, "base suspicion timeout"),
 		journal:  fs.String("journal", "", "durable decision journal directory (empty = no journal)"),
 		segment:  fs.Int64("segment-bytes", 1<<20, "journal segment rotation size"),
+
+		peers:       fs.String("peers", "", "peer list p1=host:port,p2=host:port,... — run as ONE member of a multi-process cluster"),
+		peersFile:   fs.String("peers-file", "", "file with one pN=host:port peer entry per line (alternative to -peers)"),
+		self:        fs.Int("self", 0, "this process's ID in the peer list (peer mode)"),
+		clusterID:   fs.String("cluster-id", "", "cluster name carried in the TCP handshake (default \"indulgence\")"),
+		joinTimeout: fs.Duration("join-timeout", 10*time.Second, "deadline for instances joined on a peer's signal (peer mode)"),
+		verbose:     fs.Bool("verbose", false, "log transport connection events to stderr (peer mode)"),
 	}
 }
 
@@ -121,34 +138,27 @@ func (f serviceFlags) start() (*service.Service, *transport.Hub, *journal.Journa
 	return svc, hub, jn, cleanup, nil
 }
 
-// cmdServe runs the consensus service interactively: every line on stdin
-// is one integer proposal; its decision is printed when the instance it
-// was batched into resolves. EOF drains the service and prints a summary.
-func cmdServe(args []string) error {
-	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
-	f := newServiceFlags(fs)
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-	svc, _, jn, cleanup, err := f.start()
-	if err != nil {
-		return err
-	}
-	defer cleanup()
+// proposalSink is what the stdin loop needs from either service shape
+// (the in-process Service or a multi-process PeerService member).
+type proposalSink interface {
+	Propose(ctx context.Context, v model.Value) (*service.Future, error)
+}
 
-	fmt.Printf("consensus service up: %s, n=%d t=%d, %s transport, batch ≤ %d, linger %s, ≤ %d instances inflight\n",
-		*f.algo, *f.n, *f.t, *f.trans, *f.batch, *f.linger, *f.inflight)
-	if jn != nil {
-		st := jn.Snapshot()
-		fmt.Printf("journal: %s — recovered %d decisions (+%d starts), resuming at instance %d",
-			jn.Dir(), st.Decisions, st.Starts, st.Frontier)
-		if st.TornBytes > 0 {
-			fmt.Printf(" (dropped a %d-byte torn tail)", st.TornBytes)
-		}
-		fmt.Println()
+// printJournalRecovery reports what a freshly opened journal recovered.
+func printJournalRecovery(jn *journal.Journal) {
+	st := jn.Snapshot()
+	fmt.Printf("journal: %s — recovered %d decisions (+%d starts), resuming at instance %d",
+		jn.Dir(), st.Decisions, st.Starts, st.Frontier)
+	if st.TornBytes > 0 {
+		fmt.Printf(" (dropped a %d-byte torn tail)", st.TornBytes)
 	}
-	fmt.Println("enter one integer proposal per line (EOF to stop):")
+	fmt.Println()
+}
 
+// serveLoop reads one integer proposal per stdin line, proposes each, and
+// prints its decision when the instance it rode resolves. It returns when
+// stdin hits EOF and every future has fired.
+func serveLoop(svc proposalSink) error {
 	ctx := context.Background()
 	var wg sync.WaitGroup
 	var scanErr error
@@ -184,6 +194,39 @@ func cmdServe(args []string) error {
 		scanErr = sc.Err()
 	}
 	wg.Wait()
+	return scanErr
+}
+
+// cmdServe runs the consensus service interactively: every line on stdin
+// is one integer proposal; its decision is printed when the instance it
+// was batched into resolves. EOF drains the service and prints a summary.
+// With -peers (or -peers-file) the process serves as ONE member of a
+// multi-process cluster instead of hosting all n processes itself.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	f := newServiceFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *f.peers != "" || *f.peersFile != "" {
+		explicit := make(map[string]bool)
+		fs.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
+		return servePeer(f, explicit)
+	}
+	svc, _, jn, cleanup, err := f.start()
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	fmt.Printf("consensus service up: %s, n=%d t=%d, %s transport, batch ≤ %d, linger %s, ≤ %d instances inflight\n",
+		*f.algo, *f.n, *f.t, *f.trans, *f.batch, *f.linger, *f.inflight)
+	if jn != nil {
+		printJournalRecovery(jn)
+	}
+	fmt.Println("enter one integer proposal per line (EOF to stop):")
+
+	scanErr := serveLoop(svc)
 	if err := svc.Close(); err != nil {
 		return err
 	}

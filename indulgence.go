@@ -306,8 +306,20 @@ type (
 	Transport = transport.Transport
 	// Hub is the in-memory transport with delay injection.
 	Hub = transport.Hub
-	// TCPCluster is the TCP loopback transport.
+	// TCPCluster is the in-process TCP loopback cluster (one endpoint
+	// per process, ephemeral ports).
 	TCPCluster = transport.TCPCluster
+	// TCPEndpoint is one process of a multi-process TCP cluster:
+	// listener/dialer split, handshake-identified connections, bounded
+	// -backoff reconnect.
+	TCPEndpoint = transport.TCPEndpoint
+	// TCPOptions tunes a multi-process TCP endpoint (timeouts, backoff).
+	TCPOptions = transport.TCPOptions
+	// PeerTransportConfig is one process's view of a multi-process
+	// cluster: self ID plus the addressed peer list.
+	PeerTransportConfig = transport.PeerConfig
+	// TransportPeer is one member of the peer list.
+	TransportPeer = transport.Peer
 )
 
 // NewHub returns an in-memory transport hub for n processes.
@@ -315,6 +327,25 @@ func NewHub(n int) (*Hub, error) { return transport.NewHub(n) }
 
 // NewTCPCluster starts n fully connected TCP loopback endpoints.
 func NewTCPCluster(n int) (*TCPCluster, error) { return transport.NewTCPCluster(n) }
+
+// NewTCPEndpoint starts one process of a multi-process TCP cluster from
+// its peer config (listen on the self entry, dial the rest lazily with
+// reconnect).
+func NewTCPEndpoint(cfg PeerTransportConfig, opts TCPOptions) (*TCPEndpoint, error) {
+	return transport.NewTCPEndpoint(cfg, opts)
+}
+
+// ParsePeers parses a `p1=host:port,p2=host:port,...` peer list into a
+// transport config for the given self ID.
+func ParsePeers(self ProcessID, cluster, spec string) (PeerTransportConfig, error) {
+	return transport.ParsePeers(self, cluster, spec)
+}
+
+// LoadPeerFile reads a peer config file (one pN=host:port entry per
+// line, # comments allowed).
+func LoadPeerFile(self ProcessID, cluster, path string) (PeerTransportConfig, error) {
+	return transport.LoadPeerFile(self, cluster, path)
+}
 
 // NewCluster assembles a live cluster (started with its Run method).
 func NewCluster(cfg ClusterConfig) (*Cluster, error) { return runtime.New(cfg) }
@@ -335,11 +366,22 @@ type (
 	ServiceStats = service.Stats
 	// Mux multiplexes consensus instances over one transport endpoint.
 	Mux = transport.Mux
+	// PeerService is one process's member of a multi-process consensus
+	// cluster (one `serve -peers` per OS process).
+	PeerService = service.PeerService
+	// PeerServiceOptions describes one multi-process member.
+	PeerServiceOptions = service.PeerOptions
 )
 
 // NewService starts a consensus service over one endpoint per process.
 func NewService(cfg ServiceConfig, endpoints []Transport) (*Service, error) {
 	return service.New(cfg, endpoints)
+}
+
+// NewPeerService starts one member of an n-process cluster over its own
+// transport endpoint; the other members run in other OS processes.
+func NewPeerService(cfg PeerServiceOptions, n int, ep Transport) (*PeerService, error) {
+	return service.NewPeer(cfg, n, ep)
 }
 
 // NewMux multiplexes instance-addressed streams over one endpoint.

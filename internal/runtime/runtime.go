@@ -48,8 +48,16 @@ type Config struct {
 	Proposals []model.Value
 	// Endpoints holds one transport endpoint per process (Endpoints[id-1]
 	// must answer Self() == id). Endpoints may be physical (Hub, TCP) or
-	// virtual (one instance's streams of a transport.Mux).
+	// virtual (one instance's streams of a transport.Mux). Entries for
+	// processes outside Members may be nil.
 	Endpoints []transport.Transport
+	// Members selects which of the N processes THIS cluster object
+	// actually runs (empty = all of them, the single-process default).
+	// A multi-process deployment gives every OS process a cluster with
+	// Members = {self}: the remaining N-1 processes run elsewhere and
+	// are reached through the transport, so proposals and endpoints are
+	// only consulted at member indices.
+	Members model.PIDSet
 	// WaitPolicy selects the receive discipline (default WaitUnsuspected,
 	// the A_{t+2} discipline; WaitQuorum is the ◇S discipline of Fig. 3).
 	WaitPolicy core.WaitPolicy
@@ -108,6 +116,12 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.MaxRounds == 0 {
 		cfg.MaxRounds = 256
 	}
+	if cfg.Members.IsEmpty() {
+		cfg.Members = model.FullPIDSet(cfg.N)
+	}
+	if outside := cfg.Members.Diff(model.FullPIDSet(cfg.N)); !outside.IsEmpty() {
+		return nil, fmt.Errorf("runtime: members %v outside 1..%d", outside, cfg.N)
+	}
 	c := &Cluster{
 		cfg:       cfg,
 		nodes:     make([]*node, cfg.N),
@@ -115,6 +129,12 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	for i := 0; i < cfg.N; i++ {
 		id := model.ProcessID(i + 1)
+		if !cfg.Members.Has(id) {
+			continue
+		}
+		if cfg.Endpoints[i] == nil {
+			return nil, fmt.Errorf("runtime: member p%d has a nil endpoint", id)
+		}
 		if cfg.Endpoints[i].Self() != id {
 			return nil, fmt.Errorf("runtime: endpoint %d answers Self()=%d", id, cfg.Endpoints[i].Self())
 		}
@@ -136,10 +156,14 @@ func New(cfg Config) (*Cluster, error) {
 }
 
 // Crash kills process p: its goroutine stops sending and receiving, like a
-// crash-stop failure. Safe to call at any time after Start has run.
+// crash-stop failure. Safe to call at any time after Start has run. Only
+// members of this cluster object can be crashed through it.
 func (c *Cluster) Crash(p model.ProcessID) error {
 	if p < 1 || int(p) > c.cfg.N {
 		return fmt.Errorf("runtime: no process %d", p)
+	}
+	if c.nodes[p-1] == nil {
+		return fmt.Errorf("runtime: process %d runs in another OS process", p)
 	}
 	c.nodes[p-1].crash()
 	return nil
@@ -161,7 +185,9 @@ func (c *Cluster) Start(ctx context.Context) error {
 	runCtx, cancel := context.WithCancel(ctx)
 	c.cancel = cancel
 	for _, n := range c.nodes {
-		n.start(runCtx, &c.wg)
+		if n != nil {
+			n.start(runCtx, &c.wg)
+		}
 	}
 	return nil
 }
@@ -182,9 +208,10 @@ func (c *Cluster) Stop() {
 	c.wg.Wait()
 }
 
-// Run starts every process and blocks until all non-crashed processes have
-// decided, the context is done, or every node has stopped. It returns one
-// result per process.
+// Run starts every member process and blocks until all of them have
+// delivered a result, the context is done, or every node has stopped. It
+// returns one result per process; entries for processes running in other
+// OS processes (outside Members) are zero-valued placeholders.
 func (c *Cluster) Run(ctx context.Context) ([]NodeResult, error) {
 	if err := c.Start(ctx); err != nil {
 		return nil, err
@@ -195,7 +222,7 @@ func (c *Cluster) Run(ctx context.Context) ([]NodeResult, error) {
 	for i := range results {
 		results[i] = NodeResult{ID: model.ProcessID(i + 1)}
 	}
-	pending := c.cfg.N
+	pending := c.cfg.Members.Len()
 	for pending > 0 {
 		select {
 		case res := <-c.decisions:

@@ -300,3 +300,127 @@ func TestStartDecisionsStop(t *testing.T) {
 		t.Fatal("restarting a stopped cluster succeeded")
 	}
 }
+
+// TestMembersSplitCluster runs one consensus instance as three separate
+// Cluster objects — one member each, sharing nothing but the transport —
+// the exact shape of a multi-process deployment (each OS process runs
+// its own member over a peer-configured TCP endpoint).
+func TestMembersSplitCluster(t *testing.T) {
+	const n, tt = 3, 1
+	tc, err := transport.NewTCPCluster(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = tc.Close() })
+
+	type outcome struct {
+		id      model.ProcessID
+		results []runtime.NodeResult
+		err     error
+	}
+	outcomes := make(chan outcome, n)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < n; i++ {
+		id := model.ProcessID(i + 1)
+		ep, err := tc.Endpoint(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eps := make([]transport.Transport, n)
+		eps[i] = ep
+		var members model.PIDSet
+		members.Add(id)
+		cl, err := runtime.New(runtime.Config{
+			N: n, T: tt,
+			Factory:     core.New(core.Options{}),
+			Proposals:   props(n),
+			Endpoints:   eps,
+			Members:     members,
+			BaseTimeout: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			res, err := cl.Run(ctx)
+			outcomes <- outcome{id: id, results: res, err: err}
+		}()
+	}
+
+	var (
+		val  model.Value
+		have bool
+	)
+	for i := 0; i < n; i++ {
+		o := <-outcomes
+		if o.err != nil {
+			t.Fatalf("member p%d: %v", o.id, o.err)
+		}
+		r := o.results[o.id-1]
+		v, ok := r.Decision.Get()
+		if !ok {
+			t.Fatalf("member p%d did not decide", o.id)
+		}
+		if !have {
+			val, have = v, true
+		} else if v != val {
+			t.Fatalf("member p%d decided %d, others decided %d", o.id, v, val)
+		}
+		// Non-member entries are placeholders.
+		for j, other := range o.results {
+			if _, ok := other.Decision.Get(); ok && model.ProcessID(j+1) != o.id {
+				t.Fatalf("member p%d reported a decision for remote p%d", o.id, j+1)
+			}
+		}
+	}
+}
+
+// TestMembersValidation covers the member-subset error cases.
+func TestMembersValidation(t *testing.T) {
+	hub, err := transport.NewHub(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = hub.Close() })
+	ep2, err := hub.Endpoint(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := runtime.Config{
+		N: 3, T: 1,
+		Factory:   core.New(core.Options{}),
+		Proposals: props(3),
+	}
+
+	// A member with a nil endpoint is rejected.
+	cfg := base
+	cfg.Endpoints = make([]transport.Transport, 3)
+	cfg.Members.Add(1)
+	if _, err := runtime.New(cfg); err == nil {
+		t.Fatal("nil member endpoint accepted")
+	}
+	// Members outside 1..N are rejected.
+	cfg = base
+	cfg.Endpoints = []transport.Transport{nil, ep2, nil}
+	cfg.Members.Add(2)
+	cfg.Members.Add(5)
+	if _, err := runtime.New(cfg); err == nil {
+		t.Fatal("member outside the system accepted")
+	}
+	// Crashing a non-member fails; crashing a member works.
+	cfg = base
+	cfg.Endpoints = []transport.Transport{nil, ep2, nil}
+	cfg.Members = 0
+	cfg.Members.Add(2)
+	cl, err := runtime.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Crash(1); err == nil {
+		t.Fatal("crashed a process of another OS process")
+	}
+	if err := cl.Crash(2); err != nil {
+		t.Fatalf("crash own member: %v", err)
+	}
+}

@@ -1,0 +1,564 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"indulgence/internal/core"
+	"indulgence/internal/journal"
+	"indulgence/internal/model"
+	"indulgence/internal/runtime"
+	"indulgence/internal/stats"
+	"indulgence/internal/transport"
+	"indulgence/internal/wire"
+)
+
+// PeerOptions describes one member of a multi-process consensus
+// cluster. Unlike Config — which drives all N processes inside one OS
+// process — PeerOptions drives exactly one: the other N-1 members run
+// in other OS processes and are reached through the transport endpoint
+// handed to NewPeer.
+type PeerOptions struct {
+	// T bounds tolerated crashes across the whole cluster.
+	T int
+	// Factory builds this process's algorithm, once per instance.
+	Factory model.Factory
+	// WaitPolicy selects the receive discipline (default WaitUnsuspected).
+	WaitPolicy core.WaitPolicy
+	// BaseTimeout is the initial suspicion timeout of every instance
+	// (default 25ms).
+	BaseTimeout time.Duration
+	// MaxRounds aborts an instance's node after this many rounds
+	// (default 256).
+	MaxRounds model.Round
+	// MaxBatch is the largest number of local proposals riding one
+	// instance (default 8).
+	MaxBatch int
+	// Linger is how long an under-full batch waits for more proposals
+	// before it is cut (default 2ms).
+	Linger time.Duration
+	// MaxInflight bounds concurrently running local instances, initiated
+	// and joined combined (default 16).
+	MaxInflight int
+	// InstanceTimeout is the deadline of instances this process
+	// initiates (default 30s).
+	InstanceTimeout time.Duration
+	// JoinTimeout is the deadline of instances this process joins on a
+	// peer's signal (default 10s). Joined instances carry no local
+	// futures, so a join that never decides — stale flood traffic from
+	// before a restart, or a cluster that lost too many members — fails
+	// quietly after this long instead of holding a slot for
+	// InstanceTimeout.
+	JoinTimeout time.Duration
+	// FloodGrace is how long a decided instance keeps flooding DECIDE
+	// before this member retires it (default 150ms), so peers whose
+	// nodes are a round or two behind still satisfy their wait policies.
+	// The member's own futures resolve at the decision, not after the
+	// grace.
+	FloodGrace time.Duration
+	// NoopValue is the value this process proposes when it joins an
+	// instance without local proposals queued (default MaxInt64, the
+	// identity of the min-based estimate adoption the paper's
+	// algorithms use — so a noop loses to every real proposal and wins
+	// only an instance in which every proposer proposed one). A zero
+	// value selects the default; to make noops competitive on purpose,
+	// pick any other value.
+	NoopValue model.Value
+	// Journal, when non-nil, makes this member durable exactly as for
+	// Config.Journal: instance-ID blocks are claimed before frames touch
+	// the network, decisions are fsynced before futures resolve, and a
+	// restarted member resumes past its journaled frontier. Each member
+	// owns its own journal directory.
+	Journal *journal.Journal
+}
+
+// withDefaults returns cfg with zero fields replaced by defaults.
+func (cfg PeerOptions) withDefaults() PeerOptions {
+	if cfg.BaseTimeout == 0 {
+		cfg.BaseTimeout = 25 * time.Millisecond
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 8
+	}
+	if cfg.Linger == 0 {
+		cfg.Linger = 2 * time.Millisecond
+	}
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = 16
+	}
+	if cfg.InstanceTimeout == 0 {
+		cfg.InstanceTimeout = 30 * time.Second
+	}
+	if cfg.JoinTimeout == 0 {
+		cfg.JoinTimeout = 10 * time.Second
+	}
+	if cfg.FloodGrace == 0 {
+		cfg.FloodGrace = 150 * time.Millisecond
+	}
+	if cfg.NoopValue == 0 {
+		cfg.NoopValue = model.Value(math.MaxInt64)
+	}
+	return cfg
+}
+
+// PeerService is one process's member of a multi-process consensus
+// cluster: the service layer for deployments where every process runs
+// its own `indulgence serve` over a peer-configured transport.
+//
+// Instance IDs are global slots shared by all members. A member
+// initiates a slot when it cuts a local proposal batch, and joins a
+// slot — riding any lingering local batch on it, proposing NoopValue
+// when nothing is queued — when the mux's pending signal reports
+// inbound frames for an instance it has not opened. Two members initiating the same slot concurrently is not
+// a conflict; it is consensus: both propose, the round protocol picks
+// one value, and both resolve their local futures to it (exactly the
+// whole-batch-commits semantics of the single-process service).
+//
+// Each member audits only what it can see — its own decisions, which it
+// journals before resolving futures. Cross-member uniform agreement is
+// audited offline by check.Replay over the members' journals and live
+// observations (the `indulgence cluster` helper does exactly that).
+type PeerService struct {
+	cfg  PeerOptions
+	n    int
+	self model.ProcessID
+	mux  *transport.Mux
+
+	intake      chan *pending
+	joins       chan uint64
+	slots       chan struct{}
+	runCtx      context.Context
+	runCancel   context.CancelFunc
+	batcherDone chan struct{}
+	wg          sync.WaitGroup
+
+	// mu guards closed; Propose holds it for reading across the intake
+	// send so Close never closes the channel under a sender.
+	mu     sync.RWMutex
+	closed bool
+
+	// nextSlot and claimedThrough are touched only by the batcher
+	// goroutine (see Service for the claim-block rationale).
+	nextSlot       uint64
+	claimedThrough uint64
+
+	// slotMu guards active: the slots currently running locally, used
+	// to dedupe join signals against initiated and already-joined slots.
+	slotMu sync.Mutex
+	active map[uint64]struct{}
+
+	countMu      sync.Mutex
+	proposals    int
+	resolved     int
+	failed       int
+	instances    int
+	joined       int
+	instanceFail int
+	latencies    *stats.Reservoir[time.Duration]
+	rounds       *stats.Reservoir[int]
+}
+
+// NewPeer starts one member of an n-process cluster over its transport
+// endpoint (ep.Self() identifies which member this is). The endpoint is
+// owned by the caller and is not closed by Close; the member wraps it
+// in a mux and owns all reads from it.
+func NewPeer(cfg PeerOptions, n int, ep transport.Transport) (*PeerService, error) {
+	cfg = cfg.withDefaults()
+	if n < 2 {
+		return nil, fmt.Errorf("service: need at least 2 processes, got %d", n)
+	}
+	if ep == nil {
+		return nil, errors.New("service: nil endpoint")
+	}
+	if self := ep.Self(); self < 1 || int(self) > n {
+		return nil, fmt.Errorf("service: endpoint Self()=%d outside 1..%d", self, n)
+	}
+	if cfg.Factory == nil {
+		return nil, errors.New("service: nil factory")
+	}
+	s := &PeerService{
+		cfg:         cfg,
+		n:           n,
+		self:        ep.Self(),
+		intake:      make(chan *pending, cfg.MaxBatch*cfg.MaxInflight),
+		joins:       make(chan uint64, 256),
+		slots:       make(chan struct{}, cfg.MaxInflight),
+		batcherDone: make(chan struct{}),
+		active:      make(map[uint64]struct{}),
+		latencies:   stats.NewReservoir[time.Duration](maxSamples),
+		rounds:      stats.NewReservoir[int](maxSamples),
+	}
+	s.mux = transport.NewMuxNotify(ep, func(instance uint64) {
+		// Router goroutine: never block. A dropped signal re-fires on
+		// the instance's next inbound frame.
+		select {
+		case s.joins <- instance:
+		default:
+		}
+	})
+	if cfg.Journal != nil {
+		// Recovery: resume past every slot this member ever claimed or
+		// decided (a restarted member must never re-run an instance its
+		// previous lifetime touched — rejoining one with reset algorithm
+		// state would be amnesia, not a crash-stop) and drop stale
+		// frames below the frontier on arrival.
+		s.nextSlot = cfg.Journal.Frontier()
+		s.claimedThrough = s.nextSlot
+		s.mux.RetireBelow(s.nextSlot)
+	}
+	s.runCtx, s.runCancel = context.WithCancel(context.Background())
+	go s.batcher()
+	return s, nil
+}
+
+// Self returns this member's process ID.
+func (s *PeerService) Self() model.ProcessID { return s.self }
+
+// Lookup serves the journaled decision of an already-decided instance
+// without re-running consensus. It reports false when the member has no
+// journal or the instance is not on record.
+func (s *PeerService) Lookup(instance uint64) (Decision, bool) {
+	if s.cfg.Journal == nil {
+		return Decision{}, false
+	}
+	rec, ok := s.cfg.Journal.Get(instance)
+	if !ok {
+		return Decision{}, false
+	}
+	return Decision{Instance: rec.Instance, Value: rec.Value, Round: rec.Round, Batch: rec.Batch}, true
+}
+
+// Propose enqueues a local proposal and returns its Future. The future
+// resolves to the decision of the instance the proposal rides — which,
+// by agreement, every member's clients observe identically.
+func (s *PeerService) Propose(ctx context.Context, v model.Value) (*Future, error) {
+	p := &pending{value: v, enqueued: time.Now(), fut: &Future{done: make(chan struct{})}}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	select {
+	case s.intake <- p:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	s.countMu.Lock()
+	s.proposals++
+	s.countMu.Unlock()
+	return p.fut, nil
+}
+
+// Close stops intake, flushes the pending batch, waits for every local
+// instance (initiated and joined) to resolve, and shuts the mux down.
+// The endpoint passed to NewPeer stays open. Close is idempotent.
+func (s *PeerService) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.intake)
+	<-s.batcherDone
+	s.wg.Wait()
+	s.runCancel()
+	_ = s.mux.Close()
+	return nil
+}
+
+// Abort hard-stops the member without flushing — the shutdown shape a
+// crash gives it, recoverable only through the journal (see
+// Service.Abort for the full contract).
+func (s *PeerService) Abort() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.runCancel()
+	close(s.intake)
+	_ = s.mux.Close()
+}
+
+// Snapshot returns current counters and latency/round summaries. Only
+// locally observable quantities appear: violations require cross-member
+// evidence this process does not have (see check.Replay).
+func (s *PeerService) Snapshot() Stats {
+	s.countMu.Lock()
+	defer s.countMu.Unlock()
+	return Stats{
+		Proposals:        s.proposals,
+		Resolved:         s.resolved,
+		Failed:           s.failed,
+		Instances:        s.instances,
+		JoinedInstances:  s.joined,
+		InstanceFailures: s.instanceFail,
+		Latency:          stats.SummarizeDurations(s.latencies.Values()),
+		Rounds:           stats.Summarize(s.rounds.Values()),
+	}
+}
+
+// batcher owns slot assignment: it cuts the local intake stream into
+// batches exactly like the single-process service, and additionally
+// serves join signals from the mux. Initiated slots take the next free
+// global slot; joins adopt the peer's slot and push nextSlot past it,
+// which keeps every member's slot counter roughly in step with the
+// cluster's.
+func (s *PeerService) batcher() {
+	defer close(s.batcherDone)
+	var (
+		batch   []*pending
+		lingerT *time.Timer
+		lingerC <-chan time.Time
+	)
+	stopLinger := func() {
+		if lingerT != nil {
+			lingerT.Stop()
+			lingerT, lingerC = nil, nil
+		}
+	}
+	flush := func() {
+		stopLinger()
+		if len(batch) == 0 {
+			return
+		}
+		b := batch
+		batch = nil
+		slot := s.nextSlot
+		s.nextSlot++
+		s.launch(slot, b, false)
+	}
+	for {
+		select {
+		case p, ok := <-s.intake:
+			if !ok {
+				flush()
+				return
+			}
+			batch = append(batch, p)
+			if len(batch) == 1 {
+				lingerT = time.NewTimer(s.cfg.Linger)
+				lingerC = lingerT.C
+			}
+			if len(batch) >= s.cfg.MaxBatch {
+				flush()
+			}
+		case <-lingerC:
+			lingerT, lingerC = nil, nil
+			flush()
+		case slot := <-s.joins:
+			if s.isActive(slot) {
+				continue
+			}
+			if s.cfg.Journal != nil {
+				if _, done := s.cfg.Journal.Get(slot); done {
+					continue // decided in this lifetime; retire race
+				}
+			}
+			// A lingering local batch rides the joined slot instead of
+			// waiting for its own: the join must propose something
+			// anyway, and a real proposal beats a noop. Only fresh
+			// slots (never seen before, so never retired locally) may
+			// carry it — a stale duplicate signal for a slot that
+			// already ran must not drag real proposals into a
+			// mux.Open failure.
+			var b []*pending
+			if slot >= s.nextSlot {
+				s.nextSlot = slot + 1
+				stopLinger()
+				b, batch = batch, nil
+			}
+			s.launch(slot, b, true)
+		}
+	}
+}
+
+// launch claims a slot ticket (blocking — the bounded-shard
+// backpressure), claims instance IDs through the journal when needed,
+// and starts the slot's local run.
+func (s *PeerService) launch(slot uint64, batch []*pending, joined bool) {
+	select {
+	case s.slots <- struct{}{}:
+	case <-s.runCtx.Done():
+		failBatch(batch, s.runCtx.Err())
+		return
+	}
+	// The claim must cover joined slots too: this member's frames for
+	// the slot are about to touch the network, so a restart must resume
+	// past it (see Service.batcher for the block-claim rationale).
+	if s.cfg.Journal != nil && slot >= s.claimedThrough {
+		through, err := claimBlock(s.cfg.Journal, slot, s.cfg.MaxInflight)
+		if err != nil {
+			<-s.slots
+			s.failSlot(batch, err)
+			return
+		}
+		s.claimedThrough = through
+	}
+	s.slotMu.Lock()
+	s.active[slot] = struct{}{}
+	s.slotMu.Unlock()
+	s.wg.Add(1)
+	go s.runSlot(slot, batch, joined)
+}
+
+// isActive reports whether the slot is currently running locally.
+func (s *PeerService) isActive(slot uint64) bool {
+	s.slotMu.Lock()
+	defer s.slotMu.Unlock()
+	_, ok := s.active[slot]
+	return ok
+}
+
+// clearActive removes a finished slot from the active set.
+func (s *PeerService) clearActive(slot uint64) {
+	s.slotMu.Lock()
+	delete(s.active, slot)
+	s.slotMu.Unlock()
+}
+
+// runSlot executes this member's node of one instance: open the
+// instance's virtual endpoint, run a single-member runtime.Cluster,
+// journal the local decision before any future resolves, then keep
+// flooding for FloodGrace before retiring the instance.
+func (s *PeerService) runSlot(slot uint64, batch []*pending, joined bool) {
+	defer s.wg.Done()
+	defer s.clearActive(slot)
+	slotHeld := true
+	releaseSlot := func() {
+		if slotHeld {
+			slotHeld = false
+			<-s.slots
+		}
+	}
+	defer releaseSlot()
+
+	ep, err := s.mux.Open(slot)
+	if err != nil {
+		// A join can race the slot's retirement (one stale signal after
+		// the instance finished): not a failure, nothing to do. An
+		// initiated slot losing its endpoint is one.
+		if !joined || len(batch) > 0 {
+			s.failSlot(batch, fmt.Errorf("service: open instance %d on p%d: %w", slot, s.self, err))
+		}
+		return
+	}
+	eps := make([]transport.Transport, s.n)
+	eps[s.self-1] = ep
+	props := make([]model.Value, s.n)
+	local := s.cfg.NoopValue
+	if len(batch) > 0 {
+		local = batch[0].value
+	}
+	props[s.self-1] = local
+	var members model.PIDSet
+	members.Add(s.self)
+	cl, err := runtime.New(runtime.Config{
+		N: s.n, T: s.cfg.T,
+		Factory:     s.cfg.Factory,
+		Proposals:   props,
+		Endpoints:   eps,
+		Members:     members,
+		WaitPolicy:  s.cfg.WaitPolicy,
+		BaseTimeout: s.cfg.BaseTimeout,
+		MaxRounds:   s.cfg.MaxRounds,
+	})
+	if err != nil {
+		s.mux.Retire(slot)
+		s.failSlot(batch, fmt.Errorf("service: instance %d: %w", slot, err))
+		return
+	}
+	// Joined slots carrying no local futures may fail quietly and soon;
+	// anything with real proposals aboard gets the full deadline.
+	deadline := s.cfg.InstanceTimeout
+	if joined && len(batch) == 0 {
+		deadline = s.cfg.JoinTimeout
+	}
+	ctx, cancel := context.WithTimeout(s.runCtx, deadline)
+	defer cancel()
+	if err := cl.Start(ctx); err != nil {
+		s.mux.Retire(slot)
+		s.failSlot(batch, fmt.Errorf("service: instance %d: %w", slot, err))
+		return
+	}
+	var res runtime.NodeResult
+	select {
+	case res = <-cl.Decisions():
+	case <-ctx.Done():
+	}
+	value, decided := res.Decision.Get()
+	if !decided {
+		cl.Stop()
+		s.mux.Retire(slot)
+		err := fmt.Errorf("service: instance %d reached no local decision", slot)
+		if ctx.Err() != nil {
+			err = fmt.Errorf("service: instance %d: %w", slot, ctx.Err())
+		}
+		s.failSlot(batch, err)
+		return
+	}
+
+	// Journal-before-complete, exactly as in the single-process service.
+	// Batch counts local proposals; a joined slot's noop is a real
+	// proposal, so the record never claims an impossible batch of 0.
+	localBatch := len(batch)
+	if localBatch == 0 {
+		localBatch = 1
+	}
+	if s.cfg.Journal != nil {
+		rec := wire.DecisionRecord{Instance: slot, Value: value, Round: res.Round, Batch: localBatch}
+		if err := s.cfg.Journal.Append(rec); err != nil {
+			cl.Stop()
+			s.mux.Retire(slot)
+			s.failSlot(batch, fmt.Errorf("service: journal instance %d: %w", slot, err))
+			return
+		}
+	}
+
+	dec := Decision{Instance: slot, Value: value, Round: res.Round, Batch: localBatch}
+	now := time.Now()
+	var latencies []time.Duration
+	for _, p := range batch {
+		latencies = append(latencies, now.Sub(p.enqueued))
+		p.fut.resolve(dec, nil)
+	}
+	s.countMu.Lock()
+	s.instances++
+	if joined {
+		s.joined++
+	}
+	s.resolved += len(batch)
+	for _, l := range latencies {
+		s.latencies.Add(l)
+	}
+	s.rounds.Add(int(res.Round))
+	s.countMu.Unlock()
+
+	// The slot ticket is free from here: flood grace must not throttle
+	// the next instance.
+	releaseSlot()
+	select {
+	case <-time.After(s.cfg.FloodGrace):
+	case <-s.runCtx.Done():
+	}
+	cl.Stop()
+	s.mux.Retire(slot)
+}
+
+// failSlot resolves a batch's futures with err and records the failure.
+// Joined slots fail with an empty batch: only the counter moves.
+func (s *PeerService) failSlot(batch []*pending, err error) {
+	failBatch(batch, err)
+	s.countMu.Lock()
+	s.instanceFail++
+	s.failed += len(batch)
+	s.countMu.Unlock()
+}

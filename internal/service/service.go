@@ -153,6 +153,10 @@ type Stats struct {
 	// Instances counts decided instances; InstanceFailures counts
 	// instances that timed out or errored without a decision.
 	Instances, InstanceFailures int
+	// JoinedInstances counts instances this process adopted on a peer's
+	// signal rather than initiating (multi-process members only; always
+	// 0 for the single-process service).
+	JoinedInstances int
 	// Violations lists every consensus-property violation detected by
 	// check.Instance over resolved instances — validity, agreement, and
 	// termination (a correct process undecided at instance end, e.g. on
@@ -406,13 +410,13 @@ func (s *Service) batcher() {
 		// ID. One written (not fsynced — see journal.AppendStart)
 		// claim covers MaxInflight launches.
 		if s.cfg.Journal != nil && instance >= s.claimedThrough {
-			claim := instance + uint64(s.cfg.MaxInflight) - 1
-			if err := s.cfg.Journal.AppendStart(claim); err != nil {
+			through, err := claimBlock(s.cfg.Journal, instance, s.cfg.MaxInflight)
+			if err != nil {
 				<-s.slots
-				failBatch(b, fmt.Errorf("service: claim instances through %d: %w", claim, err))
+				failBatch(b, err)
 				return
 			}
-			s.claimedThrough = claim + 1
+			s.claimedThrough = through
 		}
 		s.wg.Add(1)
 		go s.runInstance(instance, b)
@@ -444,4 +448,16 @@ func failBatch(batch []*pending, err error) {
 	for _, p := range batch {
 		p.fut.resolve(Decision{}, err)
 	}
+}
+
+// claimBlock journals a start-claim covering instance and the rest of
+// its inflight-sized ID block, returning the new claimed-through
+// frontier (first ID not covered). Both batchers share it so the claim
+// arithmetic — which restart recovery depends on — has one owner.
+func claimBlock(j *journal.Journal, instance uint64, inflight int) (uint64, error) {
+	claim := instance + uint64(inflight) - 1
+	if err := j.AppendStart(claim); err != nil {
+		return 0, fmt.Errorf("service: claim instances through %d: %w", claim, err)
+	}
+	return claim + 1, nil
 }

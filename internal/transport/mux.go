@@ -23,7 +23,8 @@ import (
 // channel axiom must survive multiplexing. Frames for a retired (closed)
 // instance are dropped: they can only be post-decision flood traffic.
 type Mux struct {
-	ep Transport
+	ep        Transport
+	onPending func(instance uint64)
 
 	mu      sync.Mutex
 	streams map[uint64]*muxStream
@@ -42,9 +43,19 @@ type Mux struct {
 // NewMux starts a multiplexer over ep. The mux reads every inbound frame
 // of ep from the moment of creation; the caller must no longer use
 // ep.Recv directly.
-func NewMux(ep Transport) *Mux {
+func NewMux(ep Transport) *Mux { return NewMuxNotify(ep, nil) }
+
+// NewMuxNotify is NewMux with a pending-instance callback: onPending
+// (when non-nil) is invoked from the router goroutine every time a frame
+// arrives for an instance that is not currently open locally — the
+// signal a multi-process service member uses to join an instance a peer
+// started. The callback must not block (it stalls every instance's
+// inbound traffic if it does) and may be invoked repeatedly for the same
+// instance while it stays unopened, so receivers dedupe.
+func NewMuxNotify(ep Transport, onPending func(instance uint64)) *Mux {
 	m := &Mux{
 		ep:         ep,
+		onPending:  onPending,
 		streams:    make(map[uint64]*muxStream),
 		retiredSet: make(map[uint64]struct{}),
 		done:       make(chan struct{}),
@@ -216,8 +227,12 @@ func (m *Mux) route() {
 				s = &muxStream{mux: m, instance: instance, box: newMailbox()}
 				m.streams[instance] = s
 			}
+			pending := !s.opened
 			m.mu.Unlock()
 			s.box.put(inner)
+			if pending && m.onPending != nil {
+				m.onPending(instance)
+			}
 		}
 	}
 }

@@ -504,3 +504,62 @@ func TestMuxRetireBelow(t *testing.T) {
 		t.Fatalf("frontier regressed to %d", below)
 	}
 }
+
+// TestMuxPendingNotification checks the join signal of multi-process
+// members: frames for an unopened instance fire the callback (possibly
+// repeatedly), and opened instances stop firing it.
+func TestMuxPendingNotification(t *testing.T) {
+	hub, err := NewHub(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	a, _ := hub.Endpoint(1)
+	b, _ := hub.Endpoint(2)
+
+	notified := make(chan uint64, 16)
+	ma := NewMux(a)
+	defer ma.Close()
+	mb := NewMuxNotify(b, func(instance uint64) {
+		select {
+		case notified <- instance:
+		default:
+		}
+	})
+	defer mb.Close()
+
+	sa, err := ma.Open(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.Send(2, msgFrame(t, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-notified:
+		if got != 7 {
+			t.Fatalf("pending instance %d, want 7", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no pending notification")
+	}
+
+	// Opening drains the buffered frame; further frames notify nobody.
+	sb, err := mb.Open(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recvFrame(t, sb)
+	for len(notified) > 0 {
+		<-notified
+	}
+	if err := sa.Send(2, msgFrame(t, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	recvFrame(t, sb)
+	select {
+	case got := <-notified:
+		t.Fatalf("opened instance notified as pending: %d", got)
+	case <-time.After(100 * time.Millisecond):
+	}
+}

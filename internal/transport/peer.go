@@ -1,0 +1,187 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"indulgence/internal/model"
+	"indulgence/internal/wire"
+)
+
+// Peer is one member of a multi-process cluster: a process ID and the
+// TCP address the process listens on.
+type Peer struct {
+	// ID is the member's process ID, in [1, n].
+	ID model.ProcessID
+	// Addr is the member's address, host:port. The same entry is what
+	// the member listens on and what every peer dials, so in a
+	// multi-machine deployment it must name a host the others can
+	// reach — an empty host ("=:9001") listens on every interface but
+	// dials loopback, which only works when all members share one
+	// machine.
+	Addr string
+}
+
+// PeerConfig describes one process's view of a multi-process cluster:
+// its own identity plus the addressed peer list (which includes itself —
+// every process is handed the same list). It is what replaces the
+// loopback-only cluster constructor: a process built from a PeerConfig
+// listens on its own entry's address and dials every other entry, so one
+// `indulgence serve` can run per machine.
+type PeerConfig struct {
+	// Self is this process's ID; the Peers entry with this ID is the
+	// address this process listens on.
+	Self model.ProcessID
+	// Cluster names the cluster; the TCP handshake refuses connections
+	// whose hello carries a different name. Empty means DefaultCluster.
+	Cluster string
+	// Peers lists every member, self included, sorted by ID. Members
+	// must be exactly p1..pn — the runtime addresses processes densely.
+	Peers []Peer
+}
+
+// DefaultCluster is the cluster name used when PeerConfig.Cluster is
+// empty.
+const DefaultCluster = "indulgence"
+
+// N returns the cluster size.
+func (c PeerConfig) N() int { return len(c.Peers) }
+
+// ClusterID returns the cluster name, defaulted.
+func (c PeerConfig) ClusterID() string {
+	if c.Cluster == "" {
+		return DefaultCluster
+	}
+	return c.Cluster
+}
+
+// Addr returns the address of peer p.
+func (c PeerConfig) Addr(p model.ProcessID) (string, error) {
+	for _, peer := range c.Peers {
+		if peer.ID == p {
+			return peer.Addr, nil
+		}
+	}
+	return "", fmt.Errorf("transport: no peer p%d in config", p)
+}
+
+// SelfAddr returns the address this process listens on.
+func (c PeerConfig) SelfAddr() (string, error) { return c.Addr(c.Self) }
+
+// Validate checks that the config is a usable cluster description:
+// members are exactly p1..pn with distinct, well-formed addresses, and
+// Self is one of them.
+func (c PeerConfig) Validate() error {
+	n := len(c.Peers)
+	if n < 2 {
+		return fmt.Errorf("transport: peer config needs at least 2 peers, got %d", n)
+	}
+	if n > model.MaxProcesses {
+		return fmt.Errorf("transport: peer config has %d peers, max is %d", n, model.MaxProcesses)
+	}
+	if len(c.Cluster) > wire.MaxClusterIDLen {
+		return fmt.Errorf("transport: cluster id of %d bytes exceeds the %d-byte handshake limit",
+			len(c.Cluster), wire.MaxClusterIDLen)
+	}
+	seenAddr := make(map[string]model.ProcessID, n)
+	var ids model.PIDSet
+	for _, p := range c.Peers {
+		if p.ID < 1 || int(p.ID) > n {
+			return fmt.Errorf("transport: peer id p%d outside 1..%d (ids must be dense)", p.ID, n)
+		}
+		if ids.Has(p.ID) {
+			return fmt.Errorf("transport: duplicate peer id p%d", p.ID)
+		}
+		ids.Add(p.ID)
+		if _, _, err := net.SplitHostPort(p.Addr); err != nil {
+			return fmt.Errorf("transport: peer p%d address %q: %w", p.ID, p.Addr, err)
+		}
+		if prev, ok := seenAddr[p.Addr]; ok {
+			return fmt.Errorf("transport: peers p%d and p%d share address %q", prev, p.ID, p.Addr)
+		}
+		seenAddr[p.Addr] = p.ID
+	}
+	if !ids.Has(c.Self) {
+		return fmt.Errorf("transport: self p%d is not in the peer list", c.Self)
+	}
+	return nil
+}
+
+// ParsePeers parses a -peers flag value of the form
+//
+//	p1=host:port,p2=host:port,...
+//
+// into a PeerConfig for the given self ID. Whitespace around entries is
+// tolerated; entries must name every member exactly once.
+func ParsePeers(self model.ProcessID, cluster, spec string) (PeerConfig, error) {
+	if strings.TrimSpace(spec) == "" {
+		return PeerConfig{}, fmt.Errorf("transport: empty peer spec")
+	}
+	var peers []Peer
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		p, err := parsePeerEntry(entry)
+		if err != nil {
+			return PeerConfig{}, err
+		}
+		peers = append(peers, p)
+	}
+	cfg := PeerConfig{Self: self, Cluster: cluster, Peers: peers}
+	sort.Slice(cfg.Peers, func(i, j int) bool { return cfg.Peers[i].ID < cfg.Peers[j].ID })
+	if err := cfg.Validate(); err != nil {
+		return PeerConfig{}, err
+	}
+	return cfg, nil
+}
+
+// LoadPeerFile reads a peer config file: one `pN=host:port` entry per
+// line, with blank lines and `#` comments ignored — the same entries the
+// -peers flag takes, one per line.
+func LoadPeerFile(self model.ProcessID, cluster, path string) (PeerConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return PeerConfig{}, fmt.Errorf("transport: peer file: %w", err)
+	}
+	var entries []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line != "" {
+			entries = append(entries, line)
+		}
+	}
+	if len(entries) == 0 {
+		return PeerConfig{}, fmt.Errorf("transport: peer file %s has no entries", path)
+	}
+	return ParsePeers(self, cluster, strings.Join(entries, ","))
+}
+
+// parsePeerEntry parses one `pN=host:port` element.
+func parsePeerEntry(entry string) (Peer, error) {
+	eq := strings.IndexByte(entry, '=')
+	if eq < 0 {
+		return Peer{}, fmt.Errorf("transport: peer entry %q is not pN=host:port", entry)
+	}
+	name := strings.TrimSpace(entry[:eq])
+	addr := strings.TrimSpace(entry[eq+1:])
+	if !strings.HasPrefix(name, "p") {
+		return Peer{}, fmt.Errorf("transport: peer name %q must be pN", name)
+	}
+	id, err := strconv.Atoi(name[1:])
+	if err != nil || id < 1 {
+		return Peer{}, fmt.Errorf("transport: peer name %q must be pN with N >= 1", name)
+	}
+	if addr == "" {
+		return Peer{}, fmt.Errorf("transport: peer %s has an empty address", name)
+	}
+	return Peer{ID: model.ProcessID(id), Addr: addr}, nil
+}

@@ -1,18 +1,30 @@
 // Package transport provides the message transports of the live runtime:
 // an in-memory hub with injectable per-link delays (for reproducing the
-// paper's asynchronous periods on one machine) and a TCP loopback
-// transport built on net (for running the algorithms as real networked
-// processes). Both move opaque frames produced by package wire; neither
-// interprets them. A Mux layers instance multiplexing on top of either:
-// it routes the wire instance envelope so that many concurrent consensus
-// instances share one endpoint's physical connections, which is how the
-// service layer runs a whole fleet of instances over a single cluster.
+// paper's asynchronous periods on one machine) and a peer-configured TCP
+// transport (for running the algorithms as genuinely separate OS
+// processes over real sockets). A TCPEndpoint is one process's half of a
+// multi-process cluster, built from a PeerConfig (self ID plus addressed
+// peer list, parseable from `-peers p1=host:port,...` or a peer file):
+// it listens on its own entry, identifies every connection with a
+// handshake frame (cluster ID + sender ID) instead of relying on dial
+// order, and redials broken peers with bounded backoff so a crashed and
+// restarted member rejoins without the cluster restarting. TCPCluster is
+// the in-process loopback convenience built on the same endpoints. All
+// transports move opaque frames produced by package wire; none
+// interprets them. A Mux layers instance multiplexing on top of any of
+// them: it routes the wire instance envelope so that many concurrent
+// consensus instances share one endpoint's physical connections, which
+// is how the service layer runs a whole fleet of instances over a single
+// cluster.
 //
-// Delivery guarantees mirror the ES channel axioms: frames are never
-// dropped (reliable channels) but may be delayed arbitrarily while a delay
-// or partition is injected; per-link FIFO order is not guaranteed under
-// injected delays, which is harmless because round messages are
-// self-describing.
+// Delivery guarantees mirror the ES channel axioms while connections
+// hold: frames are never dropped (reliable channels) but may be delayed
+// arbitrarily — by injected delays on the hub, by outages and reconnect
+// backoff on TCP. Frames in flight at the instant a TCP connection
+// breaks may be lost with it (see TCPEndpoint); the round protocol
+// absorbs that window as a transient suspicion. Per-link FIFO order is
+// not guaranteed under injected delays, which is harmless because round
+// messages are self-describing.
 package transport
 
 import (

@@ -25,9 +25,11 @@
 // records: a DecisionRecord opens with the marker byte 0x03 followed by
 // the instance ID and the decided outcome, and a StartRecord — the
 // claim that an instance ID is about to touch the network — opens with
-// 0x05. Like 0x01, the odd bytes 0x03 and 0x05 can never open a
-// version-0 frame (positive senders zigzag-encode to even first bytes,
-// and continuation bytes have the high bit set), so every kind is
+// 0x05. The multi-process TCP transport's connection handshake — a
+// HelloRecord naming the cluster and the sender — opens with 0x07. Like
+// 0x01, the odd bytes 0x03, 0x05 and 0x07 can never open a version-0
+// frame (positive senders zigzag-encode to even first bytes, and
+// continuation bytes have the high bit set), so every kind is
 // distinguishable from its first byte alone.
 package wire
 
@@ -233,6 +235,80 @@ func DecodeStartRecord(b []byte) (StartRecord, int, error) {
 	}
 	r.Instance = instance
 	return r, 1 + n, nil
+}
+
+// helloMarker opens a handshake (hello) frame, the first frame either
+// side of a multi-process TCP connection sends: the cluster ID and the
+// sender's process ID, so endpoints identify themselves instead of being
+// identified by dial order. Like the other envelope markers it is an odd
+// byte below 0x80, so it can never open a version-0 frame and the frame
+// kind is decidable from the first byte alone.
+const helloMarker byte = 0x07
+
+// MaxClusterIDLen bounds the cluster ID a hello frame may carry.
+const MaxClusterIDLen = 256
+
+// HelloRecord is the connection handshake of the multi-process TCP
+// transport, exchanged in both directions: the dialing endpoint sends
+// it as the first frame of every connection, the accepting endpoint
+// refuses the connection unless the cluster ID matches its own and the
+// sender ID is a valid peer, and an accepted connection is answered
+// with the acceptor's own hello — the ack the dialer requires before
+// treating the connection as live.
+type HelloRecord struct {
+	// Cluster names the consensus cluster the sender believes it is
+	// joining; it guards against cross-cluster misconfiguration.
+	Cluster string
+	// Sender is the process ID the connection's frames are sent as.
+	Sender model.ProcessID
+}
+
+// AppendHelloRecord appends the encoding of r to dst and returns the
+// extended slice. The layout is the hello marker, a uvarint-length-
+// prefixed cluster ID, and the varint sender.
+func AppendHelloRecord(dst []byte, r HelloRecord) ([]byte, error) {
+	if len(r.Cluster) > MaxClusterIDLen {
+		return nil, fmt.Errorf("%w: cluster id of %d bytes", ErrFrameTooLarge, len(r.Cluster))
+	}
+	dst = append(dst, helloMarker)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Cluster)))
+	dst = append(dst, r.Cluster...)
+	return binary.AppendVarint(dst, int64(r.Sender)), nil
+}
+
+// DecodeHelloRecord decodes one hello record from b, returning it and
+// the number of bytes consumed.
+func DecodeHelloRecord(b []byte) (HelloRecord, int, error) {
+	var r HelloRecord
+	if len(b) == 0 {
+		return r, 0, fmt.Errorf("%w: empty hello", ErrTruncated)
+	}
+	if b[0] != helloMarker {
+		return r, 0, fmt.Errorf("%w: hello marker %#x", ErrUnknownPayload, b[0])
+	}
+	off := 1
+	clen, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: hello cluster length", ErrTruncated)
+	}
+	if clen > MaxClusterIDLen {
+		return r, 0, fmt.Errorf("%w: hello cluster of %d bytes", ErrUnknownPayload, clen)
+	}
+	off += n
+	if uint64(len(b)-off) < clen {
+		return r, 0, fmt.Errorf("%w: hello cluster id", ErrTruncated)
+	}
+	r.Cluster = string(b[off : off+int(clen)])
+	off += int(clen)
+	sender, n := binary.Varint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: hello sender", ErrTruncated)
+	}
+	if sender < 1 || sender > model.MaxProcesses {
+		return r, 0, fmt.Errorf("%w: hello sender %d", ErrUnknownPayload, sender)
+	}
+	r.Sender = model.ProcessID(sender)
+	return r, off + n, nil
 }
 
 // EncodePayload appends the tag-prefixed encoding of a payload (possibly
@@ -443,6 +519,17 @@ func decodePayload(b []byte) (model.Payload, int, error) {
 	default:
 		return nil, 0, fmt.Errorf("%w: tag %d", ErrUnknownPayload, tag)
 	}
+}
+
+// AppendFrame appends b to dst as a length-prefixed frame — the exact
+// bytes WriteFrame would put on the stream — so writers can coalesce
+// many frames into one buffer without owning the frame layout.
+func AppendFrame(dst, b []byte) ([]byte, error) {
+	if len(b) > MaxFrameSize {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, len(b))
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(b)))
+	return append(dst, b...), nil
 }
 
 // WriteFrame writes b to w as a length-prefixed frame.

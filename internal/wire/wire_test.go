@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -317,5 +318,106 @@ func TestStartRecordRoundTrip(t *testing.T) {
 	}
 	if _, _, err := DecodeStartRecord([]byte{recordMarker, 1}); !errors.Is(err, ErrUnknownPayload) {
 		t.Fatalf("wrong marker: %v", err)
+	}
+}
+
+func TestHelloRecordRoundTrip(t *testing.T) {
+	cases := []HelloRecord{
+		{Cluster: "", Sender: 1},
+		{Cluster: "indulgence", Sender: 3},
+		{Cluster: "a/b c-d_e", Sender: model.MaxProcesses},
+	}
+	for _, want := range cases {
+		enc, err := AppendHelloRecord(nil, want)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", want, err)
+		}
+		got, n, err := DecodeHelloRecord(enc)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("decode %+v consumed %d of %d bytes", want, n, len(enc))
+		}
+		if got != want {
+			t.Fatalf("round trip: %+v != %+v", got, want)
+		}
+	}
+}
+
+// TestHelloRecordMarkerDisjoint checks the frame-kind invariant for the
+// handshake: a hello can never be confused with any other frame kind.
+func TestHelloRecordMarkerDisjoint(t *testing.T) {
+	enc, err := AppendHelloRecord(nil, HelloRecord{Cluster: "c", Sender: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc[0] == instanceMarker || enc[0] == recordMarker || enc[0] == startMarker {
+		t.Fatal("hello marker collides with another kind")
+	}
+	for p := model.ProcessID(1); p <= model.MaxProcesses; p++ {
+		frame, err := EncodeMessage(nil, model.Message{From: p, Round: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frame[0] == enc[0] {
+			t.Fatalf("sender %d opens with the hello marker", p)
+		}
+	}
+}
+
+func TestHelloRecordDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeHelloRecord(nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, _, err := DecodeHelloRecord([]byte{recordMarker}); !errors.Is(err, ErrUnknownPayload) {
+		t.Fatalf("wrong marker: %v", err)
+	}
+	full, err := AppendHelloRecord(nil, HelloRecord{Cluster: "cluster", Sender: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(full); i++ {
+		if _, _, err := DecodeHelloRecord(full[:i]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("prefix of %d bytes: %v", i, err)
+		}
+	}
+	// Oversized cluster IDs are refused on both sides.
+	if _, err := AppendHelloRecord(nil, HelloRecord{Cluster: strings.Repeat("x", MaxClusterIDLen+1), Sender: 1}); err == nil {
+		t.Fatal("oversized cluster encoded")
+	}
+	forged := []byte{0x07, 0xFF, 0xFF, 0x7F}
+	if _, _, err := DecodeHelloRecord(forged); !errors.Is(err, ErrUnknownPayload) {
+		t.Fatalf("oversized cluster decoded: %v", err)
+	}
+	// A sender outside [1, MaxProcesses] is structurally invalid.
+	bad, err := AppendHelloRecord(nil, HelloRecord{Cluster: "c", Sender: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeHelloRecord(bad); !errors.Is(err, ErrUnknownPayload) {
+		t.Fatalf("sender 0 decoded: %v", err)
+	}
+}
+
+// TestAppendFrameMatchesWriteFrame pins the coalescing helper to the
+// stream layout WriteFrame owns.
+func TestAppendFrameMatchesWriteFrame(t *testing.T) {
+	var streamed bytes.Buffer
+	var appended []byte
+	for _, payload := range [][]byte{{}, {1}, []byte("frame two"), make([]byte, 300)} {
+		if err := WriteFrame(&streamed, payload); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		if appended, err = AppendFrame(appended, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(streamed.Bytes(), appended) {
+		t.Fatal("AppendFrame diverges from WriteFrame's layout")
+	}
+	if _, err := AppendFrame(nil, make([]byte, MaxFrameSize+1)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame appended: %v", err)
 	}
 }
