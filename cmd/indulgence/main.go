@@ -12,6 +12,8 @@
 //	                 [-delay D] [-crash P] [-timeout D]
 //	indulgence serve [-algo A] [-n N] [-t T] [-transport memory|tcp]
 //	                 [-batch B] [-linger D] [-inflight I] [-journal DIR]
+//	                 [-adaptive] [-adaptive-select] [-adaptive-batch-max B]
+//	                 [-adaptive-linger-max D] [-verbose]
 //	indulgence serve -peers p1=host:port,... -self N [-peers-file F]
 //	                 [-cluster-id C] [-join-timeout D] [flags as above]
 //	indulgence cluster [-n N] [-t T] [-proposals P] [-restart K]
@@ -19,7 +21,7 @@
 //	indulgence bench-service [-algo A] [-n N] [-t T] [-transport memory|tcp]
 //	                 [-proposals P] [-clients C] [-batch B] [-linger D]
 //	                 [-inflight I] [-delay D] [-heal D] [-timeout D]
-//	                 [-journal DIR]
+//	                 [-journal DIR] [-adaptive] [-burst N] [-burst-idle D]
 //	indulgence replay -journal DIR [-limit N] [-quiet] [-verify=false]
 //
 // Algorithms: atplus2, atplus2ff, diamonds, afplus2, floodset, floodsetws,

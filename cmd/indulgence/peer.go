@@ -88,6 +88,9 @@ func servePeer(f serviceFlags, explicit map[string]bool) error {
 		MaxInflight: *f.inflight,
 		JoinTimeout: *f.joinTimeout,
 		Journal:     jn,
+		// Algorithm selection stays off in peer mode: one member cannot
+		// switch a shared slot's protocol unilaterally.
+		Adaptive: f.adaptConfig(false),
 	}, cfg.N(), ep)
 	if err != nil {
 		return err
@@ -95,6 +98,9 @@ func servePeer(f serviceFlags, explicit map[string]bool) error {
 
 	fmt.Printf("peer member up: p%d of %d (%s), %s, t=%d, listening on %s, batch ≤ %d, ≤ %d slots inflight\n",
 		self, cfg.N(), cfg.ClusterID(), *f.algo, *f.t, ep.Addr(), *f.batch, *f.inflight)
+	if *f.adaptive {
+		fmt.Println("adaptive control plane on: batch/linger tuning + admission (algorithm selection is single-process only)")
+	}
 	if jn != nil {
 		printJournalRecovery(jn)
 	}
@@ -107,6 +113,10 @@ func servePeer(f serviceFlags, explicit map[string]bool) error {
 	st := svc.Snapshot()
 	fmt.Printf("served %d proposals over %d instances (%d joined from peers); latency %s\n",
 		st.Resolved, st.Instances, st.JoinedInstances, st.Latency)
+	if *f.adaptive {
+		fmt.Printf("control plane: %d adjustments over %d ticks, final batch ≤ %d linger %s, %d proposals shed\n",
+			st.Control.Adjustments, st.Control.Ticks, st.Control.Batch, st.Control.Linger, st.Overloads)
+	}
 	if jn != nil {
 		js := jn.Snapshot()
 		fmt.Printf("journal: %d decisions durable over %d fsyncs; fsync %s\n",
@@ -424,12 +434,12 @@ func cmdCluster(args []string) error {
 	// of a restarted member share a directory) against every live
 	// observation.
 	var records []wire.DecisionRecord
-	starts := 0
+	var starts []wire.StartRecord
 	for i := 1; i <= *n; i++ {
 		dir := filepath.Join(base, fmt.Sprintf("p%d", i))
 		if _, err := journal.Replay(dir, func(e journal.Entry) error {
 			if e.Start {
-				starts++
+				starts = append(starts, wire.StartRecord{Instance: e.Instance(), Alg: e.Alg})
 			} else {
 				records = append(records, e.Decision)
 			}
@@ -439,7 +449,7 @@ func cmdCluster(args []string) error {
 		}
 	}
 	audit.mu.Lock()
-	rep := check.Replay(records, audit.live)
+	rep := check.Replay(records, starts, audit.live)
 	violations := append(audit.violations, rep.Violations...)
 	decisions := len(audit.live)
 	audit.mu.Unlock()
@@ -450,7 +460,7 @@ func cmdCluster(args []string) error {
 	table.AddRowf("proposals fed", next-1)
 	table.AddRowf("instances decided (live)", decisions)
 	table.AddRowf("journal records (all members)", len(records))
-	table.AddRowf("journal start claims", starts)
+	table.AddRowf("journal start claims", len(starts))
 	table.AddRowf("member restarted", *restart)
 	table.AddRowf("cross-process violations", len(violations))
 	table.Render(os.Stdout)

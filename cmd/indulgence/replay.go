@@ -33,10 +33,10 @@ func cmdReplay(args []string) error {
 	}
 
 	var recs []wire.DecisionRecord
-	starts := 0
+	var starts []wire.StartRecord
 	info, err := journal.Replay(*dir, func(e journal.Entry) error {
 		if e.Start {
-			starts++
+			starts = append(starts, wire.StartRecord{Instance: e.Instance(), Alg: e.Alg})
 		} else {
 			recs = append(recs, e.Decision)
 		}
@@ -46,15 +46,32 @@ func cmdReplay(args []string) error {
 		return err
 	}
 
+	// The claimed algorithm of each decided instance, when on record.
+	// Only a tagged claim for the exact instance counts: a selecting
+	// service claims per instance, so its journals label every decision,
+	// while block claims (whose covered range is not recoverable from
+	// the record) show "-" rather than risk attributing a later
+	// lifetime's algorithm to instances it never covered.
+	algOf := make(map[uint64]string, len(starts))
+	for _, s := range starts {
+		if s.Alg != "" {
+			algOf[s.Instance] = s.Alg
+		}
+	}
+
 	if !*quiet {
 		table := stats.NewTable(fmt.Sprintf("journal %s", *dir),
-			"instance", "value", "round", "batch")
+			"instance", "value", "round", "batch", "algorithm")
 		shown := len(recs)
 		if *limit > 0 && shown > *limit {
 			shown = *limit
 		}
 		for _, r := range recs[:shown] {
-			table.AddRowf(r.Instance, r.Value, r.Round, r.Batch)
+			alg := algOf[r.Instance]
+			if alg == "" {
+				alg = "-"
+			}
+			table.AddRowf(r.Instance, r.Value, r.Round, r.Batch, alg)
 		}
 		table.Render(os.Stdout)
 		if shown < len(recs) {
@@ -62,14 +79,14 @@ func cmdReplay(args []string) error {
 		}
 	}
 	fmt.Printf("%d decisions, %d instance starts, %d segments; frontier %d\n",
-		info.Decisions, starts, info.Segments, info.Frontier)
+		info.Decisions, len(starts), info.Segments, info.Frontier)
 	if info.TornBytes > 0 {
 		fmt.Printf("torn tail: %d trailing bytes of the final segment are not intact records (recovery drops them)\n",
 			info.TornBytes)
 	}
 
 	if *verify {
-		rep := check.Replay(recs, nil)
+		rep := check.Replay(recs, starts, nil)
 		if !rep.OK() {
 			return fmt.Errorf("journal audit failed: %v", rep.Err())
 		}

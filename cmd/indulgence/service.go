@@ -3,14 +3,17 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"indulgence/internal/adapt"
 	"indulgence/internal/journal"
 	"indulgence/internal/model"
 	"indulgence/internal/service"
@@ -64,6 +67,14 @@ type serviceFlags struct {
 	journal  *string
 	segment  *int64
 
+	// Adaptive control plane (internal/adapt): feedback-tuned batching
+	// and admission, plus per-instance algorithm selection (single-
+	// process mode only).
+	adaptive      *bool
+	adaptSelect   *bool
+	adaptBatchMax *int
+	adaptLingMax  *time.Duration
+
 	// Multi-process peer mode (serve only): a non-empty -peers or
 	// -peers-file makes this process ONE member of a cluster of
 	// separately launched processes instead of hosting all n in-process.
@@ -88,6 +99,11 @@ func newServiceFlags(fs *flag.FlagSet) serviceFlags {
 		journal:  fs.String("journal", "", "durable decision journal directory (empty = no journal)"),
 		segment:  fs.Int64("segment-bytes", 1<<20, "journal segment rotation size"),
 
+		adaptive:      fs.Bool("adaptive", false, "attach the feedback control plane: batch/linger tuned from observed latency and backlog, overload shed with a typed error"),
+		adaptSelect:   fs.Bool("adaptive-select", true, "with -adaptive: pick each instance's algorithm from recent outcomes (A_f+2 when synchronous and trusted; single-process mode only)"),
+		adaptBatchMax: fs.Int("adaptive-batch-max", 64, "with -adaptive: controller batch ceiling"),
+		adaptLingMax:  fs.Duration("adaptive-linger-max", 8*time.Millisecond, "with -adaptive: controller linger ceiling"),
+
 		peers:       fs.String("peers", "", "peer list p1=host:port,p2=host:port,... — run as ONE member of a multi-process cluster"),
 		peersFile:   fs.String("peers-file", "", "file with one pN=host:port peer entry per line (alternative to -peers)"),
 		self:        fs.Int("self", 0, "this process's ID in the peer list (peer mode)"),
@@ -95,6 +111,27 @@ func newServiceFlags(fs *flag.FlagSet) serviceFlags {
 		joinTimeout: fs.Duration("join-timeout", 10*time.Second, "deadline for instances joined on a peer's signal (peer mode)"),
 		verbose:     fs.Bool("verbose", false, "log transport connection events to stderr (peer mode)"),
 	}
+}
+
+// adaptConfig builds the control-plane config the flags ask for (nil
+// without -adaptive). selectAlgos additionally gates the selector —
+// peer mode must pass false, a member cannot switch a shared slot's
+// protocol unilaterally.
+func (f serviceFlags) adaptConfig(selectAlgos bool) *adapt.Config {
+	if !*f.adaptive {
+		return nil
+	}
+	cfg := &adapt.Config{
+		MaxBatch:         *f.adaptBatchMax,
+		MaxLinger:        *f.adaptLingMax,
+		SelectAlgorithms: selectAlgos && *f.adaptSelect,
+	}
+	if *f.verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	return cfg
 }
 
 // start builds the transport, the optional journal and the service from
@@ -130,6 +167,7 @@ func (f serviceFlags) start() (*service.Service, *transport.Hub, *journal.Journa
 		Linger:      *f.linger,
 		MaxInflight: *f.inflight,
 		Journal:     jn,
+		Adaptive:    f.adaptConfig(true),
 	}, eps)
 	if err != nil {
 		cleanup()
@@ -221,6 +259,13 @@ func cmdServe(args []string) error {
 
 	fmt.Printf("consensus service up: %s, n=%d t=%d, %s transport, batch ≤ %d, linger %s, ≤ %d instances inflight\n",
 		*f.algo, *f.n, *f.t, *f.trans, *f.batch, *f.linger, *f.inflight)
+	if *f.adaptive {
+		mode := "batch/linger tuning + admission"
+		if *f.adaptSelect {
+			mode += " + per-instance algorithm selection"
+		}
+		fmt.Printf("adaptive control plane on: %s (decision log with -verbose)\n", mode)
+	}
 	if jn != nil {
 		printJournalRecovery(jn)
 	}
@@ -233,6 +278,11 @@ func cmdServe(args []string) error {
 	st := svc.Snapshot()
 	fmt.Printf("served %d proposals over %d instances; latency %s\n",
 		st.Resolved, st.Instances, st.Latency)
+	if *f.adaptive {
+		fmt.Printf("control plane: %d adjustments over %d ticks, final batch ≤ %d linger %s, %d selector transitions, %d proposals shed; algorithms %s\n",
+			st.Control.Adjustments, st.Control.Ticks, st.Control.Batch, st.Control.Linger,
+			st.Control.Transitions, st.Overloads, formatAlgs(st.Algorithms))
+	}
 	if jn != nil {
 		js := jn.Snapshot()
 		fmt.Printf("journal: %d decisions durable over %d fsyncs; fsync %s\n",
@@ -244,10 +294,32 @@ func cmdServe(args []string) error {
 	return scanErr
 }
 
+// formatAlgs renders an instances-per-algorithm map as a stable
+// name:count list.
+func formatAlgs(algs map[string]int) string {
+	if len(algs) == 0 {
+		return "-"
+	}
+	names := make([]string, 0, len(algs))
+	for name := range algs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s:%d", name, algs[name]))
+	}
+	return strings.Join(parts, " ")
+}
+
 // cmdBenchService is the closed-loop load generator: C client workers
 // each submit proposals back-to-back (propose, wait, repeat) until P
 // proposals have resolved, optionally under an injected asynchronous
-// period, and the run reports throughput and latency percentiles.
+// period or a bursty arrival pattern (-burst releases proposals in
+// waves separated by idle gaps — the shape the adaptive controller is
+// built for), and the run reports throughput and latency percentiles.
+// Proposals shed by admission control (-adaptive under saturation) are
+// retried after a short backoff and reported.
 func cmdBenchService(args []string) error {
 	fs := flag.NewFlagSet("bench-service", flag.ContinueOnError)
 	f := newServiceFlags(fs)
@@ -256,6 +328,8 @@ func cmdBenchService(args []string) error {
 		clients   = fs.Int("clients", 128, "closed-loop client workers")
 		delay     = fs.Duration("delay", 0, "delay injected on p1's outbound links (memory transport)")
 		heal      = fs.Duration("heal", 500*time.Millisecond, "when to heal the injected delay")
+		burst     = fs.Int("burst", 0, "release proposals in waves of this size (0 = steady closed loop)")
+		burstIdle = fs.Duration("burst-idle", 50*time.Millisecond, "idle gap between bursts")
 		limit     = fs.Duration("limit", 5*time.Minute, "overall deadline")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -282,27 +356,59 @@ func cmdBenchService(args []string) error {
 		firstErr error
 		next     = make(chan model.Value, *proposals)
 	)
-	for i := 0; i < *proposals; i++ {
-		next <- model.Value(i + 1)
-	}
-	close(next)
+	// The feeder shapes the offered load: everything at once for the
+	// steady closed loop, or waves separated by idle gaps for bursts
+	// (clients block on the empty channel during a gap, so the service
+	// sees real silence between waves).
+	go func() {
+		defer close(next)
+		for i := 0; i < *proposals; {
+			wave := *proposals - i
+			if *burst > 0 && *burst < wave {
+				wave = *burst
+			}
+			for j := 0; j < wave; j++ {
+				next <- model.Value(i + j + 1)
+			}
+			i += wave
+			if *burst > 0 && i < *proposals {
+				select {
+				case <-time.After(*burstIdle):
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
 	begin := time.Now()
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for v := range next {
-				fut, err := svc.Propose(ctx, v)
-				if err == nil {
-					_, err = fut.Wait(ctx)
-				}
-				if err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("proposal %d: %w", v, err)
+				for {
+					fut, err := svc.Propose(ctx, v)
+					if err == nil {
+						_, err = fut.Wait(ctx)
 					}
-					errMu.Unlock()
-					return
+					if errors.Is(err, adapt.ErrOverload) {
+						// Shed: back off and retry the same proposal.
+						select {
+						case <-time.After(time.Millisecond):
+							continue
+						case <-ctx.Done():
+							err = ctx.Err()
+						}
+					}
+					if err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("proposal %d: %w", v, err)
+						}
+						errMu.Unlock()
+						return
+					}
+					break
 				}
 			}
 		}()
@@ -317,22 +423,39 @@ func cmdBenchService(args []string) error {
 	}
 
 	st := svc.Snapshot()
-	table := stats.NewTable(
-		fmt.Sprintf("bench-service: %s, n=%d t=%d, %s transport, %d clients, batch ≤ %d, ≤ %d inflight",
-			*f.algo, *f.n, *f.t, *f.trans, *clients, *f.batch, *f.inflight),
-		"metric", "value")
+	title := fmt.Sprintf("bench-service: %s, n=%d t=%d, %s transport, %d clients, batch ≤ %d, ≤ %d inflight",
+		*f.algo, *f.n, *f.t, *f.trans, *clients, *f.batch, *f.inflight)
+	if *f.adaptive {
+		title += ", adaptive"
+	}
+	if *burst > 0 {
+		title += fmt.Sprintf(", bursts of %d every %s", *burst, *burstIdle)
+	}
+	table := stats.NewTable(title, "metric", "value")
 	table.AddRowf("proposals resolved", st.Resolved)
 	table.AddRowf("instances decided", st.Instances)
 	table.AddRowf("wall time", elapsed.Round(time.Millisecond))
 	table.AddRowf("proposals/sec", fmt.Sprintf("%.0f", float64(st.Resolved)/elapsed.Seconds()))
 	table.AddRowf("decisions/sec (instances)", fmt.Sprintf("%.0f", float64(st.Instances)/elapsed.Seconds()))
 	table.AddRowf("mean batch", fmt.Sprintf("%.2f", float64(st.Resolved)/float64(max(st.Instances, 1))))
+	table.AddRowf("batch fill mean %", fmt.Sprintf("%.0f", st.BatchFill.Mean))
 	table.AddRowf("latency p50", st.Latency.P50.Round(time.Microsecond))
 	table.AddRowf("latency p90", st.Latency.P90.Round(time.Microsecond))
 	table.AddRowf("latency p99", st.Latency.P99.Round(time.Microsecond))
 	table.AddRowf("latency max", st.Latency.Max.Round(time.Microsecond))
+	table.AddRowf("decision latency p50", st.DecisionLatency.P50.Round(time.Microsecond))
+	table.AddRowf("round latency p50", st.RoundLatency.P50.Round(time.Microsecond))
 	table.AddRowf("rounds min..max (t+2 floor)", fmt.Sprintf("%d..%d (%d)", st.Rounds.Min, st.Rounds.Max, *f.t+2))
 	table.AddRowf("check violations", len(st.Violations))
+	if *f.adaptive {
+		table.AddRowf("controller adjustments", st.Control.Adjustments)
+		table.AddRowf("controller ticks", st.Control.Ticks)
+		table.AddRowf("effective batch (final)", st.Control.Batch)
+		table.AddRowf("effective linger (final)", st.Control.Linger)
+		table.AddRowf("selector transitions", st.Control.Transitions)
+		table.AddRowf("proposals shed (overload)", st.Overloads)
+		table.AddRowf("algorithms", formatAlgs(st.Algorithms))
+	}
 	if jn != nil {
 		js := jn.Snapshot()
 		table.AddRowf("journal decisions durable", js.Decisions)

@@ -41,6 +41,7 @@ package indulgence
 import (
 	"io"
 
+	"indulgence/internal/adapt"
 	"indulgence/internal/baseline"
 	"indulgence/internal/check"
 	"indulgence/internal/core"
@@ -371,7 +372,18 @@ type (
 	PeerService = service.PeerService
 	// PeerServiceOptions describes one multi-process member.
 	PeerServiceOptions = service.PeerOptions
+	// AdaptiveConfig describes the feedback control plane attached via
+	// ServiceConfig.Adaptive / PeerServiceOptions.Adaptive: AIMD
+	// batch/linger tuning, per-instance algorithm selection, and
+	// overload admission control.
+	AdaptiveConfig = adapt.Config
+	// AdaptiveStats is the control plane's snapshot inside ServiceStats.
+	AdaptiveStats = adapt.Stats
 )
+
+// ErrOverload reports a proposal shed by the adaptive service's
+// admission control; callers back off and retry.
+var ErrOverload = adapt.ErrOverload
 
 // NewService starts a consensus service over one endpoint per process.
 func NewService(cfg ServiceConfig, endpoints []Transport) (*Service, error) {
@@ -402,6 +414,9 @@ type (
 	JournalReplayInfo = journal.ReplayInfo
 	// DecisionRecord is the durable record of one decided instance.
 	DecisionRecord = wire.DecisionRecord
+	// StartRecord is the durable claim of an instance ID, optionally
+	// tagged with the algorithm the instance was launched with.
+	StartRecord = wire.StartRecord
 )
 
 // OpenJournal opens (creating if needed) the decision journal at dir,
@@ -418,11 +433,12 @@ func ReplayJournal(dir string, fn func(JournalEntry) error) (JournalReplayInfo, 
 	return journal.Replay(dir, fn)
 }
 
-// CheckReplay cross-checks a journal's decision records against live
-// observations (instance → resolved value), extending uniform agreement
-// across process lifetimes.
-func CheckReplay(records []DecisionRecord, live map[uint64]Value) Report {
-	return check.Replay(records, live)
+// CheckReplay cross-checks a journal's decision records and start
+// claims against live observations (instance → resolved value),
+// extending uniform agreement — including per-instance algorithm
+// choices — across process lifetimes.
+func CheckReplay(records []DecisionRecord, starts []StartRecord, live map[uint64]Value) Report {
+	return check.Replay(records, starts, live)
 }
 
 // Experiments.

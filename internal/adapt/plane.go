@@ -1,0 +1,269 @@
+package adapt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats is a point-in-time snapshot of the control plane.
+type Stats struct {
+	// Batch and Linger are the current effective setting.
+	Batch int
+	// Linger is the current effective under-full batch wait.
+	Linger time.Duration
+	// Adjustments counts controller ticks that changed the setting.
+	Adjustments int
+	// Ticks counts controller ticks run.
+	Ticks int
+	// Shedding reports whether admission control is currently shedding.
+	Shedding bool
+	// Algorithm is the selector's current choice ("" without selection).
+	Algorithm string
+	// Transitions counts selector level changes.
+	Transitions int
+}
+
+// Plane is the assembled control plane one service embeds: the
+// controller, the optional selector and the admission gate behind one
+// lock, with the actuated setting mirrored into atomics so the
+// batcher's and Propose's hot paths never contend with a tick.
+type Plane struct {
+	cfg    Config
+	static Choice
+
+	batch    atomic.Int64
+	linger   atomic.Int64
+	shedding atomic.Bool
+
+	mu          sync.Mutex
+	ctl         *Controller
+	sel         *Selector // nil unless SelectAlgorithms
+	hotTicks    int
+	ticks       int
+	transitions int
+	lastTick    time.Time
+	// Window accumulators, reset every tick.
+	wDecided  int
+	wFailed   int
+	wLatSum   time.Duration
+	wLatCount int
+	wFillSum  int
+	wCuts     int
+}
+
+// NewPlane assembles a control plane. static is the service's
+// statically configured choice, used when algorithm selection is off
+// (its Name may be ""); start seeds the controller with the service's
+// static batch/linger so an adaptive service begins exactly where its
+// static twin stands and diverges only on evidence — the ceilings
+// stretch to cover the starting point, so a static configuration above
+// the controller's defaults is a larger envelope, never a silent clamp.
+// n and t size the selector's ladder.
+func NewPlane(cfg Config, static Choice, start Setting, n, t int) *Plane {
+	cfg = cfg.withDefaults()
+	if start.Batch > cfg.MaxBatch {
+		cfg.MaxBatch = start.Batch
+	}
+	if start.Linger > cfg.MaxLinger {
+		cfg.MaxLinger = start.Linger
+	}
+	p := &Plane{
+		cfg:      cfg,
+		static:   static,
+		ctl:      NewController(cfg, start),
+		lastTick: cfg.Now(),
+	}
+	if cfg.SelectAlgorithms {
+		p.sel = NewSelector(n, t, cfg.ClimbAfter)
+	}
+	s := p.ctl.Setting()
+	p.batch.Store(int64(s.Batch))
+	p.linger.Store(int64(s.Linger))
+	return p
+}
+
+// Interval returns the control-loop period the owning service should
+// tick at.
+func (p *Plane) Interval() time.Duration { return p.cfg.Interval }
+
+// BatchCeiling returns the largest batch the controller may ever set —
+// what the service must size its intake for.
+func (p *Plane) BatchCeiling() int { return p.cfg.MaxBatch }
+
+// BatchLimit returns the current effective batch limit.
+func (p *Plane) BatchLimit() int { return int(p.batch.Load()) }
+
+// Linger returns the current effective linger.
+func (p *Plane) Linger() time.Duration { return time.Duration(p.linger.Load()) }
+
+// Admit reports whether a new proposal may enter intake; false means
+// the caller should fail the proposal with ErrOverload.
+func (p *Plane) Admit() bool { return !p.shedding.Load() }
+
+// Selecting reports whether per-instance algorithm selection is on.
+func (p *Plane) Selecting() bool { return p.sel != nil }
+
+// Pick returns the algorithm choice for the next instance: the
+// selector's current level, or the static choice when selection is off.
+func (p *Plane) Pick() Choice {
+	if p.sel == nil {
+		return p.static
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sel.Pick()
+}
+
+// ObserveCut records one batch cut by its fill — the cut size as a
+// percentage of the effective limit at the cut. The service computes
+// the percentage once and feeds this window accumulator and its own
+// Stats.BatchFill reservoir from the same number, so the controller
+// and the exported stats can never disagree about a cut.
+func (p *Plane) ObserveCut(fillPercent int) {
+	p.mu.Lock()
+	p.wCuts++
+	p.wFillSum += fillPercent
+	p.mu.Unlock()
+}
+
+// ObserveDecision records one decided instance: the latencies of the
+// proposals it resolved and the suspicion events its nodes observed.
+// The selector sees the outcome immediately (selection is per instance,
+// not per tick); the controller sees the window aggregate at the next
+// tick.
+func (p *Plane) ObserveDecision(latencies []time.Duration, suspicions int) {
+	var transition string
+	p.mu.Lock()
+	p.wDecided++
+	for _, l := range latencies {
+		p.wLatSum += l
+		p.wLatCount++
+	}
+	if p.sel != nil {
+		if tr := p.sel.Report(Outcome{Suspicions: suspicions}); tr != "" {
+			p.transitions++
+			transition = tr
+		}
+	}
+	p.mu.Unlock()
+	if transition != "" {
+		p.logf("adapt: selector %s (suspicions=%d)", transition, suspicions)
+	}
+}
+
+// ObserveFailure records one instance that missed its decision.
+func (p *Plane) ObserveFailure() {
+	var transition string
+	p.mu.Lock()
+	p.wFailed++
+	if p.sel != nil {
+		if tr := p.sel.Report(Outcome{Failed: true}); tr != "" {
+			p.transitions++
+			transition = tr
+		}
+	}
+	p.mu.Unlock()
+	if transition != "" {
+		p.logf("adapt: selector %s (missed decision)", transition)
+	}
+}
+
+// Tick runs one control cycle: it folds the window accumulators and the
+// sampled queue/slot occupancy into an Observation, applies the
+// controller, updates admission, and publishes the new setting.
+func (p *Plane) Tick(queueLen, queueCap, busy, slots int) Setting {
+	var logs []string
+	defer func() {
+		for _, m := range logs {
+			p.logf("%s", m)
+		}
+	}()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.cfg.Now()
+	obs := Observation{
+		Decided:  p.wDecided,
+		Failures: p.wFailed,
+		QueueLen: queueLen, QueueCap: queueCap,
+		Busy: busy, Slots: slots,
+		Elapsed: now.Sub(p.lastTick),
+	}
+	if p.wLatCount > 0 {
+		obs.Latency = p.wLatSum / time.Duration(p.wLatCount)
+	}
+	if p.wCuts > 0 {
+		obs.FillPercent = p.wFillSum / p.wCuts
+	}
+	p.wDecided, p.wFailed, p.wLatSum, p.wLatCount, p.wFillSum, p.wCuts = 0, 0, 0, 0, 0, 0
+	p.lastTick = now
+	p.ticks++
+
+	setting, changed := p.ctl.Tick(obs)
+	if changed {
+		p.batch.Store(int64(setting.Batch))
+		p.linger.Store(int64(setting.Linger))
+		if p.cfg.Logf != nil {
+			logs = append(logs, fmt.Sprintf("adapt: batch=%d linger=%s (queue %d/%d, busy %d/%d, fill %d%%, lat %s, window %s)",
+				setting.Batch, setting.Linger, queueLen, queueCap, busy, slots,
+				obs.FillPercent, obs.Latency, obs.Elapsed))
+		}
+	}
+
+	// Admission hysteresis: AdmitTicks consecutive ticks at or above the
+	// high-water occupancy arm shedding; one tick at or below the
+	// low-water mark disarms it.
+	occ := 0.0
+	if queueCap > 0 {
+		occ = float64(queueLen) / float64(queueCap)
+	}
+	switch {
+	case occ >= p.cfg.AdmitHigh:
+		p.hotTicks++
+		if p.hotTicks >= p.cfg.AdmitTicks && !p.shedding.Load() {
+			p.shedding.Store(true)
+			if p.cfg.Logf != nil {
+				logs = append(logs, fmt.Sprintf("adapt: admission shedding ON (queue %d/%d)", queueLen, queueCap))
+			}
+		}
+	case occ <= p.cfg.AdmitLow:
+		p.hotTicks = 0
+		if p.shedding.Load() {
+			p.shedding.Store(false)
+			if p.cfg.Logf != nil {
+				logs = append(logs, fmt.Sprintf("adapt: admission shedding off (queue %d/%d)", queueLen, queueCap))
+			}
+		}
+	default:
+		p.hotTicks = 0
+	}
+	return setting
+}
+
+// Snapshot returns current control-plane counters.
+func (p *Plane) Snapshot() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := Stats{
+		Batch:       p.ctl.Setting().Batch,
+		Linger:      p.ctl.Setting().Linger,
+		Adjustments: p.ctl.Adjustments(),
+		Ticks:       p.ticks,
+		Shedding:    p.shedding.Load(),
+		Transitions: p.transitions,
+	}
+	if p.sel != nil {
+		st.Algorithm = p.sel.Current().Name
+	}
+	return st
+}
+
+// logf emits one decision-log line. It is called OUTSIDE the plane
+// mutex — a user-supplied Logf (typically a synchronous stderr write)
+// must not serialize the hot paths that report observations.
+func (p *Plane) logf(format string, args ...any) {
+	if p.cfg.Logf != nil {
+		p.cfg.Logf(format, args...)
+	}
+}

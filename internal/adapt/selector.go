@@ -1,0 +1,130 @@
+package adapt
+
+import (
+	"fmt"
+
+	"indulgence/internal/core"
+)
+
+// Outcome is what the service reports about one finished instance — the
+// selector's entire view of the world.
+type Outcome struct {
+	// Failed reports a missed decision: the instance timed out or
+	// errored without deciding.
+	Failed bool
+	// Suspicions is the total number of failure-detector suspicion
+	// events observed across the instance's nodes (internal/fd timeout
+	// detectors; 0 in a synchronous trusted run).
+	Suspicions int
+}
+
+// Selector is the per-instance algorithm policy: a three-level ladder
+// ordered fast → guarded → safe.
+//
+//	level 0 (fast):    A_f+2 when t < n/3 permits it (the paper's fast
+//	                   eventually deciding algorithm, decides in f+2
+//	                   rounds under synchrony), else A_t+2 with the
+//	                   Fig. 4 failure-free fast path.
+//	level 1 (guarded): A_◇S under the wait-quorum (◇S) discipline —
+//	                   still fast under synchrony, but never waits on a
+//	                   suspected process.
+//	level 2 (safe):    A_t+2 under wait-unsuspected — the indulgent
+//	                   worst-case-optimal baseline.
+//
+// Transitions, exactly (the scripted ladder tests pin these):
+//
+//   - a failed instance drops straight to safe;
+//   - an instance that decided but observed suspicions drops one level;
+//   - a clean decision (no suspicions) extends the clean streak, and
+//     ClimbAfter consecutive clean decisions climb one level toward
+//     fast, resetting the streak.
+//
+// Like the Controller, the Selector is a pure state machine over
+// reported outcomes. Not safe for concurrent use; the Plane serializes
+// access.
+type Selector struct {
+	ladder     []Choice
+	level      int
+	streak     int
+	climbAfter int
+	picks      map[string]int
+}
+
+// NewSelector builds the ladder for an (n, t) system. The fast level is
+// A_f+2 only when its t < n/3 resilience requirement holds; otherwise
+// the failure-free-fast A_t+2 variant takes that rung, so the ladder is
+// well-formed for every t < n/2 system the service accepts.
+func NewSelector(n, t, climbAfter int) *Selector {
+	if climbAfter <= 0 {
+		climbAfter = 8
+	}
+	fast := Choice{
+		Name:       core.AfPlus2Name,
+		Factory:    core.NewAfPlus2(),
+		WaitPolicy: core.WaitUnsuspected,
+	}
+	if 3*t >= n {
+		fast = Choice{
+			Name:       core.AtPlus2Name + "+ff",
+			Factory:    core.New(core.Options{FailureFreeFast: true}),
+			WaitPolicy: core.WaitUnsuspected,
+		}
+	}
+	return &Selector{
+		ladder: []Choice{
+			fast,
+			{Name: core.DiamondSName, Factory: core.NewDiamondS(), WaitPolicy: core.WaitQuorum},
+			{Name: core.AtPlus2Name, Factory: core.New(core.Options{}), WaitPolicy: core.WaitUnsuspected},
+		},
+		climbAfter: climbAfter,
+		picks:      make(map[string]int),
+	}
+}
+
+// Pick returns the current level's choice and accounts the pick.
+func (s *Selector) Pick() Choice {
+	c := s.ladder[s.level]
+	s.picks[c.Name]++
+	return c
+}
+
+// Current returns the current choice without accounting a pick.
+func (s *Selector) Current() Choice { return s.ladder[s.level] }
+
+// Level returns the current ladder level (0 = fast).
+func (s *Selector) Level() int { return s.level }
+
+// Picks returns a copy of the per-algorithm pick counts.
+func (s *Selector) Picks() map[string]int {
+	out := make(map[string]int, len(s.picks))
+	for k, v := range s.picks {
+		out[k] = v
+	}
+	return out
+}
+
+// Report folds one instance outcome into the ladder state and returns
+// a human-readable transition description ("" when the level held).
+func (s *Selector) Report(o Outcome) string {
+	from := s.level
+	switch {
+	case o.Failed:
+		s.level = len(s.ladder) - 1
+		s.streak = 0
+	case o.Suspicions > 0:
+		if s.level < len(s.ladder)-1 {
+			s.level++
+		}
+		s.streak = 0
+	default:
+		s.streak++
+		if s.streak >= s.climbAfter && s.level > 0 {
+			s.level--
+			s.streak = 0
+		}
+	}
+	if s.level == from {
+		return ""
+	}
+	return fmt.Sprintf("%s -> %s", s.ladder[from].Name, s.ladder[s.level].Name)
+}

@@ -148,20 +148,42 @@ func Instance(decisions []model.OptValue, proposals []model.Value, crashed model
 
 // Replay cross-checks a decision journal against the live decisions
 // observed across one or more process lifetimes of the service: records
-// is the journal in append order (as produced by journal.Replay), and
-// live maps instance ID to the value clients saw that instance resolve
-// to. It extends uniform agreement across crashes — an instance must
-// never be on record with two values, whether the second record comes
-// from the same lifetime (a duplicate append), a later one (a re-run the
-// frontier should have prevented), or a live client. Structurally
-// impossible records (non-positive round or batch) are flagged as
-// validity violations: no decision can legally produce them, so their
-// presence means the log was not written by a correct service.
-// Termination is not assessable from a journal (a record exists only
-// once an instance terminates) and is reported as holding.
-// GlobalDecisionRound is the largest journaled decision round.
-func Replay(records []wire.DecisionRecord, live map[uint64]model.Value) Report {
+// is the journal's decisions in append order (as produced by
+// journal.Replay), starts its instance-start claims, and live maps
+// instance ID to the value clients saw that instance resolve to. It
+// extends uniform agreement across crashes — an instance must never be
+// on record with two values, whether the second record comes from the
+// same lifetime (a duplicate append), a later one (a re-run the
+// frontier should have prevented), or a live client. Start claims
+// extend the audit to algorithm choices: an instance claimed under two
+// different non-empty algorithm tags was launched twice with different
+// protocols — either a frontier violation across restarts or a
+// misconfigured cluster whose members disagree on the algorithm —
+// and is flagged as an agreement violation (untagged claims are
+// compatible with everything; they predate the tag or chose not to
+// record one). Structurally impossible records (non-positive round or
+// batch) are flagged as validity violations: no decision can legally
+// produce them, so their presence means the log was not written by a
+// correct service. Termination is not assessable from a journal (a
+// record exists only once an instance terminates) and is reported as
+// holding. GlobalDecisionRound is the largest journaled decision round.
+func Replay(records []wire.DecisionRecord, starts []wire.StartRecord, live map[uint64]model.Value) Report {
 	rep := Report{Validity: true, Agreement: true, Termination: true}
+
+	algs := make(map[uint64]string, len(starts))
+	for _, s := range starts {
+		if s.Alg == "" {
+			continue
+		}
+		if prev, ok := algs[s.Instance]; ok && prev != s.Alg {
+			rep.Agreement = false
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("agreement: instance %d claimed for algorithm %s and again for %s",
+					s.Instance, prev, s.Alg))
+			continue
+		}
+		algs[s.Instance] = s.Alg
+	}
 
 	seen := make(map[uint64]wire.DecisionRecord, len(records))
 	for _, r := range records {

@@ -142,14 +142,22 @@ func TestReplayClean(t *testing.T) {
 		{Instance: 2, Value: 9, Round: 4, Batch: 1},
 	}
 	live := map[uint64]model.Value{0: 5, 2: 9}
-	rep := Replay(records, live)
+	starts := []wire.StartRecord{
+		// Tagged, untagged and duplicate-compatible claims are all clean.
+		{Instance: 0, Alg: "A_f+2"},
+		{Instance: 1},
+		{Instance: 2, Alg: "A_t+2"},
+		{Instance: 2, Alg: "A_t+2"},
+		{Instance: 2},
+	}
+	rep := Replay(records, starts, live)
 	if !rep.OK() {
 		t.Fatalf("clean replay flagged: %+v", rep)
 	}
 	if rep.GlobalDecisionRound != 4 {
 		t.Fatalf("global decision round = %d", rep.GlobalDecisionRound)
 	}
-	if empty := Replay(nil, nil); !empty.OK() || empty.GlobalDecisionRound != 0 {
+	if empty := Replay(nil, nil, nil); !empty.OK() || empty.GlobalDecisionRound != 0 {
 		t.Fatalf("empty replay = %+v", empty)
 	}
 }
@@ -158,7 +166,7 @@ func TestReplayJournalConflict(t *testing.T) {
 	rep := Replay([]wire.DecisionRecord{
 		{Instance: 3, Value: 1, Round: 3, Batch: 1},
 		{Instance: 3, Value: 2, Round: 3, Batch: 1},
-	}, nil)
+	}, nil, nil)
 	if rep.Agreement {
 		t.Fatalf("conflicting journal records not flagged: %+v", rep)
 	}
@@ -169,16 +177,41 @@ func TestReplayJournalConflict(t *testing.T) {
 
 func TestReplayLiveConflict(t *testing.T) {
 	records := []wire.DecisionRecord{{Instance: 8, Value: 4, Round: 3, Batch: 2}}
-	rep := Replay(records, map[uint64]model.Value{8: 6})
+	rep := Replay(records, nil, map[uint64]model.Value{8: 6})
 	if rep.Agreement {
 		t.Fatalf("journal/live split not flagged: %+v", rep)
 	}
 	// A live decision the journal never saw (its append was lost with
 	// the crash window open... which Append's blocking prevents) is not
 	// checkable here and must not be flagged.
-	rep = Replay(records, map[uint64]model.Value{9: 1})
+	rep = Replay(records, nil, map[uint64]model.Value{9: 1})
 	if !rep.OK() {
 		t.Fatalf("unjournaled live instance flagged: %+v", rep)
+	}
+}
+
+// TestReplayAlgorithmConflict pins the cross-lifetime exactness of the
+// algorithm tag: one instance claimed under two different algorithms is
+// an agreement violation (the frontier should have made a second launch
+// impossible), while untagged claims stay compatible with everything.
+func TestReplayAlgorithmConflict(t *testing.T) {
+	rep := Replay(nil, []wire.StartRecord{
+		{Instance: 4, Alg: "A_f+2"},
+		{Instance: 4, Alg: "A_t+2"},
+	}, nil)
+	if rep.Agreement {
+		t.Fatalf("conflicting algorithm claims not flagged: %+v", rep)
+	}
+	if !errors.Is(rep.Err(), ErrViolation) || !strings.Contains(rep.Err().Error(), "A_f+2") {
+		t.Fatalf("Err() = %v", rep.Err())
+	}
+	clean := Replay(nil, []wire.StartRecord{
+		{Instance: 4, Alg: "A_f+2"},
+		{Instance: 4},
+		{Instance: 5, Alg: "A_t+2"},
+	}, nil)
+	if !clean.OK() {
+		t.Fatalf("compatible claims flagged: %+v", clean)
 	}
 }
 
@@ -186,7 +219,7 @@ func TestReplayImpossibleRecord(t *testing.T) {
 	rep := Replay([]wire.DecisionRecord{
 		{Instance: 0, Value: 1, Round: 0, Batch: 1},
 		{Instance: 1, Value: 1, Round: 3, Batch: 0},
-	}, nil)
+	}, nil, nil)
 	if rep.Validity {
 		t.Fatalf("impossible records not flagged: %+v", rep)
 	}

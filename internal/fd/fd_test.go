@@ -166,6 +166,27 @@ func TestTimeoutDetector(t *testing.T) {
 	}
 }
 
+func TestTimeoutDetectorSuspectEvents(t *testing.T) {
+	d := NewTimeoutDetector(10 * time.Millisecond)
+	if got := d.SuspectEvents(); got != 0 {
+		t.Fatalf("fresh detector reports %d events", got)
+	}
+	// Re-suspecting an already-suspected process is not a new event (the
+	// round loop calls Suspect on every ticker tick while p is unheard).
+	d.Suspect(1)
+	d.Suspect(1)
+	d.Suspect(2)
+	if got := d.SuspectEvents(); got != 2 {
+		t.Fatalf("events = %d, want 2", got)
+	}
+	// A trusted-again process suspected anew is a new event.
+	d.Heard(1)
+	d.Suspect(1)
+	if got := d.SuspectEvents(); got != 3 {
+		t.Fatalf("events after re-suspicion = %d, want 3", got)
+	}
+}
+
 func TestTimeoutDetectorConcurrent(t *testing.T) {
 	d := NewTimeoutDetector(time.Millisecond)
 	done := make(chan struct{})

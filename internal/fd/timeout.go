@@ -21,6 +21,7 @@ type TimeoutDetector struct {
 	max       time.Duration
 	timeouts  map[model.ProcessID]time.Duration
 	suspected model.PIDSet
+	events    int
 }
 
 // NewTimeoutDetector returns a detector with the given initial per-process
@@ -48,7 +49,21 @@ func (d *TimeoutDetector) TimeoutFor(p model.ProcessID) time.Duration {
 func (d *TimeoutDetector) Suspect(p model.ProcessID) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if !d.suspected.Has(p) {
+		d.events++
+	}
 	d.suspected.Add(p)
+}
+
+// SuspectEvents returns how many distinct suspicion events the detector
+// has raised: transitions of a process from trusted to suspected, each
+// counted once per transition (a process unsuspected by Heard and
+// suspected again counts again). The adaptive control plane reads this
+// as its per-instance trust signal.
+func (d *TimeoutDetector) SuspectEvents() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.events
 }
 
 // Heard records a message from p. If p was suspected, the suspicion was

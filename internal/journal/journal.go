@@ -276,14 +276,18 @@ func (j *Journal) Append(rec wire.DecisionRecord) error {
 // claimed instance may send its first frame (one block-claim covers
 // many launches), so the recovered frontier covers every ID that ever
 // touched the network — including instances that crashed undecided —
-// and no successor can collide with their in-flight frames.
+// and no successor can collide with their in-flight frames. alg tags
+// the claim with the algorithm the instance is launched with ("" when
+// the caller does not track one); the adaptive service claims per
+// instance so every instance's algorithm choice is on record, and
+// check.Replay audits the tags across lifetimes.
 // AppendStart returns once the record is written, without
 // waiting for an fsync: the frames it guards against can only survive a
 // process crash, which page-cache writes survive too, while a machine
 // crash that could lose the write also loses the frames. (Any later
 // decision fsync makes earlier start writes durable as a side effect.)
-func (j *Journal) AppendStart(instance uint64) error {
-	return j.append(Entry{Start: true, Decision: wire.DecisionRecord{Instance: instance}}, false)
+func (j *Journal) AppendStart(instance uint64, alg string) error {
+	return j.append(Entry{Start: true, Alg: alg, Decision: wire.DecisionRecord{Instance: instance}}, false)
 }
 
 func (j *Journal) append(e Entry, sync bool) error {

@@ -429,13 +429,13 @@ func TestStartRecordsRaiseFrontier(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := j.AppendStart(4); err != nil {
+	if err := j.AppendStart(4, "A_t+2"); err != nil {
 		t.Fatal(err)
 	}
 	if err := j.Append(rec(2)); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.AppendStart(9); err != nil {
+	if err := j.AppendStart(9, ""); err != nil {
 		t.Fatal(err)
 	}
 	if j.Frontier() != 10 || j.Len() != 1 {
@@ -464,14 +464,23 @@ func TestStartRecordsRaiseFrontier(t *testing.T) {
 		t.Fatalf("recovered stats = %+v", st)
 	}
 	var kinds []bool
+	var algs []string
 	if _, err := Replay(dir, func(e Entry) error {
 		kinds = append(kinds, e.Start)
+		if e.Start {
+			algs = append(algs, e.Alg)
+		}
 		return nil
 	}); err != nil {
 		t.Fatal(err)
 	}
 	if len(kinds) != 3 || !kinds[0] || kinds[1] || !kinds[2] {
 		t.Fatalf("replayed kinds = %v", kinds)
+	}
+	// The algorithm tag survives the disk round trip, tagged and
+	// untagged claims alike.
+	if len(algs) != 2 || algs[0] != "A_t+2" || algs[1] != "" {
+		t.Fatalf("replayed algorithm tags = %v", algs)
 	}
 }
 
@@ -520,7 +529,7 @@ func TestWriteErrorLatchesFatal(t *testing.T) {
 	if err := j.Append(rec(1)); err == nil {
 		t.Fatal("append over a dead segment succeeded")
 	}
-	if err := j.AppendStart(9); err == nil {
+	if err := j.AppendStart(9, ""); err == nil {
 		t.Fatal("start append after a write error succeeded")
 	}
 	if err := j.Append(rec(2)); err == nil {

@@ -34,8 +34,13 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // decision.
 type Entry struct {
 	// Start reports an instance-start claim; for starts, only
-	// Decision.Instance is meaningful.
+	// Decision.Instance and Alg are meaningful.
 	Start bool
+	// Alg is the algorithm tag of a start claim: the algorithm the
+	// claiming service launches the instance with ("" when unrecorded,
+	// as in records written before the tag existed). check.Replay uses
+	// it to audit algorithm choices across process lifetimes.
+	Alg string
 	// Decision is the decided outcome of the instance.
 	Decision wire.DecisionRecord
 }
@@ -43,11 +48,17 @@ type Entry struct {
 // Instance returns the entry's consensus-instance ID.
 func (e Entry) Instance() uint64 { return e.Decision.Instance }
 
-// appendFrame appends the framed encoding of e to dst.
+// appendFrame appends the framed encoding of e to dst. An oversized
+// algorithm tag is truncated rather than erroring: the tag is an audit
+// annotation, and a claim must never fail for its label's sake.
 func appendFrame(dst []byte, e Entry) []byte {
 	var payload []byte
 	if e.Start {
-		payload = wire.AppendStartRecord(nil, wire.StartRecord{Instance: e.Decision.Instance})
+		alg := e.Alg
+		if len(alg) > wire.MaxAlgNameLen {
+			alg = alg[:wire.MaxAlgNameLen]
+		}
+		payload, _ = wire.AppendStartRecord(nil, wire.StartRecord{Instance: e.Decision.Instance, Alg: alg})
 	} else {
 		payload = wire.AppendDecisionRecord(nil, e.Decision)
 	}
@@ -64,7 +75,7 @@ func decodeEntry(payload []byte) (Entry, bool) {
 		return Entry{}, false
 	}
 	if rec, n, err := wire.DecodeStartRecord(payload); err == nil {
-		return Entry{Start: true, Decision: wire.DecisionRecord{Instance: rec.Instance}}, n == len(payload)
+		return Entry{Start: true, Alg: rec.Alg, Decision: wire.DecisionRecord{Instance: rec.Instance}}, n == len(payload)
 	}
 	rec, n, err := wire.DecodeDecisionRecord(payload)
 	if err != nil || n != len(payload) {

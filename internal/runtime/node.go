@@ -69,11 +69,12 @@ func (n *node) report(decided model.OptValue, round model.Round, start time.Time
 	crashed := n.crashed
 	n.crashMu.Unlock()
 	n.decisions <- NodeResult{
-		ID:       n.id,
-		Decision: decided,
-		Round:    round,
-		Elapsed:  time.Since(start),
-		Crashed:  crashed,
+		ID:         n.id,
+		Decision:   decided,
+		Round:      round,
+		Elapsed:    time.Since(start),
+		Crashed:    crashed,
+		Suspicions: n.detector.SuspectEvents(),
 	}
 }
 

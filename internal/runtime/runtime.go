@@ -80,6 +80,11 @@ type NodeResult struct {
 	Elapsed time.Duration
 	// Crashed reports whether the process was crash-injected.
 	Crashed bool
+	// Suspicions is the number of suspicion events this process's
+	// timeout detector raised by the time the result was reported — the
+	// trust signal the adaptive control plane aggregates per instance
+	// (0 in a synchronous trusted run).
+	Suspicions int
 }
 
 // Cluster is a set of live processes executing one consensus instance.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"indulgence/internal/adapt"
 	"indulgence/internal/check"
 	"indulgence/internal/model"
 	"indulgence/internal/runtime"
@@ -15,11 +16,14 @@ import (
 // runInstance executes one consensus instance for a batch of proposals:
 // it opens the instance's virtual endpoints on every process's mux,
 // spreads the batch's values round-robin over the n processes as their
-// proposals, runs a fresh runtime.Cluster to quiescence, audits the
-// outcome with check.Instance, and resolves the batch's futures. The
-// instance slot is released on exit, unblocking the next queued batch.
-func (s *Service) runInstance(instance uint64, batch []*pending) {
+// proposals, runs a fresh runtime.Cluster to quiescence under the
+// instance's algorithm choice (the selector's pick, or the static
+// configuration), audits the outcome with check.Instance, and resolves
+// the batch's futures. The instance slot is released on exit, unblocking
+// the next queued batch.
+func (s *Service) runInstance(instance uint64, batch []*pending, choice adapt.Choice) {
 	defer s.wg.Done()
+	begin := time.Now()
 	// The instance slot bounds concurrent consensus runs — round loops,
 	// detectors, in-flight frames. It is released as soon as the run is
 	// over (releaseSlot below), before the journal fsync and future
@@ -55,10 +59,10 @@ func (s *Service) runInstance(instance uint64, batch []*pending) {
 	}
 	cl, err := runtime.New(runtime.Config{
 		N: s.cfg.N, T: s.cfg.T,
-		Factory:     s.cfg.Factory,
+		Factory:     choice.Factory,
 		Proposals:   props,
 		Endpoints:   eps,
-		WaitPolicy:  s.cfg.WaitPolicy,
+		WaitPolicy:  choice.WaitPolicy,
 		BaseTimeout: s.cfg.BaseTimeout,
 		MaxRounds:   s.cfg.MaxRounds,
 	})
@@ -66,6 +70,9 @@ func (s *Service) runInstance(instance uint64, batch []*pending) {
 		retire()
 		s.failInstance(batch, fmt.Errorf("service: instance %d: %w", instance, err))
 		return
+	}
+	if s.cfg.OnInstance != nil {
+		s.cfg.OnInstance(instance, cl)
 	}
 	ctx, cancel := context.WithTimeout(s.runCtx, s.cfg.InstanceTimeout)
 	results, runErr := cl.Run(ctx)
@@ -76,12 +83,14 @@ func (s *Service) runInstance(instance uint64, batch []*pending) {
 	decisions := make([]model.OptValue, s.cfg.N)
 	var crashed model.PIDSet
 	var (
-		value model.Value
-		round model.Round
-		have  bool
+		value      model.Value
+		round      model.Round
+		have       bool
+		suspicions int
 	)
 	for _, r := range results {
 		decisions[r.ID-1] = r.Decision
+		suspicions += r.Suspicions
 		if r.Crashed {
 			crashed.Add(r.ID)
 		}
@@ -101,6 +110,7 @@ func (s *Service) runInstance(instance uint64, batch []*pending) {
 		s.failInstance(batch, fmt.Errorf("service: instance %d: %w", instance, runErr))
 		return
 	}
+	decided := time.Since(begin)
 	// An instance cancelled by service shutdown (Abort, or a Close racing
 	// a kill) had its undecided nodes die with the service — that is a
 	// crash-stop, not a termination violation, so they are excused the
@@ -143,17 +153,31 @@ func (s *Service) runInstance(instance uint64, batch []*pending) {
 		s.latencies.Add(l)
 	}
 	s.rounds.Add(int(round))
+	s.instLat.Add(decided)
+	if round > 0 {
+		s.roundLat.Add(decided / time.Duration(round))
+	}
+	if choice.Name != "" {
+		s.algs[choice.Name]++
+	}
 	for _, v := range rep.Violations {
 		s.violations = append(s.violations,
 			fmt.Sprintf("instance %d: %s", instance, v))
 	}
 	s.countMu.Unlock()
+	if s.plane != nil {
+		s.plane.ObserveDecision(latencies, suspicions)
+	}
 }
 
 // failInstance resolves a batch's futures with err and records the
-// failure.
+// failure — a missed decision the selector treats as the strongest
+// distrust signal.
 func (s *Service) failInstance(batch []*pending, err error) {
 	failBatch(batch, err)
+	if s.plane != nil {
+		s.plane.ObserveFailure()
+	}
 	s.countMu.Lock()
 	s.instanceFail++
 	s.failed += len(batch)

@@ -1,0 +1,81 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"indulgence/internal/adapt"
+	"indulgence/internal/core"
+	"indulgence/internal/model"
+	"indulgence/internal/transport"
+)
+
+// TestCutFill pins the fill arithmetic the controller and Stats share:
+// floored at 1 (a real cut above a >100 limit must not read as an idle
+// window), exceeding 100 when the limit shrank under a filling batch.
+func TestCutFill(t *testing.T) {
+	cases := []struct{ n, limit, want int }{
+		{1, 128, 1},
+		{64, 128, 50},
+		{4, 4, 100},
+		{5, 4, 125},
+		{1, 0, 100}, // degenerate limit clamps to 1
+	}
+	for _, c := range cases {
+		if got := cutFill(c.n, c.limit); got != c.want {
+			t.Fatalf("cutFill(%d, %d) = %d, want %d", c.n, c.limit, got, c.want)
+		}
+	}
+}
+
+// TestIntakeTracksBatchCeiling is the regression test for intake
+// sizing: the buffer must be provisioned for the batch ceiling the
+// batcher can actually cut at — the controller's MaxBatch when that
+// exceeds the static one — not the initial MaxBatch×MaxInflight
+// product, and must never shrink below the static product when the
+// controller's ceiling is the smaller of the two.
+func TestIntakeTracksBatchCeiling(t *testing.T) {
+	hub, err := transport.NewHub(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = hub.Close() })
+	eps := make([]transport.Transport, 3)
+	for i := range eps {
+		if eps[i], err = hub.Endpoint(model.ProcessID(i + 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := Config{
+		N: 3, T: 1,
+		Factory:     core.New(core.Options{}),
+		BaseTimeout: 10 * time.Millisecond,
+		MaxBatch:    4,
+		MaxInflight: 8,
+	}
+	cases := []struct {
+		name     string
+		adaptive *adapt.Config
+		wantCap  int
+	}{
+		{"static", nil, 4 * 8},
+		{"adaptive ceiling above static", &adapt.Config{MaxBatch: 32}, 32 * 8},
+		{"adaptive ceiling below static", &adapt.Config{MaxBatch: 2}, 4 * 8},
+		{"adaptive defaults", &adapt.Config{}, 64 * 8},
+	}
+	for _, tc := range cases {
+		cfg := base
+		cfg.Adaptive = tc.adaptive
+		svc, err := New(cfg, eps)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got := cap(svc.intake); got != tc.wantCap {
+			_ = svc.Close()
+			t.Fatalf("%s: intake capacity %d, want %d", tc.name, got, tc.wantCap)
+		}
+		if err := svc.Close(); err != nil {
+			t.Fatalf("%s: close: %v", tc.name, err)
+		}
+	}
+}

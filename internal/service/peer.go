@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"indulgence/internal/adapt"
 	"indulgence/internal/core"
 	"indulgence/internal/journal"
 	"indulgence/internal/model"
@@ -74,6 +75,13 @@ type PeerOptions struct {
 	// restarted member resumes past its journaled frontier. Each member
 	// owns its own journal directory.
 	Journal *journal.Journal
+	// Adaptive, when non-nil, attaches the feedback control plane: the
+	// batch controller and admission gate work exactly as for the
+	// single-process service. SelectAlgorithms must be false — a member
+	// cannot unilaterally change the protocol of a slot it shares with
+	// its peers, so per-instance algorithm selection is a single-process
+	// service feature; NewPeer rejects a config that asks for it.
+	Adaptive *adapt.Config
 }
 
 // withDefaults returns cfg with zero fields replaced by defaults.
@@ -123,10 +131,12 @@ func (cfg PeerOptions) withDefaults() PeerOptions {
 // audited offline by check.Replay over the members' journals and live
 // observations (the `indulgence cluster` helper does exactly that).
 type PeerService struct {
-	cfg  PeerOptions
-	n    int
-	self model.ProcessID
-	mux  *transport.Mux
+	cfg    PeerOptions
+	n      int
+	self   model.ProcessID
+	mux    *transport.Mux
+	static adapt.Choice
+	plane  *adapt.Plane
 
 	intake      chan *pending
 	joins       chan uint64
@@ -158,8 +168,13 @@ type PeerService struct {
 	instances    int
 	joined       int
 	instanceFail int
+	overloads    int
 	latencies    *stats.Reservoir[time.Duration]
 	rounds       *stats.Reservoir[int]
+	instLat      *stats.Reservoir[time.Duration]
+	roundLat     *stats.Reservoir[time.Duration]
+	fills        *stats.Reservoir[int]
+	algs         map[string]int
 }
 
 // NewPeer starts one member of an n-process cluster over its transport
@@ -180,17 +195,42 @@ func NewPeer(cfg PeerOptions, n int, ep transport.Transport) (*PeerService, erro
 	if cfg.Factory == nil {
 		return nil, errors.New("service: nil factory")
 	}
+	if cfg.Adaptive != nil && cfg.Adaptive.SelectAlgorithms {
+		return nil, errors.New("service: peer members cannot select algorithms per instance (the protocol of a shared slot is cluster-wide; run selection on the single-process service)")
+	}
+	static := adapt.Choice{
+		Name:       adapt.ProbeName(cfg.Factory, n, cfg.T),
+		Factory:    cfg.Factory,
+		WaitPolicy: cfg.WaitPolicy,
+	}
+	var plane *adapt.Plane
+	// Intake tracks the controller's batch ceiling, as for the
+	// single-process service.
+	ceiling := cfg.MaxBatch
+	if cfg.Adaptive != nil {
+		plane = adapt.NewPlane(*cfg.Adaptive, static,
+			adapt.Setting{Batch: cfg.MaxBatch, Linger: cfg.Linger}, n, cfg.T)
+		if c := plane.BatchCeiling(); c > ceiling {
+			ceiling = c
+		}
+	}
 	s := &PeerService{
 		cfg:         cfg,
 		n:           n,
 		self:        ep.Self(),
-		intake:      make(chan *pending, cfg.MaxBatch*cfg.MaxInflight),
+		static:      static,
+		plane:       plane,
+		intake:      make(chan *pending, ceiling*cfg.MaxInflight),
 		joins:       make(chan uint64, 256),
 		slots:       make(chan struct{}, cfg.MaxInflight),
 		batcherDone: make(chan struct{}),
 		active:      make(map[uint64]struct{}),
 		latencies:   stats.NewReservoir[time.Duration](maxSamples),
 		rounds:      stats.NewReservoir[int](maxSamples),
+		instLat:     stats.NewReservoir[time.Duration](maxSamples),
+		roundLat:    stats.NewReservoir[time.Duration](maxSamples),
+		fills:       stats.NewReservoir[int](maxSamples),
+		algs:        make(map[string]int),
 	}
 	s.mux = transport.NewMuxNotify(ep, func(instance uint64) {
 		// Router goroutine: never block. A dropped signal re-fires on
@@ -212,6 +252,9 @@ func NewPeer(cfg PeerOptions, n int, ep transport.Transport) (*PeerService, erro
 	}
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	go s.batcher()
+	if s.plane != nil {
+		go controlLoop(s.runCtx, s.plane, s.intake, s.slots)
+	}
 	return s, nil
 }
 
@@ -241,6 +284,12 @@ func (s *PeerService) Propose(ctx context.Context, v model.Value) (*Future, erro
 	defer s.mu.RUnlock()
 	if s.closed {
 		return nil, ErrClosed
+	}
+	if s.plane != nil && !s.plane.Admit() {
+		s.countMu.Lock()
+		s.overloads++
+		s.countMu.Unlock()
+		return nil, adapt.ErrOverload
 	}
 	select {
 	case s.intake <- p:
@@ -292,8 +341,16 @@ func (s *PeerService) Abort() {
 // locally observable quantities appear: violations require cross-member
 // evidence this process does not have (see check.Replay).
 func (s *PeerService) Snapshot() Stats {
+	var control adapt.Stats
+	if s.plane != nil {
+		control = s.plane.Snapshot()
+	}
 	s.countMu.Lock()
 	defer s.countMu.Unlock()
+	algs := make(map[string]int, len(s.algs))
+	for k, v := range s.algs {
+		algs[k] = v
+	}
 	return Stats{
 		Proposals:        s.proposals,
 		Resolved:         s.resolved,
@@ -301,8 +358,44 @@ func (s *PeerService) Snapshot() Stats {
 		Instances:        s.instances,
 		JoinedInstances:  s.joined,
 		InstanceFailures: s.instanceFail,
+		Overloads:        s.overloads,
 		Latency:          stats.SummarizeDurations(s.latencies.Values()),
 		Rounds:           stats.Summarize(s.rounds.Values()),
+		DecisionLatency:  stats.SummarizeDurations(s.instLat.Values()),
+		RoundLatency:     stats.SummarizeDurations(s.roundLat.Values()),
+		BatchFill:        stats.Summarize(s.fills.Values()),
+		Control:          control,
+		Algorithms:       algs,
+	}
+}
+
+// batchLimit returns the effective batch-size limit (the controller's
+// actuation when adaptive).
+func (s *PeerService) batchLimit() int {
+	if s.plane != nil {
+		return s.plane.BatchLimit()
+	}
+	return s.cfg.MaxBatch
+}
+
+// lingerFor returns the effective linger for a fresh batch.
+func (s *PeerService) lingerFor() time.Duration {
+	if s.plane != nil {
+		return s.plane.Linger()
+	}
+	return s.cfg.Linger
+}
+
+// recordCut accounts one dispatched local batch's fill with both sinks
+// (Stats.BatchFill and the control plane's window), whether the batch
+// was flushed onto a fresh slot or rode a joined one.
+func (s *PeerService) recordCut(n int) {
+	fill := cutFill(n, s.batchLimit())
+	s.countMu.Lock()
+	s.fills.Add(fill)
+	s.countMu.Unlock()
+	if s.plane != nil {
+		s.plane.ObserveCut(fill)
 	}
 }
 
@@ -332,6 +425,7 @@ func (s *PeerService) batcher() {
 		}
 		b := batch
 		batch = nil
+		s.recordCut(len(b))
 		slot := s.nextSlot
 		s.nextSlot++
 		s.launch(slot, b, false)
@@ -345,15 +439,20 @@ func (s *PeerService) batcher() {
 			}
 			batch = append(batch, p)
 			if len(batch) == 1 {
-				lingerT = time.NewTimer(s.cfg.Linger)
+				lingerT = time.NewTimer(s.lingerFor())
 				lingerC = lingerT.C
 			}
-			if len(batch) >= s.cfg.MaxBatch {
+			if len(batch) >= s.batchLimit() {
 				flush()
 			}
 		case <-lingerC:
 			lingerT, lingerC = nil, nil
+			var closed bool
+			batch, closed = drainIntake(s.intake, batch, s.batchLimit())
 			flush()
+			if closed {
+				return
+			}
 		case slot := <-s.joins:
 			if s.isActive(slot) {
 				continue
@@ -376,6 +475,12 @@ func (s *PeerService) batcher() {
 				stopLinger()
 				b, batch = batch, nil
 			}
+			if len(b) > 0 {
+				// The ride is a batch cut like any other: the fill
+				// signal must see it or a mostly-joining member's
+				// controller runs blind.
+				s.recordCut(len(b))
+			}
 			s.launch(slot, b, true)
 		}
 	}
@@ -395,7 +500,7 @@ func (s *PeerService) launch(slot uint64, batch []*pending, joined bool) {
 	// the slot are about to touch the network, so a restart must resume
 	// past it (see Service.batcher for the block-claim rationale).
 	if s.cfg.Journal != nil && slot >= s.claimedThrough {
-		through, err := claimBlock(s.cfg.Journal, slot, s.cfg.MaxInflight)
+		through, err := claimBlock(s.cfg.Journal, slot, s.cfg.MaxInflight, s.static.Name)
 		if err != nil {
 			<-s.slots
 			s.failSlot(batch, err)
@@ -432,6 +537,7 @@ func (s *PeerService) clearActive(slot uint64) {
 func (s *PeerService) runSlot(slot uint64, batch []*pending, joined bool) {
 	defer s.wg.Done()
 	defer s.clearActive(slot)
+	begin := time.Now()
 	slotHeld := true
 	releaseSlot := func() {
 		if slotHeld {
@@ -495,6 +601,7 @@ func (s *PeerService) runSlot(slot uint64, batch []*pending, joined bool) {
 	case <-ctx.Done():
 	}
 	value, decided := res.Decision.Get()
+	decisionLat := time.Since(begin)
 	if !decided {
 		cl.Stop()
 		s.mux.Retire(slot)
@@ -540,7 +647,17 @@ func (s *PeerService) runSlot(slot uint64, batch []*pending, joined bool) {
 		s.latencies.Add(l)
 	}
 	s.rounds.Add(int(res.Round))
+	s.instLat.Add(decisionLat)
+	if res.Round > 0 {
+		s.roundLat.Add(decisionLat / time.Duration(res.Round))
+	}
+	if s.static.Name != "" {
+		s.algs[s.static.Name]++
+	}
 	s.countMu.Unlock()
+	if s.plane != nil {
+		s.plane.ObserveDecision(latencies, res.Suspicions)
+	}
 
 	// The slot ticket is free from here: flood grace must not throttle
 	// the next instance.
@@ -557,6 +674,9 @@ func (s *PeerService) runSlot(slot uint64, batch []*pending, joined bool) {
 // Joined slots fail with an empty batch: only the counter moves.
 func (s *PeerService) failSlot(batch []*pending, err error) {
 	failBatch(batch, err)
+	if s.plane != nil {
+		s.plane.ObserveFailure()
+	}
 	s.countMu.Lock()
 	s.instanceFail++
 	s.failed += len(batch)

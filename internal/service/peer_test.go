@@ -106,9 +106,12 @@ func proposeAll(t *testing.T, svc *PeerService, base, count int, live map[uint64
 func auditJournals(t *testing.T, live map[uint64]model.Value, dirs ...string) {
 	t.Helper()
 	var records []wire.DecisionRecord
+	var starts []wire.StartRecord
 	for _, dir := range dirs {
 		_, err := journal.Replay(dir, func(e journal.Entry) error {
-			if !e.Start {
+			if e.Start {
+				starts = append(starts, wire.StartRecord{Instance: e.Instance(), Alg: e.Alg})
+			} else {
 				records = append(records, e.Decision)
 			}
 			return nil
@@ -117,7 +120,7 @@ func auditJournals(t *testing.T, live map[uint64]model.Value, dirs ...string) {
 			t.Fatalf("replay %s: %v", dir, err)
 		}
 	}
-	rep := check.Replay(records, live)
+	rep := check.Replay(records, starts, live)
 	if len(rep.Violations) > 0 {
 		t.Fatalf("cross-member audit: %v", rep.Violations)
 	}

@@ -131,15 +131,18 @@ func TestServiceJournalRecovery(t *testing.T) {
 	}
 
 	var recs []wire.DecisionRecord
+	var starts []wire.StartRecord
 	if _, err := journal.Replay(dir, func(e journal.Entry) error {
-		if !e.Start {
+		if e.Start {
+			starts = append(starts, wire.StartRecord{Instance: e.Instance(), Alg: e.Alg})
+		} else {
 			recs = append(recs, e.Decision)
 		}
 		return nil
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if rep := check.Replay(recs, live); !rep.OK() {
+	if rep := check.Replay(recs, starts, live); !rep.OK() {
 		t.Fatalf("check.Replay violations: %v", rep.Violations)
 	}
 }
@@ -304,9 +307,12 @@ func (cb *crashBattery) finish() {
 		t.Fatalf("cross-lifetime conflicts: %v", cb.conflicts)
 	}
 	var recs []wire.DecisionRecord
+	var starts []wire.StartRecord
 	journaled := make(map[uint64]struct{})
 	info, err := journal.Replay(cb.dir, func(e journal.Entry) error {
-		if !e.Start {
+		if e.Start {
+			starts = append(starts, wire.StartRecord{Instance: e.Instance(), Alg: e.Alg})
+		} else {
 			recs = append(recs, e.Decision)
 			journaled[e.Decision.Instance] = struct{}{}
 		}
@@ -315,7 +321,7 @@ func (cb *crashBattery) finish() {
 	if err != nil {
 		t.Fatalf("final replay: %v", err)
 	}
-	if rep := check.Replay(recs, cb.live); !rep.OK() {
+	if rep := check.Replay(recs, starts, cb.live); !rep.OK() {
 		t.Fatalf("check.Replay violations: %v", rep.Violations)
 	}
 	// Journal-before-complete, observed end to end: nothing ever

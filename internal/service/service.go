@@ -37,9 +37,11 @@ import (
 	"sync"
 	"time"
 
+	"indulgence/internal/adapt"
 	"indulgence/internal/core"
 	"indulgence/internal/journal"
 	"indulgence/internal/model"
+	"indulgence/internal/runtime"
 	"indulgence/internal/stats"
 	"indulgence/internal/transport"
 )
@@ -81,6 +83,20 @@ type Config struct {
 	// service never re-runs an instance it already decided. The journal
 	// is owned by the caller and is not closed by Close.
 	Journal *journal.Journal
+	// Adaptive, when non-nil, attaches the feedback control plane
+	// (internal/adapt): MaxBatch and Linger become the controller's
+	// starting point instead of fixed constants, saturation sheds
+	// proposals with adapt.ErrOverload, and — with SelectAlgorithms —
+	// every instance runs the algorithm the selector currently trusts,
+	// its choice journaled in the instance's start claim. The intake
+	// buffer is sized to the controller's batch ceiling.
+	Adaptive *adapt.Config
+	// OnInstance, when non-nil, is invoked on the instance goroutine
+	// after the instance's cluster is assembled and immediately before
+	// its rounds start — the fault-injection and observability hook the
+	// live experiments use to crash processes or delay links of a
+	// specific instance. It must not retain cl past the call.
+	OnInstance func(instance uint64, cl *runtime.Cluster)
 }
 
 // withDefaults returns cfg with zero fields replaced by defaults.
@@ -172,12 +188,41 @@ type Stats struct {
 	// the t+2 price floor in round units — over the same kind of bounded
 	// sample.
 	Rounds stats.Summary
+	// DecisionLatency summarizes per-instance latency from batch cut to
+	// decision — the consensus cost alone, with queueing and linger
+	// excluded — over the same kind of bounded sample.
+	DecisionLatency stats.LatencySummary
+	// RoundLatency summarizes the wall-clock cost of one round
+	// (per-instance decision latency divided by its decision round):
+	// the quantity that turns the paper's round prices into seconds.
+	RoundLatency stats.LatencySummary
+	// BatchFill summarizes the fill of cut batches as a percentage of
+	// the effective batch limit at each cut (can exceed 100 when the
+	// controller shrank the limit under a filling batch).
+	BatchFill stats.Summary
+	// Overloads counts proposals shed by admission control with
+	// adapt.ErrOverload (always 0 without an adaptive config).
+	Overloads int
+	// Control is the adaptive control plane's snapshot: the current
+	// effective batch/linger, adjustment and transition counts, and the
+	// selector's current algorithm. Zero when the service runs static.
+	Control adapt.Stats
+	// Algorithms counts decided instances per algorithm name (the
+	// statically configured algorithm's name when selection is off, as
+	// probed from the factory; empty names are not counted).
+	Algorithms map[string]int
 }
 
 // Service multiplexes consensus instances over one live cluster.
 type Service struct {
 	cfg   Config
 	muxes []*transport.Mux
+
+	// static is the fallback algorithm choice built from Config (its
+	// Name probed from the factory); plane is the adaptive control
+	// plane, nil for a statically configured service.
+	static adapt.Choice
+	plane  *adapt.Plane
 
 	intake      chan *pending
 	slots       chan struct{}
@@ -208,9 +253,14 @@ type Service struct {
 	failed       int
 	instances    int
 	instanceFail int
+	overloads    int
 	violations   []string
 	latencies    *stats.Reservoir[time.Duration]
 	rounds       *stats.Reservoir[int]
+	instLat      *stats.Reservoir[time.Duration]
+	roundLat     *stats.Reservoir[time.Duration]
+	fills        *stats.Reservoir[int]
+	algs         map[string]int
 }
 
 // maxSamples bounds the latency/round history a long-running service
@@ -239,14 +289,39 @@ func New(cfg Config, endpoints []transport.Transport) (*Service, error) {
 			return nil, fmt.Errorf("service: endpoint %d answers Self()=%d", i+1, ep.Self())
 		}
 	}
+	static := adapt.Choice{
+		Name:       adapt.ProbeName(cfg.Factory, cfg.N, cfg.T),
+		Factory:    cfg.Factory,
+		WaitPolicy: cfg.WaitPolicy,
+	}
+	var plane *adapt.Plane
+	// The intake buffer must track the batch ceiling the batcher can
+	// actually cut at — the controller's MaxBatch when adaptive, the
+	// static MaxBatch otherwise. Sizing it from the static product alone
+	// would re-introduce intake backpressure exactly when the controller
+	// grows the batch to absorb a burst.
+	ceiling := cfg.MaxBatch
+	if cfg.Adaptive != nil {
+		plane = adapt.NewPlane(*cfg.Adaptive, static,
+			adapt.Setting{Batch: cfg.MaxBatch, Linger: cfg.Linger}, cfg.N, cfg.T)
+		if c := plane.BatchCeiling(); c > ceiling {
+			ceiling = c
+		}
+	}
 	s := &Service{
 		cfg:         cfg,
 		muxes:       make([]*transport.Mux, cfg.N),
-		intake:      make(chan *pending, cfg.MaxBatch*cfg.MaxInflight),
+		static:      static,
+		plane:       plane,
+		intake:      make(chan *pending, ceiling*cfg.MaxInflight),
 		slots:       make(chan struct{}, cfg.MaxInflight),
 		batcherDone: make(chan struct{}),
 		latencies:   stats.NewReservoir[time.Duration](maxSamples),
 		rounds:      stats.NewReservoir[int](maxSamples),
+		instLat:     stats.NewReservoir[time.Duration](maxSamples),
+		roundLat:    stats.NewReservoir[time.Duration](maxSamples),
+		fills:       stats.NewReservoir[int](maxSamples),
+		algs:        make(map[string]int),
 	}
 	for i, ep := range endpoints {
 		s.muxes[i] = transport.NewMux(ep)
@@ -265,7 +340,26 @@ func New(cfg Config, endpoints []transport.Transport) (*Service, error) {
 	}
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	go s.batcher()
+	if s.plane != nil {
+		go controlLoop(s.runCtx, s.plane, s.intake, s.slots)
+	}
 	return s, nil
+}
+
+// controlLoop ticks a control plane at its interval with the live
+// queue/slot occupancy until the service's run context ends. Both
+// service shapes share it.
+func controlLoop(ctx context.Context, plane *adapt.Plane, intake chan *pending, slots chan struct{}) {
+	t := time.NewTicker(plane.Interval())
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			plane.Tick(len(intake), cap(intake), len(slots), cap(slots))
+		}
+	}
 }
 
 // Lookup serves the journaled decision of an already-decided instance
@@ -285,13 +379,21 @@ func (s *Service) Lookup(instance uint64) (Decision, bool) {
 
 // Propose enqueues a proposal and returns its Future. It blocks only when
 // the intake buffer is full (every instance slot busy and batches queued),
-// providing natural backpressure.
+// providing natural backpressure. An adaptive service whose admission
+// gate detects sustained intake saturation sheds the proposal with
+// adapt.ErrOverload instead of queueing it — callers back off and retry.
 func (s *Service) Propose(ctx context.Context, v model.Value) (*Future, error) {
 	p := &pending{value: v, enqueued: time.Now(), fut: &Future{done: make(chan struct{})}}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		return nil, ErrClosed
+	}
+	if s.plane != nil && !s.plane.Admit() {
+		s.countMu.Lock()
+		s.overloads++
+		s.countMu.Unlock()
+		return nil, adapt.ErrOverload
 	}
 	select {
 	case s.intake <- p:
@@ -357,24 +459,69 @@ func (s *Service) Abort() {
 
 // Snapshot returns current counters and latency/round summaries.
 func (s *Service) Snapshot() Stats {
+	var control adapt.Stats
+	if s.plane != nil {
+		control = s.plane.Snapshot()
+	}
 	s.countMu.Lock()
 	defer s.countMu.Unlock()
+	algs := make(map[string]int, len(s.algs))
+	for k, v := range s.algs {
+		algs[k] = v
+	}
 	return Stats{
 		Proposals:        s.proposals,
 		Resolved:         s.resolved,
 		Failed:           s.failed,
 		Instances:        s.instances,
 		InstanceFailures: s.instanceFail,
+		Overloads:        s.overloads,
 		Violations:       append([]string(nil), s.violations...),
 		Latency:          stats.SummarizeDurations(s.latencies.Values()),
 		Rounds:           stats.Summarize(s.rounds.Values()),
+		DecisionLatency:  stats.SummarizeDurations(s.instLat.Values()),
+		RoundLatency:     stats.SummarizeDurations(s.roundLat.Values()),
+		BatchFill:        stats.Summarize(s.fills.Values()),
+		Control:          control,
+		Algorithms:       algs,
+	}
+}
+
+// batchLimit returns the effective batch-size limit: the controller's
+// actuation when adaptive, the static MaxBatch otherwise.
+func (s *Service) batchLimit() int {
+	if s.plane != nil {
+		return s.plane.BatchLimit()
+	}
+	return s.cfg.MaxBatch
+}
+
+// lingerFor returns the effective linger for a fresh batch.
+func (s *Service) lingerFor() time.Duration {
+	if s.plane != nil {
+		return s.plane.Linger()
+	}
+	return s.cfg.Linger
+}
+
+// recordCut accounts one dispatched batch's fill with both sinks
+// (Stats.BatchFill and the control plane's window) — the one piece of
+// accounting both service shapes must keep identical.
+func (s *Service) recordCut(n int) {
+	fill := cutFill(n, s.batchLimit())
+	s.countMu.Lock()
+	s.fills.Add(fill)
+	s.countMu.Unlock()
+	if s.plane != nil {
+		s.plane.ObserveCut(fill)
 	}
 }
 
 // batcher cuts the intake stream into batches: a batch closes when it
-// reaches MaxBatch proposals or its oldest proposal has waited Linger.
-// Each batch then claims an instance slot (blocking — the bounded-shard
-// backpressure) and launches its instance.
+// reaches the effective batch limit or its oldest proposal has waited
+// the effective linger (both live values of the control plane when one
+// is attached). Each batch then claims an instance slot (blocking — the
+// bounded-shard backpressure) and launches its instance.
 func (s *Service) batcher() {
 	defer close(s.batcherDone)
 	var (
@@ -395,6 +542,7 @@ func (s *Service) batcher() {
 		}
 		b := batch
 		batch = nil
+		s.recordCut(len(b))
 		select {
 		case s.slots <- struct{}{}:
 		case <-s.runCtx.Done():
@@ -403,23 +551,43 @@ func (s *Service) batcher() {
 		}
 		instance := s.nextInstance
 		s.nextInstance++
-		// Claim instance IDs in blocks before any of their frames can
-		// reach the network: the recovered frontier must cover
-		// crash-undecided instances too, or their in-flight frames
-		// could leak into a successor service's instance of the same
-		// ID. One written (not fsynced — see journal.AppendStart)
-		// claim covers MaxInflight launches.
-		if s.cfg.Journal != nil && instance >= s.claimedThrough {
-			through, err := claimBlock(s.cfg.Journal, instance, s.cfg.MaxInflight)
-			if err != nil {
-				<-s.slots
-				failBatch(b, err)
-				return
+		choice := s.static
+		if s.plane != nil && s.plane.Selecting() {
+			choice = s.plane.Pick()
+		}
+		if s.cfg.Journal != nil {
+			// Claim instance IDs before any of their frames can reach
+			// the network: the recovered frontier must cover
+			// crash-undecided instances too, or their in-flight frames
+			// could leak into a successor service's instance of the
+			// same ID. The static path claims MaxInflight-sized blocks
+			// with one written (not fsynced — see journal.AppendStart)
+			// record; with algorithm selection every instance claims
+			// individually so its chosen algorithm is on record before
+			// the choice can act, keeping check.Replay's cross-restart
+			// algorithm audit exact.
+			switch {
+			case s.plane != nil && s.plane.Selecting():
+				if err := s.cfg.Journal.AppendStart(instance, choice.Name); err != nil {
+					<-s.slots
+					failBatch(b, fmt.Errorf("service: claim instance %d: %w", instance, err))
+					return
+				}
+				if instance >= s.claimedThrough {
+					s.claimedThrough = instance + 1
+				}
+			case instance >= s.claimedThrough:
+				through, err := claimBlock(s.cfg.Journal, instance, s.cfg.MaxInflight, s.static.Name)
+				if err != nil {
+					<-s.slots
+					failBatch(b, err)
+					return
+				}
+				s.claimedThrough = through
 			}
-			s.claimedThrough = through
 		}
 		s.wg.Add(1)
-		go s.runInstance(instance, b)
+		go s.runInstance(instance, b, choice)
 	}
 	for {
 		select {
@@ -430,15 +598,20 @@ func (s *Service) batcher() {
 			}
 			batch = append(batch, p)
 			if len(batch) == 1 {
-				lingerT = time.NewTimer(s.cfg.Linger)
+				lingerT = time.NewTimer(s.lingerFor())
 				lingerC = lingerT.C
 			}
-			if len(batch) >= s.cfg.MaxBatch {
+			if len(batch) >= s.batchLimit() {
 				flush()
 			}
 		case <-lingerC:
 			lingerT, lingerC = nil, nil
+			var closed bool
+			batch, closed = drainIntake(s.intake, batch, s.batchLimit())
 			flush()
+			if closed {
+				return
+			}
 		}
 	}
 }
@@ -450,13 +623,48 @@ func failBatch(batch []*pending, err error) {
 	}
 }
 
+// cutFill returns a batch cut's fill percentage against the effective
+// limit, floored at 1: a cut always carries at least one proposal, and
+// integer division against a limit above 100 must not read as "no cut"
+// (the controller treats fill 0 as an idle window).
+func cutFill(n, limit int) int {
+	if fill := 100 * n / max(limit, 1); fill >= 1 {
+		return fill
+	}
+	return 1
+}
+
+// drainIntake appends the immediately available proposals to batch, up
+// to limit, without blocking; closed reports that intake was closed and
+// fully drained (the caller flushes and exits). Both batchers run it
+// when a cut is due, so a short (or zero) linger still yields full
+// batches under load instead of racing the timer one proposal at a
+// time — and the closed-channel handling has one owner.
+func drainIntake(intake <-chan *pending, batch []*pending, limit int) (out []*pending, closed bool) {
+	for len(batch) < limit {
+		select {
+		case p, ok := <-intake:
+			if !ok {
+				return batch, true
+			}
+			batch = append(batch, p)
+		default:
+			return batch, false
+		}
+	}
+	return batch, false
+}
+
 // claimBlock journals a start-claim covering instance and the rest of
 // its inflight-sized ID block, returning the new claimed-through
-// frontier (first ID not covered). Both batchers share it so the claim
-// arithmetic — which restart recovery depends on — has one owner.
-func claimBlock(j *journal.Journal, instance uint64, inflight int) (uint64, error) {
+// frontier (first ID not covered). alg tags the claim with the
+// statically configured algorithm every instance of the block runs
+// (adaptive selection claims per instance instead — see the batcher).
+// Both batchers share it so the claim arithmetic — which restart
+// recovery depends on — has one owner.
+func claimBlock(j *journal.Journal, instance uint64, inflight int, alg string) (uint64, error) {
 	claim := instance + uint64(inflight) - 1
-	if err := j.AppendStart(claim); err != nil {
+	if err := j.AppendStart(claim, alg); err != nil {
 		return 0, fmt.Errorf("service: claim instances through %d: %w", claim, err)
 	}
 	return claim + 1, nil

@@ -80,3 +80,46 @@ func FuzzDecodeDecisionRecord(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeStartRecord covers the claim-record decoder, whose optional
+// algorithm tag makes it the one variable-length record kind: arbitrary
+// bytes must never panic it, every accepted record must satisfy the tag
+// bound, and re-encoding must be a decode fixed point (legacy inputs
+// without the tag-length byte decode as Alg == "" and re-encode to the
+// canonical tagged form, which must itself decode back unchanged).
+func FuzzDecodeStartRecord(f *testing.F) {
+	for _, r := range []StartRecord{{}, {Instance: 7, Alg: "A_f+2"}, {Instance: 1<<64 - 1, Alg: "A_t+2+ff"}} {
+		enc, err := AppendStartRecord(nil, r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte{startMarker, 0x07})       // legacy: no tag length
+	f.Add([]byte{startMarker, 0x01, 0x7F}) // tag length over the cap
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		rec, n, err := DecodeStartRecord(b)
+		if err != nil {
+			return
+		}
+		if n > len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		if len(rec.Alg) > MaxAlgNameLen {
+			t.Fatalf("accepted a %d-byte algorithm tag", len(rec.Alg))
+		}
+		reenc, err := AppendStartRecord(nil, rec)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		rec2, n2, err := DecodeStartRecord(reenc)
+		if err != nil {
+			t.Fatalf("decode of re-encoding failed: %v", err)
+		}
+		if rec2 != rec || n2 != len(reenc) {
+			t.Fatalf("decode/encode not a fixed point: %+v (%d) vs %+v (%d)",
+				rec, n, rec2, n2)
+		}
+	})
+}

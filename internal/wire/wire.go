@@ -24,7 +24,8 @@
 // The decision journal reuses the envelope family for its on-disk
 // records: a DecisionRecord opens with the marker byte 0x03 followed by
 // the instance ID and the decided outcome, and a StartRecord — the
-// claim that an instance ID is about to touch the network — opens with
+// claim that an instance ID is about to touch the network, optionally
+// tagged with the algorithm the instance is launched with — opens with
 // 0x05. The multi-process TCP transport's connection handshake — a
 // HelloRecord naming the cluster and the sender — opens with 0x07. Like
 // 0x01, the odd bytes 0x03, 0x05 and 0x07 can never open a version-0
@@ -206,21 +207,40 @@ func DecodeDecisionRecord(b []byte) (DecisionRecord, int, error) {
 // touched the wire can be reassigned after a crash.
 const startMarker byte = 0x05
 
+// MaxAlgNameLen bounds the algorithm tag a start record may carry.
+const MaxAlgNameLen = 64
+
 // StartRecord claims an instance ID for one consensus instance.
 type StartRecord struct {
 	// Instance is the claimed consensus-instance ID.
 	Instance uint64
+	// Alg names the algorithm the claiming service launches the
+	// instance with ("" when unrecorded — every record written before
+	// the adaptive control plane existed, and block claims of services
+	// whose factory declines to identify itself). The tag is what lets
+	// check.Replay audit algorithm choices exactly across restarts: an
+	// instance must never be claimed under two different algorithms.
+	Alg string
 }
 
 // AppendStartRecord appends the encoding of r to dst and returns the
-// extended slice.
-func AppendStartRecord(dst []byte, r StartRecord) []byte {
+// extended slice. The layout is the start marker, the uvarint instance,
+// and a uvarint-length-prefixed algorithm tag; records written before
+// the tag existed simply end after the instance, and DecodeStartRecord
+// reads them as Alg == "".
+func AppendStartRecord(dst []byte, r StartRecord) ([]byte, error) {
+	if len(r.Alg) > MaxAlgNameLen {
+		return nil, fmt.Errorf("%w: algorithm tag of %d bytes", ErrFrameTooLarge, len(r.Alg))
+	}
 	dst = append(dst, startMarker)
-	return binary.AppendUvarint(dst, r.Instance)
+	dst = binary.AppendUvarint(dst, r.Instance)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Alg)))
+	return append(dst, r.Alg...), nil
 }
 
 // DecodeStartRecord decodes one start record from b, returning it and
-// the number of bytes consumed.
+// the number of bytes consumed. A record ending right after its
+// instance — the pre-tag layout — decodes with an empty Alg.
 func DecodeStartRecord(b []byte) (StartRecord, int, error) {
 	var r StartRecord
 	if len(b) == 0 {
@@ -234,7 +254,23 @@ func DecodeStartRecord(b []byte) (StartRecord, int, error) {
 		return r, 0, fmt.Errorf("%w: start instance", ErrTruncated)
 	}
 	r.Instance = instance
-	return r, 1 + n, nil
+	off := 1 + n
+	if off == len(b) {
+		return r, off, nil // legacy record: no algorithm tag
+	}
+	alen, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: start algorithm length", ErrTruncated)
+	}
+	if alen > MaxAlgNameLen {
+		return r, 0, fmt.Errorf("%w: start algorithm of %d bytes", ErrUnknownPayload, alen)
+	}
+	off += n
+	if uint64(len(b)-off) < alen {
+		return r, 0, fmt.Errorf("%w: start algorithm tag", ErrTruncated)
+	}
+	r.Alg = string(b[off : off+int(alen)])
+	return r, off + int(alen), nil
 }
 
 // helloMarker opens a handshake (hello) frame, the first frame either

@@ -300,15 +300,34 @@ func TestDecisionRecordDecodeErrors(t *testing.T) {
 }
 
 func TestStartRecordRoundTrip(t *testing.T) {
-	for _, want := range []StartRecord{{}, {Instance: 7}, {Instance: 1<<64 - 1}} {
-		enc := AppendStartRecord(nil, want)
+	cases := []StartRecord{
+		{}, {Instance: 7}, {Instance: 1<<64 - 1},
+		{Instance: 7, Alg: "A_f+2"},
+		{Instance: 0, Alg: "A_t+2"},
+	}
+	for _, want := range cases {
+		enc, err := AppendStartRecord(nil, want)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", want, err)
+		}
 		got, n, err := DecodeStartRecord(enc)
 		if err != nil || n != len(enc) || got != want {
 			t.Fatalf("round trip %+v: got %+v n=%d err=%v", want, got, n, err)
 		}
 	}
-	if enc := AppendStartRecord(nil, StartRecord{Instance: 1}); enc[0] == recordMarker || enc[0] == instanceMarker {
+	enc, err := AppendStartRecord(nil, StartRecord{Instance: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc[0] == recordMarker || enc[0] == instanceMarker {
 		t.Fatal("start marker collides with another kind")
+	}
+	// A legacy record — marker + instance, no algorithm-tag length —
+	// decodes with an empty Alg.
+	legacy := []byte{startMarker, 0x07}
+	got, n, err := DecodeStartRecord(legacy)
+	if err != nil || n != len(legacy) || got.Instance != 7 || got.Alg != "" {
+		t.Fatalf("legacy record: got %+v n=%d err=%v", got, n, err)
 	}
 	if _, _, err := DecodeStartRecord(nil); !errors.Is(err, ErrTruncated) {
 		t.Fatalf("empty: %v", err)
@@ -318,6 +337,17 @@ func TestStartRecordRoundTrip(t *testing.T) {
 	}
 	if _, _, err := DecodeStartRecord([]byte{recordMarker, 1}); !errors.Is(err, ErrUnknownPayload) {
 		t.Fatalf("wrong marker: %v", err)
+	}
+	// A tag longer than its payload is truncation; a tag over the cap is
+	// rejected outright at both ends.
+	if _, _, err := DecodeStartRecord([]byte{startMarker, 0x01, 0x05, 'a'}); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short tag: %v", err)
+	}
+	if _, err := AppendStartRecord(nil, StartRecord{Alg: strings.Repeat("x", MaxAlgNameLen+1)}); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized tag encoded: %v", err)
+	}
+	if _, _, err := DecodeStartRecord(append([]byte{startMarker, 0x01, 0x7F}, make([]byte, 127)...)); !errors.Is(err, ErrUnknownPayload) {
+		t.Fatalf("oversized tag decoded: %v", err)
 	}
 }
 
