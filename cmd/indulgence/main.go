@@ -23,6 +23,8 @@
 //	                 [-inflight I] [-delay D] [-heal D] [-timeout D]
 //	                 [-journal DIR] [-adaptive] [-burst N] [-burst-idle D]
 //	indulgence replay -journal DIR [-limit N] [-quiet] [-verify=false]
+//	indulgence chaos [-seed S] [-scenarios N] [-spec JSON|@FILE]
+//	                 [-journal DIR] [-verbose]
 //
 // Algorithms: atplus2, atplus2ff, diamonds, afplus2, floodset, floodsetws,
 // ct, hurfinraynal, amr. Schedules: ff, killer2, killer3, splitbrain,
@@ -79,6 +81,8 @@ func run(args []string) error {
 		return cmdCluster(args[1:])
 	case "replay":
 		return cmdReplay(args[1:])
+	case "chaos":
+		return cmdChaos(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -89,7 +93,7 @@ func run(args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: indulgence <run|worst|table|live|serve|bench-service|replay> [flags]
+	fmt.Fprintln(os.Stderr, `usage: indulgence <run|worst|table|live|serve|bench-service|replay|chaos> [flags]
 
   run            simulate one run of an algorithm under a schedule
   worst          explore all serial runs and report the worst-case decision round
@@ -101,6 +105,8 @@ func usage() {
   cluster        spawn a local multi-process cluster of serve -peers members,
                  optionally kill/restart one, and audit agreement across them
   replay         dump and verify a decision journal written by serve -journal
+  chaos          run seeded fault-injection scenarios on virtual time and audit
+                 every decision; failing seeds print a replayable JSON spec
 
 run 'indulgence <cmd> -h' for the flags of each subcommand.`)
 }

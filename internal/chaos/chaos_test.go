@@ -1,0 +1,186 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+	"time"
+
+	"indulgence/internal/model"
+)
+
+// pin serializes goroutine scheduling for the reproducibility contract:
+// seed replay is promised under GOMAXPROCS(1), matching the chaos CLI.
+func pin(t *testing.T) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(1)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
+// TestScenarioSpecRoundTrip: the printed JSON of a spec re-encodes
+// byte-identically after a parse — the replay artifact is lossless.
+func TestScenarioSpecRoundTrip(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		sc := Generate(seed)
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("seed %d: generated invalid scenario: %v", seed, err)
+		}
+		enc := sc.JSON()
+		sc2, err := ParseScenario([]byte(enc))
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v", seed, err)
+		}
+		if enc2 := sc2.JSON(); enc != enc2 {
+			t.Fatalf("seed %d: spec not stable under round-trip:\n%s\n%s", seed, enc, enc2)
+		}
+	}
+}
+
+// TestGenerateDeterministic: the same seed always yields the same spec.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		a, _ := json.Marshal(Generate(seed))
+		b, _ := json.Marshal(Generate(seed))
+		if !bytes.Equal(a, b) {
+			t.Fatalf("seed %d: two generations differ", seed)
+		}
+	}
+}
+
+// TestRunQuietScenario: a fault-free hand-written spec decides every
+// proposal with no violations, in a sliver of wall time.
+func TestRunQuietScenario(t *testing.T) {
+	pin(t)
+	sc := Scenario{
+		Seed: 7, N: 4, T: 1,
+		Algorithm:       "atplus2",
+		BaseTimeout:     25 * time.Millisecond,
+		MaxBatch:        4,
+		Linger:          2 * time.Millisecond,
+		MaxInflight:     4,
+		InstanceTimeout: 2 * time.Second,
+		Proposals:       8,
+		Waves:           2,
+		WaveGap:         10 * time.Millisecond,
+		Horizon:         500 * time.Millisecond,
+	}
+	r := Run(sc, Options{})
+	if r.Err != nil {
+		t.Fatalf("run: %v", r.Err)
+	}
+	if !r.OK() || r.Decided != sc.Proposals {
+		t.Fatalf("quiet scenario not clean: decided=%d shed=%d failed=%d wedged=%v violations=%v\nlog:\n%s",
+			r.Decided, r.Shed, r.Failed, r.Wedged, r.Violations, r.Log)
+	}
+}
+
+// TestRunReproducible: the same spec run twice produces an identical
+// decision log — the seed-replay contract, exercised on a scenario
+// with partitions, crashes and link noise.
+func TestRunReproducible(t *testing.T) {
+	pin(t)
+	for seed := int64(1); seed <= 6; seed++ {
+		sc := Generate(seed)
+		a := Run(sc, Options{})
+		if a.Err != nil {
+			t.Fatalf("seed %d: %v", seed, a.Err)
+		}
+		b := Run(sc, Options{})
+		if b.Err != nil {
+			t.Fatalf("seed %d rerun: %v", seed, b.Err)
+		}
+		if a.Log != b.Log {
+			t.Errorf("seed %d: decision logs differ\nfirst:\n%s\nsecond:\n%s\nspec: %s",
+				seed, a.Log, b.Log, sc.JSON())
+		}
+	}
+}
+
+// TestSweepSmoke: a seeded batch of generated scenarios runs clean —
+// no violations, no wedges, no failed proposals — and the virtual
+// schedule compresses (virtual time exceeds wall time).
+func TestSweepSmoke(t *testing.T) {
+	pin(t)
+	count := 25
+	if testing.Short() {
+		count = 8
+	}
+	st := Sweep(1000, count, Options{}, nil)
+	for _, f := range st.Failures {
+		t.Errorf("seed %d: wedged=%v failed=%d violations=%v\nspec: %s\nlog:\n%s",
+			f.Scenario.Seed, f.Wedged, f.Failed, f.Violations, f.Scenario.JSON(), f.Log)
+	}
+	if st.Decided == 0 {
+		t.Fatalf("sweep decided nothing: %+v", st)
+	}
+	t.Logf("sweep: %d runs, %d decided, %d shed, virtual %v in wall %v",
+		st.Runs, st.Decided, st.Shed, st.Virtual, st.Wall)
+}
+
+// TestCrashScenario: crashing t processes mid-run still decides every
+// proposal (the runtime excuses crashed processes; t bounds them).
+func TestCrashScenario(t *testing.T) {
+	pin(t)
+	sc := Scenario{
+		Seed: 11, N: 5, T: 2,
+		Algorithm:       "atplus2",
+		BaseTimeout:     20 * time.Millisecond,
+		MaxBatch:        3,
+		Linger:          time.Millisecond,
+		MaxInflight:     3,
+		InstanceTimeout: 3 * time.Second,
+		Proposals:       6,
+		Waves:           2,
+		WaveGap:         50 * time.Millisecond,
+		Horizon:         600 * time.Millisecond,
+		Crashes: []Crash{
+			{P: 2, At: 30 * time.Millisecond},
+			{P: 5, At: 70 * time.Millisecond, Restart: 200 * time.Millisecond},
+		},
+	}
+	r := Run(sc, Options{})
+	if r.Err != nil {
+		t.Fatalf("run: %v", r.Err)
+	}
+	if !r.OK() || r.Failed > 0 {
+		t.Fatalf("crash scenario not clean: decided=%d failed=%d wedged=%v violations=%v\nlog:\n%s",
+			r.Decided, r.Failed, r.Wedged, r.Violations, r.Log)
+	}
+}
+
+// TestPartitionScenario: a full partition below quorum on both sides
+// wedges every instance until the heal, then decides — indulgence as a
+// runnable property.
+func TestPartitionScenario(t *testing.T) {
+	pin(t)
+	sc := Scenario{
+		Seed: 13, N: 4, T: 1,
+		Algorithm:       "diamonds",
+		BaseTimeout:     20 * time.Millisecond,
+		MaxBatch:        4,
+		Linger:          time.Millisecond,
+		MaxInflight:     2,
+		InstanceTimeout: 3 * time.Second,
+		Proposals:       4,
+		Waves:           1,
+		Horizon:         500 * time.Millisecond,
+		Partitions: []Partition{{
+			A: []model.ProcessID{1, 2}, B: []model.ProcessID{3, 4},
+			From: 0, Until: 400 * time.Millisecond,
+		}},
+	}
+	r := Run(sc, Options{})
+	if r.Err != nil {
+		t.Fatalf("run: %v", r.Err)
+	}
+	if !r.OK() || r.Failed > 0 {
+		t.Fatalf("partition scenario not clean: decided=%d failed=%d wedged=%v violations=%v\nlog:\n%s",
+			r.Decided, r.Failed, r.Wedged, r.Violations, r.Log)
+	}
+	// The heal gates the decisions: virtual completion must lie past
+	// the partition window.
+	if r.Virtual < 400*time.Millisecond {
+		t.Fatalf("decided in %v virtual, inside the partition window", r.Virtual)
+	}
+}

@@ -1,0 +1,187 @@
+package clock
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestVirtualTimerOrder schedules events out of order and checks they
+// fire in deterministic (time, registration) order.
+func TestVirtualTimerOrder(t *testing.T) {
+	v := NewVirtual()
+	var got []int
+	v.AfterFunc(30*time.Millisecond, func() { got = append(got, 3) })
+	v.AfterFunc(10*time.Millisecond, func() { got = append(got, 1) })
+	v.AfterFunc(20*time.Millisecond, func() { got = append(got, 2) })
+	v.AfterFunc(10*time.Millisecond, func() { got = append(got, 11) }) // same instant: registration order
+
+	start := v.Now()
+	for v.Step() {
+	}
+	want := []int{1, 11, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+	if d := v.Now().Sub(start); d != 30*time.Millisecond {
+		t.Fatalf("clock advanced %v, want 30ms", d)
+	}
+}
+
+// TestVirtualTimerStopReset exercises the Stop/Reset contract.
+func TestVirtualTimerStopReset(t *testing.T) {
+	v := NewVirtual()
+	var fired atomic.Int32
+	tm := v.AfterFunc(10*time.Millisecond, func() { fired.Add(1) })
+	if !tm.Stop() {
+		t.Fatal("Stop on a pending timer reported false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported true")
+	}
+	for v.Step() {
+	}
+	if fired.Load() != 0 {
+		t.Fatal("stopped timer fired")
+	}
+	tm.Reset(5 * time.Millisecond)
+	for v.Step() {
+	}
+	if fired.Load() != 1 {
+		t.Fatalf("reset timer fired %d times, want 1", fired.Load())
+	}
+}
+
+// TestVirtualTicker checks periodic ticks advance virtual time by the
+// period and stop cleanly.
+func TestVirtualTicker(t *testing.T) {
+	v := NewVirtual()
+	tick := v.NewTicker(5 * time.Millisecond)
+	for i := 0; i < 3; i++ {
+		if !v.Step() {
+			t.Fatal("ticker ran out of events")
+		}
+		select {
+		case <-tick.C():
+		default:
+			t.Fatalf("no tick after step %d", i)
+		}
+	}
+	if d := v.Since(epoch); d != 15*time.Millisecond {
+		t.Fatalf("3 ticks advanced %v, want 15ms", d)
+	}
+	tick.Stop()
+	if v.Step() {
+		t.Fatal("stopped ticker left live events")
+	}
+}
+
+// TestVirtualChannelTimer checks NewTimer delivers the fire time on C.
+func TestVirtualChannelTimer(t *testing.T) {
+	v := NewVirtual()
+	tm := v.NewTimer(7 * time.Millisecond)
+	if !v.Step() {
+		t.Fatal("no event")
+	}
+	select {
+	case at := <-tm.C():
+		if want := epoch.Add(7 * time.Millisecond); !at.Equal(want) {
+			t.Fatalf("fired at %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("timer channel empty after step")
+	}
+}
+
+// TestVirtualRunWakesBlockedGoroutine is the shape every harness run
+// has: a goroutine blocked on a clock timer makes progress only when
+// the driver steps, and Run returns once it signals done.
+func TestVirtualRunWakesBlockedGoroutine(t *testing.T) {
+	v := NewVirtual()
+	done := make(chan struct{})
+	tm := v.NewTimer(50 * time.Millisecond)
+	go func() {
+		<-tm.C()
+		close(done)
+	}()
+	if !v.Run(done) {
+		t.Fatal("Run reported wedged")
+	}
+}
+
+// TestVirtualRunWedge: no events, done never closes — Run must report
+// the wedge instead of spinning.
+func TestVirtualRunWedge(t *testing.T) {
+	v := NewVirtual()
+	if v.Run(make(chan struct{})) {
+		t.Fatal("Run reported success with nothing scheduled")
+	}
+}
+
+// TestVirtualIdleCheck: the clock must not advance while a registered
+// idle check reports in-flight work.
+func TestVirtualIdleCheck(t *testing.T) {
+	v := NewVirtual()
+	var pending atomic.Int64
+	pending.Store(1)
+	v.RegisterIdle(func() bool { return pending.Load() == 0 })
+	go func() {
+		time.Sleep(10 * time.Millisecond) // real time: simulate a slow consumer
+		pending.Store(0)
+	}()
+	start := time.Now()
+	v.Settle()
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("Settle returned before the idle check passed")
+	}
+}
+
+// TestWithTimeoutVirtual: the deadline helper cancels the context at
+// the virtual deadline, and cancel stops the timer.
+func TestWithTimeoutVirtual(t *testing.T) {
+	v := NewVirtual()
+	ctx, cancel := WithTimeout(context.Background(), v, 20*time.Millisecond)
+	defer cancel()
+	if ctx.Err() != nil {
+		t.Fatal("context dead before deadline")
+	}
+	for v.Step() {
+	}
+	<-ctx.Done()
+
+	ctx2, cancel2 := WithTimeout(context.Background(), v, 20*time.Millisecond)
+	cancel2()
+	if ctx2.Err() == nil {
+		t.Fatal("cancel did not cancel")
+	}
+	if n := v.PendingEvents(); n != 0 {
+		t.Fatalf("%d events leaked after cancel", n)
+	}
+}
+
+// TestWithTimeoutReal: the Real path keeps context.DeadlineExceeded.
+func TestWithTimeoutReal(t *testing.T) {
+	ctx, cancel := WithTimeout(context.Background(), Real{}, time.Millisecond)
+	defer cancel()
+	<-ctx.Done()
+	if ctx.Err() != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", ctx.Err())
+	}
+}
+
+// TestOr covers the nil default.
+func TestOr(t *testing.T) {
+	if _, ok := Or(nil).(Real); !ok {
+		t.Fatal("Or(nil) is not Real")
+	}
+	v := NewVirtual()
+	if Or(v) != Clock(v) {
+		t.Fatal("Or(v) did not pass through")
+	}
+}

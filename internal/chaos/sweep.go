@@ -1,0 +1,406 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"indulgence/internal/adapt"
+	"indulgence/internal/chaos/clock"
+	"indulgence/internal/check"
+	"indulgence/internal/journal"
+	"indulgence/internal/model"
+	"indulgence/internal/runtime"
+	"indulgence/internal/service"
+	"indulgence/internal/transport"
+	"indulgence/internal/wire"
+)
+
+// Options tunes a chaos run.
+type Options struct {
+	// JournalDir is where the run's decision journal lives ("" = a
+	// private temp directory, removed after the run). A kept journal is
+	// the post-mortem artifact of a failing seed.
+	JournalDir string
+	// MaxWall is the wall-clock watchdog (default 15s): a run that
+	// cannot finish its virtual schedule within it is reported wedged.
+	// Virtual-time runs finish in milliseconds; the watchdog only fires
+	// on a genuine livelock.
+	MaxWall time.Duration
+}
+
+// Result is the audited outcome of one scenario run.
+type Result struct {
+	// Scenario is the spec that ran — print Scenario.JSON() to replay.
+	Scenario Scenario
+	// Decided, Shed and Failed partition the scenario's proposals:
+	// resolved with a decision, refused by admission control
+	// (adapt.ErrOverload), or failed (instance timeout or abort).
+	Decided, Shed, Failed int
+	// Violations collects every audit finding: live check.Instance
+	// violations from the service, check.Replay findings over the
+	// journal, and a wedge marker if the run had to be aborted. The
+	// paper says this stays empty; a non-empty slice is a bug.
+	Violations []string
+	// Wedged reports that the run was cut short: the virtual schedule
+	// overran its cap or the wall watchdog fired.
+	Wedged bool
+	// Log is the canonical per-proposal decision log. Two runs of the
+	// same spec must produce identical logs — the reproducibility
+	// contract the chaos tests enforce.
+	Log string
+	// Virtual and Wall are the simulated and wall-clock durations.
+	Virtual, Wall time.Duration
+	// Err is a harness setup error (invalid spec, journal failure) —
+	// distinct from consensus misbehaviour.
+	Err error
+}
+
+// OK reports whether the run found nothing wrong.
+func (r Result) OK() bool {
+	return r.Err == nil && !r.Wedged && len(r.Violations) == 0
+}
+
+// errAborted marks proposals whose futures were cut off by a wedge
+// abort (distinct from service failures, which carry their own error).
+var errAborted = errors.New("chaos: run aborted")
+
+// crashPlan tracks which processes are down and applies crashes to
+// every cluster the service has started. Instances started while a
+// process is down begin with it crashed; a restart only readmits the
+// process to instances started afterwards (per-instance crash-stop).
+type crashPlan struct {
+	mu       sync.Mutex
+	down     map[model.ProcessID]bool
+	clusters []*runtime.Cluster
+}
+
+func (cp *crashPlan) crash(p model.ProcessID) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.down[p] = true
+	for _, cl := range cp.clusters {
+		_ = cl.Crash(p)
+	}
+}
+
+func (cp *crashPlan) restart(p model.ProcessID) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.down[p] = false
+}
+
+// onInstance is the service hook: crash the new cluster's dead
+// processes before its rounds start, and retain it for later crashes.
+func (cp *crashPlan) onInstance(_ uint64, cl *runtime.Cluster) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.clusters = append(cp.clusters, cl)
+	for p, d := range cp.down {
+		if d {
+			_ = cl.Crash(p)
+		}
+	}
+}
+
+// Run executes one scenario on a fresh virtual clock and audits it.
+func Run(sc Scenario, opts Options) Result {
+	res := Result{Scenario: sc}
+	if err := sc.Validate(); err != nil {
+		res.Err = err
+		return res
+	}
+	factory, policy, err := algByName(sc.Algorithm)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if opts.MaxWall <= 0 {
+		opts.MaxWall = 15 * time.Second
+	}
+	dir := opts.JournalDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "chaos-journal-*")
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+
+	clk := clock.NewVirtual()
+	virtStart := clk.Now()
+	wallStart := time.Now()
+
+	hub, err := transport.NewHubClock(sc.N, clk)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	defer hub.Close()
+	nw := NewNetwork(sc, clk)
+	eps := make([]transport.Transport, sc.N)
+	for i := range eps {
+		ep, err := hub.Endpoint(model.ProcessID(i + 1))
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		eps[i] = nw.Wrap(ep)
+	}
+
+	// NoSync: the journal is an audit trail here, not a durability
+	// promise, and fsync stalls would leak wall time into the virtual
+	// schedule.
+	j, err := journal.Open(dir, journal.Options{NoSync: true})
+	if err != nil {
+		res.Err = err
+		return res
+	}
+
+	cp := &crashPlan{down: make(map[model.ProcessID]bool)}
+	for _, c := range sc.Crashes {
+		c := c
+		clk.AfterFunc(c.At, func() { cp.crash(c.P) })
+		if c.Restart > 0 {
+			clk.AfterFunc(c.Restart, func() { cp.restart(c.P) })
+		}
+	}
+
+	cfg := service.Config{
+		N: sc.N, T: sc.T,
+		Factory:         factory,
+		WaitPolicy:      policy,
+		BaseTimeout:     sc.BaseTimeout,
+		MaxBatch:        sc.MaxBatch,
+		Linger:          sc.Linger,
+		MaxInflight:     sc.MaxInflight,
+		InstanceTimeout: sc.InstanceTimeout,
+		Journal:         j,
+		OnInstance:      cp.onInstance,
+		Clock:           clk,
+	}
+	if sc.Adaptive {
+		cfg.Adaptive = &adapt.Config{}
+	}
+	svc, err := service.New(cfg, eps)
+	if err != nil {
+		j.Close()
+		res.Err = err
+		return res
+	}
+
+	// Proposal load: Waves waves submitted on the clock driver, each
+	// proposal's future awaited by its own goroutine. outs is indexed
+	// by proposal number, so the decision log's order is the load
+	// order, not the resolution order.
+	type outcome struct {
+		dec  service.Decision
+		err  error
+		shed bool
+	}
+	outs := make([]outcome, sc.Proposals)
+	var wg sync.WaitGroup
+	wg.Add(sc.Proposals)
+	var loadMu sync.Mutex
+	submitted, aborted := 0, false
+	value := func(idx int) model.Value {
+		return model.Value(int64(idx+1)*1_000_003 + sc.Seed)
+	}
+	submitWave := func(lo, hi int) {
+		loadMu.Lock()
+		defer loadMu.Unlock()
+		if aborted {
+			for i := lo; i < hi; i++ {
+				outs[i] = outcome{err: errAborted}
+				wg.Done()
+			}
+			return
+		}
+		for i := lo; i < hi; i++ {
+			i := i
+			fut, err := svc.Propose(context.Background(), value(i))
+			if err != nil {
+				outs[i] = outcome{err: err, shed: errors.Is(err, adapt.ErrOverload)}
+				wg.Done()
+				continue
+			}
+			go func() {
+				defer wg.Done()
+				dec, err := fut.Wait(context.Background())
+				outs[i] = outcome{dec: dec, err: err}
+			}()
+		}
+		if hi > submitted {
+			submitted = hi
+		}
+	}
+	waves := sc.Waves
+	if waves < 1 {
+		waves = 1
+	}
+	per := (sc.Proposals + waves - 1) / waves
+	for w := 0; w < waves; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > sc.Proposals {
+			hi = sc.Proposals
+		}
+		if lo >= hi {
+			break
+		}
+		clk.AfterFunc(time.Duration(w)*sc.WaveGap, func() { submitWave(lo, hi) })
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	// Drive the virtual schedule: settle the goroutine fabric, then
+	// fire the next instant, until every future has resolved. Every
+	// instance carries a virtual deadline, so a healthy run terminates
+	// on its own; the virtual cap and wall watchdog only catch bugs.
+	virtualCap := sc.Horizon + 2*sc.InstanceTimeout +
+		time.Duration(waves)*sc.WaveGap + time.Second
+	wallDeadline := wallStart.Add(opts.MaxWall)
+	finished := false
+	for !finished {
+		clk.Settle()
+		select {
+		case <-done:
+			finished = true
+			continue
+		default:
+		}
+		if clk.Now().Sub(virtStart) > virtualCap || time.Now().After(wallDeadline) {
+			res.Wedged = true
+			break
+		}
+		if !clk.Step() {
+			// Out of events with unresolved futures: settle once more
+			// in case the last step's work is still propagating.
+			clk.Settle()
+			select {
+			case <-done:
+				finished = true
+			default:
+				res.Wedged = true
+			}
+			if res.Wedged {
+				break
+			}
+		}
+	}
+	if res.Wedged {
+		loadMu.Lock()
+		aborted = true
+		for i := submitted; i < sc.Proposals; i++ {
+			outs[i] = outcome{err: errAborted}
+			wg.Done()
+		}
+		loadMu.Unlock()
+		svc.Abort()
+		<-done
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("wedged after %v virtual / %v wall", clk.Now().Sub(virtStart), time.Since(wallStart)))
+	} else {
+		svc.Close()
+	}
+
+	res.Virtual = clk.Now().Sub(virtStart)
+	res.Wall = time.Since(wallStart)
+
+	// Audit 1: the service's own live check.Instance findings.
+	snap := svc.Snapshot()
+	res.Violations = append(res.Violations, snap.Violations...)
+
+	// Audit 2: replay the journal against the futures' view.
+	j.Close()
+	var recs []wire.DecisionRecord
+	var starts []wire.StartRecord
+	if _, err := journal.Replay(dir, func(e journal.Entry) error {
+		if e.Start {
+			starts = append(starts, wire.StartRecord{Instance: e.Instance(), Alg: e.Alg})
+		} else {
+			recs = append(recs, e.Decision)
+		}
+		return nil
+	}); err != nil {
+		res.Err = fmt.Errorf("chaos: replay journal: %w", err)
+		return res
+	}
+	live := make(map[uint64]model.Value)
+	for _, o := range outs {
+		if o.err == nil {
+			live[o.dec.Instance] = o.dec.Value
+		}
+	}
+	rep := check.Replay(recs, starts, live)
+	res.Violations = append(res.Violations, rep.Violations...)
+
+	// The canonical decision log.
+	var b strings.Builder
+	for i, o := range outs {
+		switch {
+		case o.shed:
+			res.Shed++
+			fmt.Fprintf(&b, "p%03d shed\n", i)
+		case o.err != nil:
+			res.Failed++
+			fmt.Fprintf(&b, "p%03d failed: %v\n", i, o.err)
+		default:
+			res.Decided++
+			fmt.Fprintf(&b, "p%03d v=%d -> inst=%d val=%d round=%d batch=%d\n",
+				i, value(i), o.dec.Instance, o.dec.Value, o.dec.Round, o.dec.Batch)
+		}
+	}
+	res.Log = b.String()
+	return res
+}
+
+// SweepStats aggregates a batch of seeded runs.
+type SweepStats struct {
+	// Runs counts executed scenarios; Failures holds the ones that
+	// found something (violations, wedge, or harness error).
+	Runs     int
+	Failures []Result
+	// Decided, Shed and Failed total the proposal outcomes.
+	Decided, Shed, Failed int
+	// Virtual and Wall total the simulated and wall-clock durations —
+	// the virtual/wall ratio is the harness's time-compression factor.
+	Virtual, Wall time.Duration
+}
+
+// Sweep generates and runs count scenarios from consecutive seeds
+// starting at baseSeed. onRun, when non-nil, observes every result as
+// it completes (the CLI uses it for progress and failure printing).
+func Sweep(baseSeed int64, count int, opts Options, onRun func(Result)) SweepStats {
+	var st SweepStats
+	for i := 0; i < count; i++ {
+		r := Run(Generate(baseSeed+int64(i)), opts)
+		st.Runs++
+		st.Decided += r.Decided
+		st.Shed += r.Shed
+		st.Failed += r.Failed
+		st.Virtual += r.Virtual
+		st.Wall += r.Wall
+		// Generated scenarios are live by construction, so a failed
+		// proposal (an instance missing its generous deadline) is a
+		// finding even when no safety violation was recorded.
+		if !r.OK() || r.Failed > 0 {
+			st.Failures = append(st.Failures, r)
+		}
+		if onRun != nil {
+			onRun(r)
+		}
+	}
+	sort.SliceStable(st.Failures, func(a, b int) bool {
+		return st.Failures[a].Scenario.Seed < st.Failures[b].Scenario.Seed
+	})
+	return st
+}

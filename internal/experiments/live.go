@@ -3,10 +3,13 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
 	"indulgence/internal/adapt"
+	"indulgence/internal/chaos"
+	"indulgence/internal/chaos/clock"
 	"indulgence/internal/core"
 	"indulgence/internal/model"
 	"indulgence/internal/runtime"
@@ -28,9 +31,10 @@ type liveScenario struct {
 	adaptive bool
 	// disturb, if non-nil, runs on the instance's OnInstance hook —
 	// after the cluster is assembled, before its rounds start — with the
-	// scenario's hub (delay injection) and cluster (crash injection);
-	// it returns the number of crashed processes.
-	disturb func(hub *transport.Hub, cl *runtime.Cluster) int
+	// scenario's clock (for scheduling the heal), hub (delay injection)
+	// and cluster (crash injection); it returns the number of crashed
+	// processes.
+	disturb func(clk clock.Clock, hub *transport.Hub, cl *runtime.Cluster) int
 	// wantRound, if non-zero, is the exact global decision round
 	// expected of the instance.
 	wantRound model.Round
@@ -39,29 +43,19 @@ type liveScenario struct {
 	wantAlg string
 }
 
-// liveRow is one scenario's rendered outcome, collected concurrently and
-// tabled in scenario order.
+// liveRow is one scenario's rendered outcome, plus its line in the
+// canonical decision log.
 type liveRow struct {
 	cells []any
+	log   string
 	fails []string
 }
 
-// E9LiveRuntime validates the engineering claim behind indulgence on the
-// consensus service itself — the same layer bench-service loads — over
-// the in-memory transport: each scenario proposes n distinct values,
-// which the service batches into one consensus instance, so the quiet
-// network decides at exactly t+2 rounds, and injected delay periods
-// (false suspicions) and crash injections slow decisions down but never
-// endanger validity or agreement (the service's own check.Instance audit
-// must stay silent). Scenarios run concurrently, giving the experiment
-// wall-clock parity with the bench instead of paying each disturbance's
-// injected delay serially.
-func E9LiveRuntime() (*Outcome, error) {
-	o := &Outcome{
-		ID:    "E9",
-		Title: "Live service: indulgence under real concurrency (in-memory transport)",
-	}
-	scenarios := []liveScenario{
+// e9Scenarios is the fixed scenario set of E9. Timings are virtual:
+// the injected 80ms delay and 200ms heal cost two discrete events, not
+// wall time.
+func e9Scenarios() []liveScenario {
+	return []liveScenario{
 		{
 			name: "quiet network, A_t+2", n: 5, t: 2,
 			factory:     core.New(core.Options{}),
@@ -91,9 +85,9 @@ func E9LiveRuntime() (*Outcome, error) {
 			name: "async period: p1 delayed 80ms, A_t+2", n: 5, t: 2,
 			factory:     core.New(core.Options{}),
 			baseTimeout: 10 * time.Millisecond,
-			disturb: func(hub *transport.Hub, _ *runtime.Cluster) int {
+			disturb: func(clk clock.Clock, hub *transport.Hub, _ *runtime.Cluster) int {
 				hub.DelayProcess(1, 80*time.Millisecond)
-				time.AfterFunc(200*time.Millisecond, hub.Heal)
+				clk.AfterFunc(200*time.Millisecond, hub.Heal)
 				return 0
 			},
 		},
@@ -101,7 +95,7 @@ func E9LiveRuntime() (*Outcome, error) {
 			name: "crash p2 at start, A_t+2", n: 5, t: 2,
 			factory:     core.New(core.Options{}),
 			baseTimeout: 10 * time.Millisecond,
-			disturb: func(_ *transport.Hub, cl *runtime.Cluster) int {
+			disturb: func(_ clock.Clock, _ *transport.Hub, cl *runtime.Cluster) int {
 				_ = cl.Crash(2)
 				return 1
 			},
@@ -110,27 +104,39 @@ func E9LiveRuntime() (*Outcome, error) {
 			name: "crash p1+p2, A_f+2", n: 7, t: 2,
 			factory:     core.NewAfPlus2(),
 			baseTimeout: 10 * time.Millisecond,
-			disturb: func(_ *transport.Hub, cl *runtime.Cluster) int {
+			disturb: func(_ clock.Clock, _ *transport.Hub, cl *runtime.Cluster) int {
 				_ = cl.Crash(1)
 				_ = cl.Crash(2)
 				return 2
 			},
 		},
 	}
+}
 
-	rows := make([]liveRow, len(scenarios))
-	var wg sync.WaitGroup
-	for i, sc := range scenarios {
-		wg.Add(1)
-		go func(i int, sc liveScenario) {
-			defer wg.Done()
-			rows[i] = runLiveScenario(sc)
-		}(i, sc)
+// E9LiveRuntime validates the engineering claim behind indulgence on the
+// consensus service itself — the same layer bench-service loads — over
+// the in-memory transport: each scenario proposes n distinct values,
+// which the service batches into one consensus instance, so the quiet
+// network decides at exactly t+2 rounds, and injected delay periods
+// (false suspicions) and crash injections slow decisions down but never
+// endanger validity or agreement (the service's own check.Instance audit
+// must stay silent). Every scenario runs on its own virtual clock behind
+// the chaos fault fabric, so the whole experiment — 80ms delay windows,
+// 200ms heal schedules and all — costs milliseconds of wall time and is
+// reproducible from its seed (see E9DecisionLog).
+func E9LiveRuntime() (*Outcome, error) {
+	o := &Outcome{
+		ID:    "E9",
+		Title: "Live service: indulgence under virtual time (in-memory transport, chaos fabric)",
 	}
-	wg.Wait()
+	scenarios := e9Scenarios()
+	rows := make([]liveRow, len(scenarios))
+	for i, sc := range scenarios {
+		rows[i] = runLiveScenario(sc, 1)
+	}
 
-	table := stats.NewTable("Live service outcomes (one instance per scenario, scenarios concurrent)",
-		"scenario", "n", "t", "crashes", "agreed value", "round", "decision latency")
+	table := stats.NewTable("Live service outcomes (one instance per scenario, virtual time)",
+		"scenario", "n", "t", "crashes", "agreed value", "round", "virtual decision latency")
 	for i, row := range rows {
 		table.AddRowf(row.cells...)
 		for _, f := range rows[i].fails {
@@ -142,33 +148,59 @@ func E9LiveRuntime() (*Outcome, error) {
 		"delay injection causes false suspicions and extra rounds but never endangers agreement — the",
 		"operational meaning of indulgence; with a quiet network A_t+2 hits its t+2 fast path exactly,",
 		"and the adaptive control plane keeps the non-indulgent A_f+2 selected while the cluster stays",
-		"synchronous and trusted. All scenarios ride the service layer (batching, muxes, futures).")
+		"synchronous and trusted. All scenarios ride the service layer (batching, muxes, futures) on",
+		"virtual clocks: latencies are simulated time, and the same seed replays the same schedule.")
 	return o, nil
 }
 
-// runLiveScenario drives one scenario through a dedicated service: the
-// n distinct proposals batch into a single consensus instance, the
-// scenario's disturbance fires on the instance hook, and the service's
-// snapshot (check.Instance audit included) is the verdict.
-func runLiveScenario(sc liveScenario) liveRow {
+// E9DecisionLog runs every E9 scenario on virtual clocks and returns the
+// canonical decision log plus any failures. The log is the experiment's
+// reproducibility witness: for one seed, two runs (on a cooperatively
+// scheduled runtime — pin GOMAXPROCS to 1) must produce identical bytes,
+// because every cross-process frame is a tagged clock event whose
+// ordering is a pure function of (seed, frame contents).
+func E9DecisionLog(seed int64) (string, []string) {
+	var b strings.Builder
+	var fails []string
+	for _, sc := range e9Scenarios() {
+		row := runLiveScenario(sc, seed)
+		b.WriteString(row.log)
+		fails = append(fails, row.fails...)
+	}
+	return b.String(), fails
+}
+
+// runLiveScenario drives one scenario through a dedicated service on a
+// fresh virtual clock: the n distinct proposals batch into a single
+// consensus instance, the scenario's disturbance fires on the instance
+// hook, and the service's snapshot (check.Instance audit included) is
+// the verdict. The endpoints are wrapped in a quiet chaos fabric — no
+// faults, but every cross-process frame becomes a seed-tagged clock
+// event, which is what makes the schedule replayable.
+func runLiveScenario(sc liveScenario, seed int64) liveRow {
 	fail := func(format string, args ...any) liveRow {
+		msg := fmt.Sprintf("E9 %s: %s", sc.name, fmt.Sprintf(format, args...))
 		return liveRow{
 			cells: []any{sc.name, sc.n, sc.t, "-", "-", "-", "-"},
-			fails: []string{fmt.Sprintf("E9 %s: %s", sc.name, fmt.Sprintf(format, args...))},
+			log:   fmt.Sprintf("%s: FAILED\n", sc.name),
+			fails: []string{msg},
 		}
 	}
-	hub, err := transport.NewHub(sc.n)
+	clk := clock.NewVirtual()
+	virtStart := clk.Now()
+	hub, err := transport.NewHubClock(sc.n, clk)
 	if err != nil {
 		return fail("%v", err)
 	}
 	defer func() { _ = hub.Close() }()
+	nw := chaos.NewNetwork(chaos.Scenario{Seed: seed}, clk)
 	eps := make([]transport.Transport, sc.n)
 	for i := 0; i < sc.n; i++ {
 		ep, err := hub.Endpoint(model.ProcessID(i + 1))
 		if err != nil {
 			return fail("%v", err)
 		}
-		eps[i] = ep
+		eps[i] = nw.Wrap(ep)
 	}
 	crashes := 0
 	cfg := service.Config{
@@ -179,9 +211,10 @@ func runLiveScenario(sc liveScenario) liveRow {
 		MaxBatch:    sc.n,
 		Linger:      500 * time.Millisecond, // the batch fills to n long before this
 		MaxInflight: 1,
+		Clock:       clk,
 		OnInstance: func(_ uint64, cl *runtime.Cluster) {
 			if sc.disturb != nil {
-				crashes = sc.disturb(hub, cl)
+				crashes = sc.disturb(clk, hub, cl)
 			}
 		},
 	}
@@ -202,24 +235,70 @@ func runLiveScenario(sc liveScenario) liveRow {
 	}
 	defer func() { _ = svc.Close() }()
 
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
 	futs := make([]*service.Future, sc.n)
 	for i := range futs {
-		if futs[i], err = svc.Propose(ctx, model.Value(i+1)); err != nil {
+		if futs[i], err = svc.Propose(context.Background(), model.Value(i+1)); err != nil {
 			return fail("propose: %v", err)
 		}
 	}
-	var dec service.Decision
+	decs := make([]service.Decision, sc.n)
+	errs := make([]error, sc.n)
+	var wg sync.WaitGroup
+	wg.Add(sc.n)
 	for i, fut := range futs {
-		d, err := fut.Wait(ctx)
-		if err != nil {
-			return fail("wait: %v", err)
+		i, fut := i, fut
+		go func() {
+			defer wg.Done()
+			decs[i], errs[i] = fut.Wait(context.Background())
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	// Drive the virtual schedule until every future resolves. A healthy
+	// scenario finishes well inside a virtual second; the cap and wall
+	// watchdog only catch bugs (fd tickers keep the event queue alive
+	// forever, so a dry queue is not the wedge signal here).
+	const virtualCap = 30 * time.Second
+	wallDeadline := time.Now().Add(15 * time.Second)
+	finished := false
+	for !finished {
+		clk.Settle()
+		select {
+		case <-done:
+			finished = true
+			continue
+		default:
+		}
+		if clk.Now().Sub(virtStart) > virtualCap || time.Now().After(wallDeadline) {
+			break
+		}
+		if !clk.Step() {
+			clk.Settle()
+			select {
+			case <-done:
+				finished = true
+			default:
+			}
+			if !finished {
+				break
+			}
+		}
+	}
+	if !finished {
+		svc.Abort()
+		<-done
+		return fail("wedged after %v virtual", clk.Now().Sub(virtStart))
+	}
+	var dec service.Decision
+	for i := range futs {
+		if errs[i] != nil {
+			return fail("wait: %v", errs[i])
 		}
 		if i == 0 {
-			dec = d
-		} else if d != dec {
-			return fail("batch split across decisions: %+v vs %+v", d, dec)
+			dec = decs[i]
+		} else if decs[i] != dec {
+			return fail("batch split across decisions: %+v vs %+v", decs[i], dec)
 		}
 	}
 	if err := svc.Close(); err != nil {
@@ -227,8 +306,12 @@ func runLiveScenario(sc liveScenario) liveRow {
 	}
 	st := svc.Snapshot()
 
-	row := liveRow{cells: []any{sc.name, sc.n, sc.t, crashes, dec.Value, dec.Round,
-		st.DecisionLatency.Max.Round(time.Millisecond)}}
+	latency := st.DecisionLatency.Max.Round(time.Microsecond)
+	row := liveRow{
+		cells: []any{sc.name, sc.n, sc.t, crashes, dec.Value, dec.Round, latency},
+		log: fmt.Sprintf("%s: val=%d round=%d batch=%d crashes=%d latency=%v\n",
+			sc.name, dec.Value, dec.Round, dec.Batch, crashes, latency),
+	}
 	expect := func(cond bool, format string, args ...any) {
 		if !cond {
 			row.fails = append(row.fails, fmt.Sprintf("E9 %s: %s", sc.name, fmt.Sprintf(format, args...)))

@@ -1,0 +1,45 @@
+package experiments_test
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"indulgence/internal/experiments"
+)
+
+// TestE9VirtualTime pins the two properties the virtual-clock port of
+// E9 exists for: the whole experiment — 80ms delay windows, 200ms heal
+// schedules, crash scenarios — finishes in well under 100ms of wall
+// time, and one seed reproduces one decision log, byte for byte.
+func TestE9VirtualTime(t *testing.T) {
+	// The replay contract is per-schedule; schedules are exact only
+	// under cooperative scheduling.
+	prev := runtime.GOMAXPROCS(1)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+
+	start := time.Now()
+	first, fails := experiments.E9DecisionLog(7)
+	elapsed := time.Since(start)
+	for _, f := range fails {
+		t.Errorf("seeded E9 run failed: %s", f)
+	}
+	if first == "" {
+		t.Fatal("empty decision log")
+	}
+	if elapsed >= 100*time.Millisecond {
+		t.Errorf("E9 on virtual time took %v wall, want < 100ms", elapsed)
+	}
+	if !strings.Contains(first, "round=") || !strings.Contains(first, "latency=") {
+		t.Fatalf("decision log missing expected fields:\n%s", first)
+	}
+
+	again, fails := experiments.E9DecisionLog(7)
+	for _, f := range fails {
+		t.Errorf("seeded E9 rerun failed: %s", f)
+	}
+	if first != again {
+		t.Errorf("same seed, different decision logs:\n--- first\n%s--- again\n%s", first, again)
+	}
+}

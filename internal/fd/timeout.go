@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"indulgence/internal/chaos/clock"
 	"indulgence/internal/model"
 )
 
@@ -15,23 +16,71 @@ import (
 // finitely often: the detector converges to ◇P, exactly the behaviour the
 // paper's ES model abstracts. The zero value is not usable; construct with
 // NewTimeoutDetector.
+//
+// The detector measures elapsed time on an injected clock: under the
+// chaos harness's virtual clock, suspicion timing is simulated-time
+// exact instead of wall-clock approximate. The round loop marks the
+// start of each receive phase with BeginRound and asks SuspectOverdue
+// to raise whatever suspicions the elapsed round time justifies.
 type TimeoutDetector struct {
+	clk       clock.Clock
 	mu        sync.Mutex
 	base      time.Duration
 	max       time.Duration
 	timeouts  map[model.ProcessID]time.Duration
 	suspected model.PIDSet
 	events    int
+	roundAt   time.Time
 }
 
 // NewTimeoutDetector returns a detector with the given initial per-process
-// timeout. Timeouts double on each false suspicion, capped at 64× the
-// base.
+// timeout, measuring on the wall clock. Timeouts double on each false
+// suspicion, capped at 64× the base.
 func NewTimeoutDetector(base time.Duration) *TimeoutDetector {
+	return NewTimeoutDetectorClock(base, clock.Real{})
+}
+
+// NewTimeoutDetectorClock is NewTimeoutDetector on an explicit clock.
+func NewTimeoutDetectorClock(base time.Duration, clk clock.Clock) *TimeoutDetector {
 	return &TimeoutDetector{
+		clk:      clock.Or(clk),
 		base:     base,
 		max:      64 * base,
 		timeouts: make(map[model.ProcessID]time.Duration),
+	}
+}
+
+// BeginRound marks the start of a receive phase: SuspectOverdue measures
+// per-process timeouts from this instant.
+func (d *TimeoutDetector) BeginRound() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.roundAt = d.clk.Now()
+}
+
+// SuspectOverdue suspects every process in 1..n — except self and the
+// already-heard set — whose timeout has expired since BeginRound. The
+// round loop calls it on its polling tick; under a virtual clock the
+// elapsed time is exact, so a run's suspicion pattern is a function of
+// the schedule, not of host scheduling jitter.
+func (d *TimeoutDetector) SuspectOverdue(n int, self model.ProcessID, heard model.PIDSet) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	elapsed := d.clk.Now().Sub(d.roundAt)
+	for q := model.ProcessID(1); int(q) <= n; q++ {
+		if q == self || heard.Has(q) {
+			continue
+		}
+		t, ok := d.timeouts[q]
+		if !ok {
+			t = d.base
+		}
+		if elapsed >= t {
+			if !d.suspected.Has(q) {
+				d.events++
+			}
+			d.suspected.Add(q)
+		}
 	}
 }
 

@@ -72,7 +72,7 @@ func (n *node) report(decided model.OptValue, round model.Round, start time.Time
 		ID:         n.id,
 		Decision:   decided,
 		Round:      round,
-		Elapsed:    time.Since(start),
+		Elapsed:    n.cfg.Clock.Since(start),
 		Crashed:    crashed,
 		Suspicions: n.detector.SuspectEvents(),
 	}
@@ -80,7 +80,7 @@ func (n *node) report(decided model.OptValue, round model.Round, start time.Time
 
 // loop is the node's round engine.
 func (n *node) loop(ctx context.Context) {
-	start := time.Now()
+	start := n.cfg.Clock.Now()
 	var (
 		decided      model.OptValue
 		decidedRound model.Round
@@ -154,8 +154,8 @@ func (n *node) collect(ctx context.Context, k model.Round) ([]model.Message, boo
 		return unsuspected.Diff(heard).IsEmpty()
 	}
 
-	roundStart := time.Now()
-	ticker := time.NewTicker(n.cfg.BaseTimeout / 4)
+	n.detector.BeginRound()
+	ticker := n.cfg.Clock.NewTicker(n.cfg.BaseTimeout / 4)
 	defer ticker.Stop()
 	for !satisfied() {
 		select {
@@ -181,18 +181,11 @@ func (n *node) collect(ctx context.Context, k model.Round) ([]model.Message, boo
 			default:
 				n.buffered[m.Round] = append(n.buffered[m.Round], m)
 			}
-		case <-ticker.C:
+		case <-ticker.C():
 			// Suspect every unheard process whose timeout has expired
-			// this round.
-			elapsed := time.Since(roundStart)
-			for q := model.ProcessID(1); int(q) <= n.cfg.N; q++ {
-				if q == n.id || heard.Has(q) {
-					continue
-				}
-				if elapsed >= n.detector.TimeoutFor(q) {
-					n.detector.Suspect(q)
-				}
-			}
+			// this round (the detector measures from BeginRound on the
+			// cluster's clock).
+			n.detector.SuspectOverdue(n.cfg.N, n.id, heard)
 		}
 	}
 

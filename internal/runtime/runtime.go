@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"indulgence/internal/chaos/clock"
 	"indulgence/internal/core"
 	"indulgence/internal/fd"
 	"indulgence/internal/model"
@@ -66,6 +67,11 @@ type Config struct {
 	BaseTimeout time.Duration
 	// MaxRounds aborts a node after this many rounds (default 256).
 	MaxRounds model.Round
+	// Clock is the time source for round pacing and suspicion timeouts
+	// (default the wall clock). The chaos harness injects a virtual
+	// clock here, turning timeout behaviour into a deterministic
+	// function of the simulated schedule.
+	Clock clock.Clock
 }
 
 // NodeResult is one process's outcome.
@@ -121,6 +127,7 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.MaxRounds == 0 {
 		cfg.MaxRounds = 256
 	}
+	cfg.Clock = clock.Or(cfg.Clock)
 	if cfg.Members.IsEmpty() {
 		cfg.Members = model.FullPIDSet(cfg.N)
 	}
@@ -152,7 +159,7 @@ func New(cfg Config) (*Cluster, error) {
 			cfg:       &c.cfg,
 			alg:       alg,
 			ep:        cfg.Endpoints[i],
-			detector:  fd.NewTimeoutDetector(cfg.BaseTimeout),
+			detector:  fd.NewTimeoutDetectorClock(cfg.BaseTimeout, cfg.Clock),
 			buffered:  make(map[model.Round][]model.Message),
 			decisions: c.decisions,
 		}

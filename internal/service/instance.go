@@ -1,11 +1,11 @@
 package service
 
 import (
-	"context"
 	"fmt"
 	"time"
 
 	"indulgence/internal/adapt"
+	"indulgence/internal/chaos/clock"
 	"indulgence/internal/check"
 	"indulgence/internal/model"
 	"indulgence/internal/runtime"
@@ -23,7 +23,7 @@ import (
 // the next queued batch.
 func (s *Service) runInstance(instance uint64, batch []*pending, choice adapt.Choice) {
 	defer s.wg.Done()
-	begin := time.Now()
+	begin := s.cfg.Clock.Now()
 	// The instance slot bounds concurrent consensus runs — round loops,
 	// detectors, in-flight frames. It is released as soon as the run is
 	// over (releaseSlot below), before the journal fsync and future
@@ -65,6 +65,7 @@ func (s *Service) runInstance(instance uint64, batch []*pending, choice adapt.Ch
 		WaitPolicy:  choice.WaitPolicy,
 		BaseTimeout: s.cfg.BaseTimeout,
 		MaxRounds:   s.cfg.MaxRounds,
+		Clock:       s.cfg.Clock,
 	})
 	if err != nil {
 		retire()
@@ -74,7 +75,7 @@ func (s *Service) runInstance(instance uint64, batch []*pending, choice adapt.Ch
 	if s.cfg.OnInstance != nil {
 		s.cfg.OnInstance(instance, cl)
 	}
-	ctx, cancel := context.WithTimeout(s.runCtx, s.cfg.InstanceTimeout)
+	ctx, cancel := clock.WithTimeout(s.runCtx, s.cfg.Clock, s.cfg.InstanceTimeout)
 	results, runErr := cl.Run(ctx)
 	cancel()
 	retire()
@@ -110,7 +111,7 @@ func (s *Service) runInstance(instance uint64, batch []*pending, choice adapt.Ch
 		s.failInstance(batch, fmt.Errorf("service: instance %d: %w", instance, runErr))
 		return
 	}
-	decided := time.Since(begin)
+	decided := s.cfg.Clock.Since(begin)
 	// An instance cancelled by service shutdown (Abort, or a Close racing
 	// a kill) had its undecided nodes die with the service — that is a
 	// crash-stop, not a termination violation, so they are excused the
@@ -139,7 +140,7 @@ func (s *Service) runInstance(instance uint64, batch []*pending, choice adapt.Ch
 	}
 
 	dec := Decision{Instance: instance, Value: value, Round: round, Batch: len(batch)}
-	now := time.Now()
+	now := s.cfg.Clock.Now()
 	var latencies []time.Duration
 	for _, p := range batch {
 		latencies = append(latencies, now.Sub(p.enqueued))

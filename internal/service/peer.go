@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"indulgence/internal/adapt"
+	"indulgence/internal/chaos/clock"
 	"indulgence/internal/core"
 	"indulgence/internal/journal"
 	"indulgence/internal/model"
@@ -75,6 +76,10 @@ type PeerOptions struct {
 	// restarted member resumes past its journaled frontier. Each member
 	// owns its own journal directory.
 	Journal *journal.Journal
+	// Clock is the time source for lingers, deadlines, flood grace and
+	// latency accounting (default the wall clock); the chaos harness
+	// injects a virtual clock here.
+	Clock clock.Clock
 	// Adaptive, when non-nil, attaches the feedback control plane: the
 	// batch controller and admission gate work exactly as for the
 	// single-process service. SelectAlgorithms must be false — a member
@@ -110,6 +115,7 @@ func (cfg PeerOptions) withDefaults() PeerOptions {
 	if cfg.NoopValue == 0 {
 		cfg.NoopValue = model.Value(math.MaxInt64)
 	}
+	cfg.Clock = clock.Or(cfg.Clock)
 	return cfg
 }
 
@@ -208,7 +214,13 @@ func NewPeer(cfg PeerOptions, n int, ep transport.Transport) (*PeerService, erro
 	// single-process service.
 	ceiling := cfg.MaxBatch
 	if cfg.Adaptive != nil {
-		plane = adapt.NewPlane(*cfg.Adaptive, static,
+		// One clock drives lingers, deadlines and controller windows
+		// alike (see the single-process service).
+		ac := *cfg.Adaptive
+		if ac.Now == nil {
+			ac.Now = cfg.Clock.Now
+		}
+		plane = adapt.NewPlane(ac, static,
 			adapt.Setting{Batch: cfg.MaxBatch, Linger: cfg.Linger}, n, cfg.T)
 		if c := plane.BatchCeiling(); c > ceiling {
 			ceiling = c
@@ -253,7 +265,7 @@ func NewPeer(cfg PeerOptions, n int, ep transport.Transport) (*PeerService, erro
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	go s.batcher()
 	if s.plane != nil {
-		go controlLoop(s.runCtx, s.plane, s.intake, s.slots)
+		go controlLoop(s.runCtx, cfg.Clock, s.plane, s.intake, s.slots)
 	}
 	return s, nil
 }
@@ -279,7 +291,7 @@ func (s *PeerService) Lookup(instance uint64) (Decision, bool) {
 // resolves to the decision of the instance the proposal rides — which,
 // by agreement, every member's clients observe identically.
 func (s *PeerService) Propose(ctx context.Context, v model.Value) (*Future, error) {
-	p := &pending{value: v, enqueued: time.Now(), fut: &Future{done: make(chan struct{})}}
+	p := &pending{value: v, enqueued: s.cfg.Clock.Now(), fut: &Future{done: make(chan struct{})}}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
@@ -409,7 +421,7 @@ func (s *PeerService) batcher() {
 	defer close(s.batcherDone)
 	var (
 		batch   []*pending
-		lingerT *time.Timer
+		lingerT clock.Timer
 		lingerC <-chan time.Time
 	)
 	stopLinger := func() {
@@ -439,8 +451,8 @@ func (s *PeerService) batcher() {
 			}
 			batch = append(batch, p)
 			if len(batch) == 1 {
-				lingerT = time.NewTimer(s.lingerFor())
-				lingerC = lingerT.C
+				lingerT = s.cfg.Clock.NewTimer(s.lingerFor())
+				lingerC = lingerT.C()
 			}
 			if len(batch) >= s.batchLimit() {
 				flush()
@@ -537,7 +549,7 @@ func (s *PeerService) clearActive(slot uint64) {
 func (s *PeerService) runSlot(slot uint64, batch []*pending, joined bool) {
 	defer s.wg.Done()
 	defer s.clearActive(slot)
-	begin := time.Now()
+	begin := s.cfg.Clock.Now()
 	slotHeld := true
 	releaseSlot := func() {
 		if slotHeld {
@@ -576,6 +588,7 @@ func (s *PeerService) runSlot(slot uint64, batch []*pending, joined bool) {
 		WaitPolicy:  s.cfg.WaitPolicy,
 		BaseTimeout: s.cfg.BaseTimeout,
 		MaxRounds:   s.cfg.MaxRounds,
+		Clock:       s.cfg.Clock,
 	})
 	if err != nil {
 		s.mux.Retire(slot)
@@ -588,7 +601,7 @@ func (s *PeerService) runSlot(slot uint64, batch []*pending, joined bool) {
 	if joined && len(batch) == 0 {
 		deadline = s.cfg.JoinTimeout
 	}
-	ctx, cancel := context.WithTimeout(s.runCtx, deadline)
+	ctx, cancel := clock.WithTimeout(s.runCtx, s.cfg.Clock, deadline)
 	defer cancel()
 	if err := cl.Start(ctx); err != nil {
 		s.mux.Retire(slot)
@@ -601,7 +614,7 @@ func (s *PeerService) runSlot(slot uint64, batch []*pending, joined bool) {
 	case <-ctx.Done():
 	}
 	value, decided := res.Decision.Get()
-	decisionLat := time.Since(begin)
+	decisionLat := s.cfg.Clock.Since(begin)
 	if !decided {
 		cl.Stop()
 		s.mux.Retire(slot)
@@ -631,7 +644,7 @@ func (s *PeerService) runSlot(slot uint64, batch []*pending, joined bool) {
 	}
 
 	dec := Decision{Instance: slot, Value: value, Round: res.Round, Batch: localBatch}
-	now := time.Now()
+	now := s.cfg.Clock.Now()
 	var latencies []time.Duration
 	for _, p := range batch {
 		latencies = append(latencies, now.Sub(p.enqueued))
@@ -662,9 +675,11 @@ func (s *PeerService) runSlot(slot uint64, batch []*pending, joined bool) {
 	// The slot ticket is free from here: flood grace must not throttle
 	// the next instance.
 	releaseSlot()
+	grace := s.cfg.Clock.NewTimer(s.cfg.FloodGrace)
 	select {
-	case <-time.After(s.cfg.FloodGrace):
+	case <-grace.C():
 	case <-s.runCtx.Done():
+		grace.Stop()
 	}
 	cl.Stop()
 	s.mux.Retire(slot)

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"indulgence/internal/adapt"
+	"indulgence/internal/chaos/clock"
 	"indulgence/internal/core"
 	"indulgence/internal/journal"
 	"indulgence/internal/model"
@@ -94,9 +95,17 @@ type Config struct {
 	// OnInstance, when non-nil, is invoked on the instance goroutine
 	// after the instance's cluster is assembled and immediately before
 	// its rounds start — the fault-injection and observability hook the
-	// live experiments use to crash processes or delay links of a
-	// specific instance. It must not retain cl past the call.
+	// live experiments and the chaos harness use to crash processes or
+	// delay links of a specific instance. The hook may retain cl to
+	// inject faults for as long as the instance runs (Crash is safe at
+	// any point of the cluster's lifetime, and is a no-op once the
+	// instance has stopped), but must not call cl's run/stop methods.
 	OnInstance func(instance uint64, cl *runtime.Cluster)
+	// Clock is the time source for batching lingers, instance deadlines,
+	// latency accounting and the control loop (default the wall clock).
+	// The chaos harness injects a virtual clock here and threads it
+	// through every instance's runtime cluster.
+	Clock clock.Clock
 }
 
 // withDefaults returns cfg with zero fields replaced by defaults.
@@ -113,6 +122,7 @@ func (cfg Config) withDefaults() Config {
 	if cfg.InstanceTimeout == 0 {
 		cfg.InstanceTimeout = 30 * time.Second
 	}
+	cfg.Clock = clock.Or(cfg.Clock)
 	return cfg
 }
 
@@ -302,7 +312,15 @@ func New(cfg Config, endpoints []transport.Transport) (*Service, error) {
 	// grows the batch to absorb a burst.
 	ceiling := cfg.MaxBatch
 	if cfg.Adaptive != nil {
-		plane = adapt.NewPlane(*cfg.Adaptive, static,
+		// The control plane observes on the service's clock unless the
+		// caller injected its own: one clock drives lingers, deadlines
+		// and controller windows alike, so a virtual-time run is
+		// adaptive end to end.
+		ac := *cfg.Adaptive
+		if ac.Now == nil {
+			ac.Now = cfg.Clock.Now
+		}
+		plane = adapt.NewPlane(ac, static,
 			adapt.Setting{Batch: cfg.MaxBatch, Linger: cfg.Linger}, cfg.N, cfg.T)
 		if c := plane.BatchCeiling(); c > ceiling {
 			ceiling = c
@@ -341,7 +359,7 @@ func New(cfg Config, endpoints []transport.Transport) (*Service, error) {
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	go s.batcher()
 	if s.plane != nil {
-		go controlLoop(s.runCtx, s.plane, s.intake, s.slots)
+		go controlLoop(s.runCtx, cfg.Clock, s.plane, s.intake, s.slots)
 	}
 	return s, nil
 }
@@ -349,14 +367,14 @@ func New(cfg Config, endpoints []transport.Transport) (*Service, error) {
 // controlLoop ticks a control plane at its interval with the live
 // queue/slot occupancy until the service's run context ends. Both
 // service shapes share it.
-func controlLoop(ctx context.Context, plane *adapt.Plane, intake chan *pending, slots chan struct{}) {
-	t := time.NewTicker(plane.Interval())
+func controlLoop(ctx context.Context, clk clock.Clock, plane *adapt.Plane, intake chan *pending, slots chan struct{}) {
+	t := clk.NewTicker(plane.Interval())
 	defer t.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-t.C:
+		case <-t.C():
 			plane.Tick(len(intake), cap(intake), len(slots), cap(slots))
 		}
 	}
@@ -383,7 +401,7 @@ func (s *Service) Lookup(instance uint64) (Decision, bool) {
 // gate detects sustained intake saturation sheds the proposal with
 // adapt.ErrOverload instead of queueing it — callers back off and retry.
 func (s *Service) Propose(ctx context.Context, v model.Value) (*Future, error) {
-	p := &pending{value: v, enqueued: time.Now(), fut: &Future{done: make(chan struct{})}}
+	p := &pending{value: v, enqueued: s.cfg.Clock.Now(), fut: &Future{done: make(chan struct{})}}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
@@ -526,7 +544,7 @@ func (s *Service) batcher() {
 	defer close(s.batcherDone)
 	var (
 		batch   []*pending
-		lingerT *time.Timer
+		lingerT clock.Timer
 		lingerC <-chan time.Time
 	)
 	stopLinger := func() {
@@ -598,8 +616,8 @@ func (s *Service) batcher() {
 			}
 			batch = append(batch, p)
 			if len(batch) == 1 {
-				lingerT = time.NewTimer(s.lingerFor())
-				lingerC = lingerT.C
+				lingerT = s.cfg.Clock.NewTimer(s.lingerFor())
+				lingerC = lingerT.C()
 			}
 			if len(batch) >= s.batchLimit() {
 				flush()

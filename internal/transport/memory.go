@@ -3,8 +3,10 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"indulgence/internal/chaos/clock"
 	"indulgence/internal/model"
 )
 
@@ -13,24 +15,49 @@ import (
 // reproduce the paper's asynchronous periods and false suspicions — and
 // never drops frames (reliable channels): a delayed or partitioned frame
 // is delivered when its delay elapses.
+//
+// The hub runs on an injected clock: delayed deliveries are clock
+// timers, so under the chaos harness's virtual clock an 80ms injected
+// delay costs one discrete event instead of 80ms of wall time. The hub
+// also shares an in-flight frame counter across its mailboxes (and, via
+// SharedFrameCounter, across any Mux layered on an endpoint); with a
+// virtual clock it registers the counter as an idle check, so simulated
+// time never advances over a frame that is already deliverable.
 type Hub struct {
-	n int
+	n       int
+	clk     clock.Clock
+	pending atomic.Int64
 
 	mu      sync.Mutex
 	boxes   []*mailbox
 	delayFn func(from, to model.ProcessID) time.Duration
+	delayed map[*delayedFrame]struct{}
 	timers  sync.WaitGroup
 	closed  bool
 }
 
-// NewHub returns a hub connecting n endpoints with no injected delays.
-func NewHub(n int) (*Hub, error) {
+// delayedFrame is one in-flight delayed delivery, tracked so Close can
+// stop it (a virtual clock never fires timers on its own, so waiting
+// for them would hang).
+type delayedFrame struct{ timer clock.Timer }
+
+// NewHub returns a hub connecting n endpoints with no injected delays,
+// running on the wall clock.
+func NewHub(n int) (*Hub, error) { return NewHubClock(n, clock.Real{}) }
+
+// NewHubClock is NewHub on an explicit clock. When clk registers idle
+// checks (a chaos virtual clock), the hub's in-flight frames hold the
+// clock still until they are consumed.
+func NewHubClock(n int, clk clock.Clock) (*Hub, error) {
 	if n < 1 || n > model.MaxProcesses {
 		return nil, fmt.Errorf("transport: invalid hub size %d", n)
 	}
-	h := &Hub{n: n, boxes: make([]*mailbox, n)}
+	h := &Hub{n: n, clk: clock.Or(clk), boxes: make([]*mailbox, n), delayed: make(map[*delayedFrame]struct{})}
 	for i := range h.boxes {
-		h.boxes[i] = newMailbox()
+		h.boxes[i] = newMailboxTracked(&h.pending)
+	}
+	if reg, ok := h.clk.(clock.IdleRegistry); ok {
+		reg.RegisterIdle(func() bool { return h.pending.Load() == 0 })
 	}
 	return h, nil
 }
@@ -68,8 +95,10 @@ func (h *Hub) DelayProcess(p model.ProcessID, d time.Duration) {
 // Heal removes all injected delays.
 func (h *Hub) Heal() { h.SetDelayFn(nil) }
 
-// Close shuts every endpoint down after in-flight delayed frames have been
-// handed over.
+// Close shuts every endpoint down. Delayed frames whose timers have not
+// fired are discarded — their receivers' mailboxes are closing anyway —
+// and in-flight handovers are waited out, so no timer goroutine touches
+// a mailbox after Close returns.
 func (h *Hub) Close() error {
 	h.mu.Lock()
 	if h.closed {
@@ -78,6 +107,12 @@ func (h *Hub) Close() error {
 	}
 	h.closed = true
 	boxes := h.boxes
+	for d := range h.delayed {
+		if d.timer.Stop() {
+			h.timers.Done()
+		}
+	}
+	h.delayed = nil
 	h.mu.Unlock()
 	h.timers.Wait()
 	for _, b := range boxes {
@@ -102,10 +137,17 @@ func (h *Hub) send(from, to model.ProcessID, frame []byte) error {
 	}
 	if delay > 0 {
 		h.timers.Add(1)
-		time.AfterFunc(delay, func() {
+		d := &delayedFrame{}
+		d.timer = h.clk.AfterFunc(delay, func() {
 			defer h.timers.Done()
+			h.mu.Lock()
+			if h.delayed != nil {
+				delete(h.delayed, d)
+			}
+			h.mu.Unlock()
 			box.put(frame)
 		})
+		h.delayed[d] = struct{}{}
 		h.mu.Unlock()
 		return nil
 	}
@@ -121,6 +163,7 @@ type hubEndpoint struct {
 }
 
 var _ Transport = (*hubEndpoint)(nil)
+var _ frameCounted = (*hubEndpoint)(nil)
 
 // Self implements Transport.
 func (e *hubEndpoint) Self() model.ProcessID { return e.self }
@@ -132,6 +175,11 @@ func (e *hubEndpoint) Send(to model.ProcessID, frame []byte) error {
 
 // Recv implements Transport.
 func (e *hubEndpoint) Recv() <-chan []byte { return e.hub.boxes[e.self-1].out }
+
+// SharedFrameCounter exposes the hub's in-flight frame counter so a Mux
+// (or a chaos injector) layered on this endpoint keeps its buffered
+// frames in the same account.
+func (e *hubEndpoint) SharedFrameCounter() *atomic.Int64 { return &e.hub.pending }
 
 // Close implements Transport. Closing one endpoint only detaches its
 // mailbox; the hub itself is closed with Hub.Close.

@@ -9,6 +9,45 @@ import (
 	"indulgence/internal/wire"
 )
 
+// waitFor polls cond until it holds, failing the test after 5 seconds —
+// readiness polling in place of fixed sleeps, so tests synchronize on
+// the condition they actually need instead of on scheduler luck.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// hasStream reports whether m tracks a stream for instance (opened or
+// buffering) — the sign that the router has seen the instance's first
+// frame.
+func hasStream(m *Mux, instance uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.streams[instance]
+	return ok
+}
+
+// queuedFrames returns how many frames sit in instance's stream mailbox
+// queue. The mailbox pump holds one more in hand once a frame has
+// arrived, so "all k arrived" reads as queued >= k-1.
+func queuedFrames(m *Mux, instance uint64) int {
+	m.mu.Lock()
+	s := m.streams[instance]
+	m.mu.Unlock()
+	if s == nil {
+		return 0
+	}
+	s.box.mu.Lock()
+	defer s.box.mu.Unlock()
+	return len(s.box.queue)
+}
+
 // msgFrame builds a minimal valid version-0 frame (a bare wire message).
 func msgFrame(t *testing.T, from model.ProcessID, round model.Round) []byte {
 	t.Helper()
@@ -105,8 +144,8 @@ func TestMuxBuffersUnopenedInstance(t *testing.T) {
 	if err := send.Send(2, frame); err != nil {
 		t.Fatal(err)
 	}
-	// Give the router time to see (and buffer) the early frame.
-	time.Sleep(10 * time.Millisecond)
+	// Wait until the router has seen (and is buffering) the early frame.
+	waitFor(t, "router to buffer the early frame", func() bool { return hasStream(m2, 7) })
 	recv, err := m2.Open(7)
 	if err != nil {
 		t.Fatal(err)
@@ -178,7 +217,16 @@ func TestMuxRetire(t *testing.T) {
 	if err := send.Send(2, msgFrame(t, 1, 9)); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(10 * time.Millisecond)
+	// A marker frame on a fresh instance proves the router has passed
+	// the late frame: the hub mailbox and router are FIFO per sender.
+	marker, err := m1.Open(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := marker.Send(2, msgFrame(t, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "router to pass the late frame", func() bool { return hasStream(m2, 4) })
 	if _, err := m2.Open(3); err == nil {
 		t.Fatal("reopening a retired instance succeeded")
 	}
@@ -305,28 +353,11 @@ func TestMuxNeverOpenedBufferedInstance(t *testing.T) {
 		}
 	}
 	// Wait for the router to buffer the frames for the unopened
-	// instance.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		m2.mu.Lock()
-		s := m2.streams[9]
-		var queued int
-		if s != nil {
-			s.box.mu.Lock()
-			queued = len(s.box.queue)
-			s.box.mu.Unlock()
-		}
-		m2.mu.Unlock()
-		// The mailbox pump holds one frame in hand, so 7 queued means
-		// all 8 arrived.
-		if s != nil && queued >= 7 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("frames never buffered (stream=%v, queued=%d)", s != nil, queued)
-		}
-		time.Sleep(time.Millisecond)
-	}
+	// instance (the pump holds one in hand, so 7 queued means all 8
+	// arrived).
+	waitFor(t, "router to buffer 8 frames", func() bool {
+		return hasStream(m2, 9) && queuedFrames(m2, 9) >= 7
+	})
 	// Retiring the never-opened instance drops the buffer for good.
 	m2.Retire(9)
 	m2.mu.Lock()
@@ -351,7 +382,7 @@ func TestMuxNeverOpenedBufferedInstance(t *testing.T) {
 		if err := send2.Send(2, msgFrame(t, 1, 1)); err != nil {
 			t.Fatal(err)
 		}
-		time.Sleep(10 * time.Millisecond)
+		waitFor(t, "router to buffer the unopened frame", func() bool { return hasStream(m2, 10) })
 		if err := m2.Close(); err != nil {
 			t.Fatal(err)
 		}
@@ -458,7 +489,7 @@ func TestMuxRetireBelow(t *testing.T) {
 	if err := send3.Send(2, msgFrame(t, 1, 1)); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(10 * time.Millisecond)
+	waitFor(t, "router to buffer the stale frame", func() bool { return hasStream(m2, 3) })
 	// An out-of-order retirement above the frontier, to be compacted
 	// through.
 	m2.Retire(5)

@@ -1,0 +1,69 @@
+package transport
+
+import "time"
+
+// reconnectPacer is the pure reconnect-pacing state machine of one TCP
+// peer link, factored out of the writer loop so its contract is
+// testable without sockets or sleeping: every method takes the current
+// instant explicitly, making the pacing schedule a deterministic
+// function of the observed dial/connect/write history.
+//
+// The contract: dial attempts are spaced by the current backoff no
+// matter how the previous attempt ended — a failed dial and a
+// connection that established and died young pace identically, so a
+// crash-looping peer cannot drive a hot redial loop. The backoff
+// starts at min, doubles each time a full gap is actually served
+// (capped at max), and returns to min only once a connection has
+// proven itself: a successful write on a connection at least max old.
+type reconnectPacer struct {
+	min, max time.Duration
+
+	backoff   time.Duration
+	lastDial  time.Time
+	connSince time.Time
+}
+
+func newReconnectPacer(min, max time.Duration) reconnectPacer {
+	return reconnectPacer{min: min, max: max, backoff: min}
+}
+
+// wait returns how long to pause at now before the next dial attempt
+// may start (zero: dial immediately — no attempt has been made yet, or
+// the backoff gap has already elapsed).
+func (p *reconnectPacer) wait(now time.Time) time.Duration {
+	if p.lastDial.IsZero() {
+		return 0
+	}
+	if w := p.backoff - now.Sub(p.lastDial); w > 0 {
+		return w
+	}
+	return 0
+}
+
+// served records that a full backoff gap was actually waited out:
+// the spacing doubles, up to max, so the wait a failure log announces
+// is the wait the next attempt really observes.
+func (p *reconnectPacer) served() {
+	if p.backoff *= 2; p.backoff > p.max {
+		p.backoff = p.max
+	}
+}
+
+// dialed records a dial attempt starting at now.
+func (p *reconnectPacer) dialed(now time.Time) { p.lastDial = now }
+
+// connected records a connection established at now. It does NOT reset
+// the backoff: a young death must keep the raised spacing.
+func (p *reconnectPacer) connected(now time.Time) { p.connSince = now }
+
+// wrote records a successful write at now and resets the backoff to
+// min once the connection has proven itself by surviving at least max.
+func (p *reconnectPacer) wrote(now time.Time) {
+	if p.backoff > p.min && now.Sub(p.connSince) >= p.max {
+		p.backoff = p.min
+	}
+}
+
+// current returns the spacing the next failed attempt will observe —
+// what the retry log lines report.
+func (p *reconnectPacer) current() time.Duration { return p.backoff }

@@ -1,0 +1,76 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// TestReconnectPacer drives the extracted pacing state machine through
+// the full reconnect life cycle on a synthetic timeline — no sockets,
+// no sleeping — pinning the contract the writer loop relies on:
+// doubling to RetryMax under failures, no reset on a young connection,
+// reset to RetryMin only after a write on a connection RetryMax old.
+func TestReconnectPacer(t *testing.T) {
+	const (
+		min = 10 * time.Millisecond
+		max = 80 * time.Millisecond
+	)
+	at := func(d time.Duration) time.Time { return time.Unix(0, 0).Add(d) }
+	p := newReconnectPacer(min, max)
+
+	// First attempt is immediate.
+	if w := p.wait(at(0)); w != 0 {
+		t.Fatalf("first dial waits %v, want 0", w)
+	}
+	p.dialed(at(0))
+
+	// Repeated failures: each served gap doubles the spacing, capped.
+	now := time.Duration(0)
+	for i, want := range []time.Duration{min, 2 * min, 4 * min, max, max} {
+		w := p.wait(at(now))
+		if w != want {
+			t.Fatalf("failure %d: wait %v, want %v", i, w, want)
+		}
+		now += w
+		p.served()
+		p.dialed(at(now))
+	}
+
+	// A connection that establishes but dies young must keep the raised
+	// spacing: a write inside RetryMax of connecting does not reset.
+	p.connected(at(now))
+	p.wrote(at(now + max/2))
+	if got := p.wait(at(now)); got != max {
+		t.Fatalf("young connection reset backoff: wait %v, want %v", got, max)
+	}
+
+	// Redial after the young death still observes the full spacing.
+	now += max
+	p.dialed(at(now))
+
+	// A connection that survives RetryMax and then writes has proven
+	// itself: backoff returns to RetryMin.
+	p.connected(at(now))
+	p.wrote(at(now + max))
+	if got := p.current(); got != min {
+		t.Fatalf("proven connection left backoff at %v, want %v", got, min)
+	}
+
+	// And the next outage starts the ladder from the bottom again.
+	now += max + min
+	p.dialed(at(now))
+	if w := p.wait(at(now)); w != min {
+		t.Fatalf("post-reset wait %v, want %v", w, min)
+	}
+}
+
+// TestReconnectPacerElapsedGap: a dial attempted long after the last
+// one owes no wait — the gap was already served by the calendar.
+func TestReconnectPacerElapsedGap(t *testing.T) {
+	at := func(d time.Duration) time.Time { return time.Unix(0, 0).Add(d) }
+	p := newReconnectPacer(10*time.Millisecond, 80*time.Millisecond)
+	p.dialed(at(0))
+	if w := p.wait(at(time.Second)); w != 0 {
+		t.Fatalf("stale last dial still waits %v", w)
+	}
+}

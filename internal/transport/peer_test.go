@@ -225,12 +225,7 @@ func TestTCPEndpointReconnect(t *testing.T) {
 	if err := b.Close(); err != nil {
 		t.Fatal(err)
 	}
-	for deadline := time.Now().Add(5 * time.Second); a.Connected().Has(2); {
-		if time.Now().After(deadline) {
-			t.Fatal("link to the dead peer never severed")
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+	waitFor(t, "link to the dead peer to sever", func() bool { return !a.Connected().Has(2) })
 
 	// Frames sent into the outage queue without blocking or erroring.
 	for _, m := range []string{"during-1", "during-2"} {
@@ -280,18 +275,9 @@ func TestTCPEndpointDialErrorNamesPeer(t *testing.T) {
 	if err := a.Send(2, []byte("void")); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if err := a.LinkError(2); err != nil {
-			if !strings.Contains(err.Error(), "p1->p2") {
-				t.Fatalf("link error does not name the link: %v", err)
-			}
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("no link error recorded for an unreachable peer")
-		}
-		time.Sleep(5 * time.Millisecond)
+	waitFor(t, "link error for an unreachable peer", func() bool { return a.LinkError(2) != nil })
+	if err := a.LinkError(2); !strings.Contains(err.Error(), "p1->p2") {
+		t.Fatalf("link error does not name the link: %v", err)
 	}
 }
 
@@ -333,7 +319,16 @@ func TestTCPEndpointCloseDeterministic(t *testing.T) {
 				}
 			}(ep)
 		}
-		time.Sleep(20 * time.Millisecond)
+		// Soak until the mesh is fully connected — traffic is then
+		// genuinely in flight on every link when Close lands.
+		waitFor(t, "full mesh connectivity", func() bool {
+			for _, ep := range eps {
+				if ep.Connected().Len() < 2 {
+					return false
+				}
+			}
+			return true
+		})
 		for _, ep := range eps {
 			if err := ep.Close(); err != nil {
 				t.Fatal(err)

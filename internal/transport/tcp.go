@@ -144,7 +144,8 @@ func newTCPEndpoint(ln net.Listener, cfg PeerConfig, opts TCPOptions) *TCPEndpoi
 		if p.ID == cfg.Self {
 			continue
 		}
-		l := &peerLink{ep: e, peer: p.ID, addr: p.Addr, wake: make(chan struct{}, 1)}
+		l := &peerLink{ep: e, peer: p.ID, addr: p.Addr, wake: make(chan struct{}, 1),
+			pace: newReconnectPacer(e.opts.RetryMin, e.opts.RetryMax)}
 		e.links[p.ID] = l
 		e.wg.Add(1)
 		go l.run()
@@ -356,13 +357,9 @@ type peerLink struct {
 	conn    net.Conn // live outbound connection, severed by Close
 	lastErr error
 
-	// Reconnect pacing, touched only by the writer goroutine: attempts
-	// are spaced by backoff no matter how they end, so a connection
-	// that establishes and immediately dies (a crash-looping peer)
-	// cannot drive a hot redial loop any more than a failing dial can.
-	backoff   time.Duration
-	lastDial  time.Time
-	connSince time.Time
+	// pace is the reconnect pacing state (see reconnectPacer), touched
+	// only by the writer goroutine.
+	pace reconnectPacer
 }
 
 // enqueue appends a frame for the writer goroutine.
@@ -411,9 +408,7 @@ func (l *peerLink) run() {
 			continue
 		}
 		l.popN(len(frames))
-		if l.backoff > l.ep.opts.RetryMin && time.Since(l.connSince) >= l.ep.opts.RetryMax {
-			l.backoff = l.ep.opts.RetryMin // the connection has proven itself
-		}
+		l.pace.wrote(time.Now())
 	}
 }
 
@@ -457,9 +452,6 @@ func (l *peerLink) ensureConn() net.Conn {
 	l.mu.Lock()
 	conn := l.conn
 	l.mu.Unlock()
-	if l.backoff == 0 {
-		l.backoff = l.ep.opts.RetryMin
-	}
 	for conn == nil {
 		select {
 		case <-l.ep.done:
@@ -471,21 +463,21 @@ func (l *peerLink) ensureConn() net.Conn {
 		// alike — and double the backoff once a gap has actually been
 		// served, so the "retrying in" the failure below logs is the
 		// wait the next attempt really observes.
-		if wait := l.backoff - time.Since(l.lastDial); !l.lastDial.IsZero() && wait > 0 {
+		if wait := l.pace.wait(time.Now()); wait > 0 {
 			select {
 			case <-time.After(wait):
 			case <-l.ep.done:
 				return nil
 			}
-			l.raiseBackoff()
+			l.pace.served()
 		}
-		l.lastDial = time.Now()
+		l.pace.dialed(time.Now())
 		c, err := l.dialOnce()
 		if err != nil {
 			l.mu.Lock()
 			l.lastErr = err
 			l.mu.Unlock()
-			l.ep.logf("%v (retrying in %s)", err, l.backoff)
+			l.ep.logf("%v (retrying in %s)", err, l.pace.current())
 			continue
 		}
 		l.mu.Lock()
@@ -499,17 +491,10 @@ func (l *peerLink) ensureConn() net.Conn {
 		l.conn = c
 		l.mu.Unlock()
 		conn = c
-		l.connSince = time.Now()
+		l.pace.connected(time.Now())
 		l.watch(c)
 	}
 	return conn
-}
-
-// raiseBackoff doubles the redial spacing up to RetryMax.
-func (l *peerLink) raiseBackoff() {
-	if l.backoff *= 2; l.backoff > l.ep.opts.RetryMax {
-		l.backoff = l.ep.opts.RetryMax
-	}
 }
 
 // watch severs the link the moment the peer closes the connection.

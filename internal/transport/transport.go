@@ -30,6 +30,7 @@ package transport
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"indulgence/internal/model"
 )
@@ -52,12 +53,32 @@ type Transport interface {
 	Close() error
 }
 
+// frameCounted is implemented by transports that share a live count of
+// frames accepted but not yet handed to a receiver. The chaos harness's
+// virtual clock reads the counter as an idle check — time must not
+// advance over a frame still in flight at the current instant. Only the
+// hub's own mailboxes participate: their consumers (a Mux router, or a
+// node's round loop) always drain, so the count provably returns to
+// zero once the goroutine fabric quiesces. Frames buffered further up
+// in a Mux's per-instance streams are deliberately NOT counted — a
+// crashed process stops reading its stream, and counting its backlog
+// would hold virtual time still forever. The hub's endpoints implement
+// the interface; so does the chaos fault injector, by delegation.
+type frameCounted interface {
+	SharedFrameCounter() *atomic.Int64
+}
+
 // mailbox is an unbounded, closable FIFO of frames feeding a channel. The
 // unbounded buffer is deliberate: a sender must never block on a slow
 // receiver (that would let one crashed process wedge the cluster), and
 // frames must never be dropped (reliable channels). Memory is bounded in
 // practice by the runtime's round pacing.
+//
+// When track is non-nil the mailbox participates in in-flight
+// accounting: every accepted frame counts until the instant a receiver
+// takes it from the out channel (or the mailbox closes with it queued).
 type mailbox struct {
+	track  *atomic.Int64
 	mu     sync.Mutex
 	queue  [][]byte
 	wake   chan struct{}
@@ -66,11 +87,14 @@ type mailbox struct {
 	done   chan struct{}
 }
 
-func newMailbox() *mailbox {
+func newMailbox() *mailbox { return newMailboxTracked(nil) }
+
+func newMailboxTracked(track *atomic.Int64) *mailbox {
 	m := &mailbox{
-		wake: make(chan struct{}, 1),
-		out:  make(chan []byte),
-		done: make(chan struct{}),
+		track: track,
+		wake:  make(chan struct{}, 1),
+		out:   make(chan []byte),
+		done:  make(chan struct{}),
 	}
 	go m.pump()
 	return m
@@ -84,6 +108,9 @@ func (m *mailbox) put(frame []byte) {
 		return
 	}
 	m.queue = append(m.queue, frame)
+	if m.track != nil {
+		m.track.Add(1)
+	}
 	m.mu.Unlock()
 	select {
 	case m.wake <- struct{}{}:
@@ -113,13 +140,20 @@ func (m *mailbox) pump() {
 		m.mu.Unlock()
 		select {
 		case m.out <- frame:
+			if m.track != nil {
+				m.track.Add(-1)
+			}
 		case <-m.done:
+			if m.track != nil {
+				m.track.Add(-1) // the popped frame dies with the mailbox
+			}
 			return
 		}
 	}
 }
 
-// close stops the pump; pending frames are discarded.
+// close stops the pump; pending frames are discarded (and released from
+// the in-flight count).
 func (m *mailbox) close() {
 	m.mu.Lock()
 	if m.closed {
@@ -127,6 +161,10 @@ func (m *mailbox) close() {
 		return
 	}
 	m.closed = true
+	if m.track != nil {
+		m.track.Add(-int64(len(m.queue)))
+	}
+	m.queue = nil
 	m.mu.Unlock()
 	close(m.done)
 }
