@@ -17,6 +17,7 @@ func cmdChaos(args []string) error {
 	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
 	seed := fs.Int64("seed", 1, "first scenario seed")
 	count := fs.Int("scenarios", 100, "number of consecutive seeds to run")
+	groups := fs.Int("groups", 1, "run each scenario sharded over this many consensus groups")
 	spec := fs.String("spec", "", "JSON scenario spec to run instead of generated seeds (@FILE reads it from FILE)")
 	journalDir := fs.String("journal", "", "keep each run's decision journal under this directory (debugging; default: private temp dirs)")
 	verbose := fs.Bool("verbose", false, "print every scenario's outcome, not just failures")
@@ -51,8 +52,11 @@ func cmdChaos(args []string) error {
 		return nil
 	}
 
+	if *groups < 1 {
+		return fmt.Errorf("need at least one consensus group, got -groups %d", *groups)
+	}
 	wallStart := time.Now()
-	st := chaos.Sweep(*seed, *count, opts, func(r chaos.Result) {
+	st := chaos.SweepGroups(*seed, *count, *groups, opts, func(r chaos.Result) {
 		if *verbose || !r.OK() || r.Failed > 0 {
 			printChaosResult(r, *verbose)
 		}

@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"indulgence"
+	"indulgence/internal/check"
+	"indulgence/internal/shard"
 )
 
 func TestRunSubcommands(t *testing.T) {
@@ -183,6 +185,67 @@ func TestBenchServiceJournal(t *testing.T) {
 	}
 	if err := run([]string{"replay", "-journal", dir, "-quiet"}); err != nil {
 		t.Fatalf("replay after bench: %v", err)
+	}
+}
+
+// TestServeShardSubcommand is the CLI tour of sharding: two sharded
+// serve lifetimes share one journal root, each group journals its own
+// subdirectory, every group's journal replays and audits on its own,
+// and the merged stream passes the cross-group audit.
+func TestServeShardSubcommand(t *testing.T) {
+	const groups = 2
+	dir := t.TempDir() + "/journal"
+	common := []string{"-n", "3", "-t", "1", "-timeout", "10ms", "-batch", "2",
+		"-linger", "5ms", "-groups", "2", "-journal", dir}
+	if err := serveWithStdin(t, "1\n2\n3\n4\n", common...); err != nil {
+		t.Fatalf("first sharded serve lifetime: %v", err)
+	}
+	if err := serveWithStdin(t, "5\n6\n", common...); err != nil {
+		t.Fatalf("second sharded serve lifetime: %v", err)
+	}
+	for g := 0; g < groups; g++ {
+		if err := run([]string{"replay", "-journal", shard.GroupDir(dir, g)}); err != nil {
+			t.Fatalf("replay group %d: %v", g, err)
+		}
+	}
+	records, starts, err := shard.ReplayDir(dir, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) == 0 {
+		t.Fatal("sharded serve journaled no decisions")
+	}
+	if rep := check.Replay(records, starts, nil); !rep.OK() {
+		t.Fatalf("cross-group audit failed: %v", rep.Violations)
+	}
+}
+
+func TestBenchServiceShardSubcommand(t *testing.T) {
+	if err := run([]string{"bench-service", "-n", "3", "-t", "1", "-groups", "3",
+		"-proposals", "48", "-clients", "12", "-batch", "4", "-inflight", "8",
+		"-timeout", "5ms"}); err != nil {
+		t.Fatalf("bench-service sharded memory: %v", err)
+	}
+	if err := run([]string{"bench-service", "-n", "3", "-t", "1", "-transport", "tcp",
+		"-groups", "2", "-placement", "key-affinity",
+		"-proposals", "24", "-clients", "6", "-timeout", "10ms"}); err != nil {
+		t.Fatalf("bench-service sharded tcp: %v", err)
+	}
+}
+
+func TestShardFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"serve", "-groups", "0"},
+		{"serve", "-groups", "2", "-placement", "random"},
+		{"bench-service", "-groups", "-1"},
+		{"bench-service", "-groups", "2", "-placement", "bogus"},
+		{"cluster", "-groups", "0"},
+		{"chaos", "-groups", "0", "-scenarios", "1"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"indulgence/internal/journal"
 	"indulgence/internal/model"
 	"indulgence/internal/service"
+	"indulgence/internal/shard"
 	"indulgence/internal/stats"
 	"indulgence/internal/transport"
 	"indulgence/internal/wire"
@@ -71,6 +72,25 @@ func servePeer(f serviceFlags, explicit map[string]bool) error {
 	}
 	defer ep.Close()
 
+	// Algorithm selection stays off in peer mode: one member cannot
+	// switch a shared slot's protocol unilaterally.
+	peerOpts := service.PeerOptions{
+		T:           *f.t,
+		Factory:     factory,
+		BaseTimeout: *f.timeout,
+		MaxBatch:    *f.batch,
+		Linger:      *f.linger,
+		MaxInflight: *f.inflight,
+		JoinTimeout: *f.joinTimeout,
+		Adaptive:    f.adaptConfig(false),
+	}
+	if *f.groups > 1 {
+		return servePeerShard(f, cfg, peerOpts, ep, self)
+	}
+	if *f.groups < 1 {
+		return fmt.Errorf("need at least one consensus group, got -groups %d", *f.groups)
+	}
+
 	var jn *journal.Journal
 	if *f.journal != "" {
 		jn, err = journal.Open(*f.journal, journal.Options{SegmentBytes: *f.segment})
@@ -79,19 +99,8 @@ func servePeer(f serviceFlags, explicit map[string]bool) error {
 		}
 		defer jn.Close()
 	}
-	svc, err := service.NewPeer(service.PeerOptions{
-		T:           *f.t,
-		Factory:     factory,
-		BaseTimeout: *f.timeout,
-		MaxBatch:    *f.batch,
-		Linger:      *f.linger,
-		MaxInflight: *f.inflight,
-		JoinTimeout: *f.joinTimeout,
-		Journal:     jn,
-		// Algorithm selection stays off in peer mode: one member cannot
-		// switch a shared slot's protocol unilaterally.
-		Adaptive: f.adaptConfig(false),
-	}, cfg.N(), ep)
+	peerOpts.Journal = jn
+	svc, err := service.NewPeer(peerOpts, cfg.N(), ep)
 	if err != nil {
 		return err
 	}
@@ -121,6 +130,59 @@ func servePeer(f serviceFlags, explicit map[string]bool) error {
 		js := jn.Snapshot()
 		fmt.Printf("journal: %d decisions durable over %d fsyncs; fsync %s\n",
 			js.Decisions, js.Syncs, js.SyncLatency)
+	}
+	return scanErr
+}
+
+// servePeerShard is peer mode with -groups > 1: this member runs one
+// service.PeerService per group over a single group-aware mux, with the
+// placement router in front. Every member of the cluster must be
+// launched with the same -groups value — a slot's owning group is slot
+// mod groups on every member.
+func servePeerShard(f serviceFlags, cfg transport.PeerConfig, peerOpts service.PeerOptions, ep *transport.TCPEndpoint, self model.ProcessID) error {
+	policy, err := shard.ParsePolicy(*f.placement)
+	if err != nil {
+		return err
+	}
+	rt, err := shard.NewPeer(shard.PeerConfig{
+		Peer:           peerOpts,
+		Groups:         *f.groups,
+		Placement:      policy,
+		JournalDir:     *f.journal,
+		JournalOptions: journal.Options{SegmentBytes: *f.segment},
+	}, cfg.N(), ep)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("peer member up: p%d of %d (%s), %s, t=%d, listening on %s, %d groups (%s placement), batch ≤ %d, ≤ %d slots inflight/group\n",
+		self, cfg.N(), cfg.ClusterID(), *f.algo, *f.t, ep.Addr(), rt.Groups(), rt.Policy(), *f.batch, *f.inflight)
+	if *f.adaptive {
+		fmt.Println("adaptive control plane on: batch/linger tuning + admission (algorithm selection is single-process only)")
+	}
+	for _, jn := range rt.Journals() {
+		printJournalRecovery(jn)
+	}
+	fmt.Println("enter one integer proposal per line (EOF to stop):")
+
+	scanErr := serveLoop(rt)
+	if err := rt.Close(); err != nil {
+		return err
+	}
+	roll := rt.Snapshot()
+	joined := 0
+	for _, st := range roll.Groups {
+		joined += st.JoinedInstances
+	}
+	fmt.Printf("served %d proposals over %d instances across %d groups (%d joined from peers)\n",
+		roll.Resolved, roll.Instances, rt.Groups(), joined)
+	for g, st := range roll.Groups {
+		fmt.Printf("  group %d: %d proposals over %d instances (%d joined); latency %s\n",
+			g, st.Resolved, st.Instances, st.JoinedInstances, st.Latency)
+	}
+	printShardJournals(rt.Journals())
+	if len(roll.Violations) > 0 {
+		return fmt.Errorf("%d consensus violations: %v", len(roll.Violations), roll.Violations)
 	}
 	return scanErr
 }
@@ -240,6 +302,8 @@ func cmdCluster(args []string) error {
 		batch     = fs.Int("batch", 2, "max proposals per instance")
 		inflight  = fs.Int("inflight", 4, "max concurrent instances per member")
 		timeout   = fs.Duration("timeout", 25*time.Millisecond, "base suspicion timeout")
+		groups    = fs.Int("groups", 1, "consensus groups per member (passed through to every member)")
+		placement = fs.String("placement", "round-robin", "placement policy passed through to every member")
 		restart   = fs.Int("restart", 0, "kill and restart this member between waves (0 = none)")
 		journalAt = fs.String("journal", "", "base journal directory, one subdir per member (default: temp)")
 		limit     = fs.Duration("limit", 2*time.Minute, "overall deadline")
@@ -254,6 +318,9 @@ func cmdCluster(args []string) error {
 	}
 	if *restart < 0 || *restart > *n {
 		return fmt.Errorf("cluster: -restart %d is not a member of 1..%d", *restart, *n)
+	}
+	if *groups < 1 {
+		return fmt.Errorf("cluster: need at least one consensus group, got -groups %d", *groups)
 	}
 	exe := *bin
 	if exe == "" {
@@ -306,16 +373,17 @@ func cmdCluster(args []string) error {
 		children = make([]*clusterChild, *n)
 		for i := range children {
 			id := i + 1
-			children[i] = &clusterChild{
-				id: id,
-				args: []string{"serve",
-					"-peers", spec, "-self", fmt.Sprint(id),
-					"-algo", *algo, "-t", fmt.Sprint(*t),
-					"-batch", fmt.Sprint(*batch), "-inflight", fmt.Sprint(*inflight),
-					"-timeout", timeout.String(), "-join-timeout", "5s",
-					"-journal", filepath.Join(base, fmt.Sprintf("p%d", id)),
-				},
+			childArgs := []string{"serve",
+				"-peers", spec, "-self", fmt.Sprint(id),
+				"-algo", *algo, "-t", fmt.Sprint(*t),
+				"-batch", fmt.Sprint(*batch), "-inflight", fmt.Sprint(*inflight),
+				"-timeout", timeout.String(), "-join-timeout", "5s",
+				"-journal", filepath.Join(base, fmt.Sprintf("p%d", id)),
 			}
+			if *groups > 1 {
+				childArgs = append(childArgs, "-groups", fmt.Sprint(*groups), "-placement", *placement)
+			}
+			children[i] = &clusterChild{id: id, args: childArgs}
 		}
 		fmt.Printf("cluster: %d members over %s, journals under %s\n", *n, spec, base)
 		spawnErr := func() error {
@@ -437,9 +505,21 @@ func cmdCluster(args []string) error {
 	var starts []wire.StartRecord
 	for i := 1; i <= *n; i++ {
 		dir := filepath.Join(base, fmt.Sprintf("p%d", i))
+		if *groups > 1 {
+			// Sharded members journal per group under dir; merge every
+			// group's stream so check.Replay's cross-group instance
+			// audit sees the member whole.
+			recs, sts, err := shard.ReplayDir(dir, *groups)
+			if err != nil {
+				return fmt.Errorf("cluster: replay %s: %w", dir, err)
+			}
+			records = append(records, recs...)
+			starts = append(starts, sts...)
+			continue
+		}
 		if _, err := journal.Replay(dir, func(e journal.Entry) error {
 			if e.Start {
-				starts = append(starts, wire.StartRecord{Instance: e.Instance(), Alg: e.Alg})
+				starts = append(starts, wire.StartRecord{Instance: e.Instance(), Alg: e.Alg, Group: e.Decision.Group})
 			} else {
 				records = append(records, e.Decision)
 			}
@@ -458,6 +538,7 @@ func cmdCluster(args []string) error {
 		fmt.Sprintf("cluster: %d members, %s, t=%d, %d proposals/wave", *n, *algo, *t, *proposals),
 		"metric", "value")
 	table.AddRowf("proposals fed", next-1)
+	table.AddRowf("groups per member", *groups)
 	table.AddRowf("instances decided (live)", decisions)
 	table.AddRowf("journal records (all members)", len(records))
 	table.AddRowf("journal start claims", len(starts))

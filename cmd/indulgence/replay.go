@@ -36,7 +36,9 @@ func cmdReplay(args []string) error {
 	var starts []wire.StartRecord
 	info, err := journal.Replay(*dir, func(e journal.Entry) error {
 		if e.Start {
-			starts = append(starts, wire.StartRecord{Instance: e.Instance(), Alg: e.Alg})
+			// Keep the group tag: a sharded group's journal replayed on
+			// its own must not look like a start/decision group mismatch.
+			starts = append(starts, wire.StartRecord{Instance: e.Instance(), Alg: e.Alg, Group: e.Decision.Group})
 		} else {
 			recs = append(recs, e.Decision)
 		}

@@ -17,6 +17,7 @@ import (
 	"indulgence/internal/journal"
 	"indulgence/internal/model"
 	"indulgence/internal/service"
+	"indulgence/internal/shard"
 	"indulgence/internal/stats"
 	"indulgence/internal/transport"
 )
@@ -67,6 +68,12 @@ type serviceFlags struct {
 	journal  *string
 	segment  *int64
 
+	// Sharding (internal/shard): -groups > 1 runs G consensus groups
+	// over the shared transport, each owning a strided slice of the
+	// instance-ID space, with a placement router in front.
+	groups    *int
+	placement *string
+
 	// Adaptive control plane (internal/adapt): feedback-tuned batching
 	// and admission, plus per-instance algorithm selection (single-
 	// process mode only).
@@ -98,6 +105,9 @@ func newServiceFlags(fs *flag.FlagSet) serviceFlags {
 		timeout:  fs.Duration("timeout", 25*time.Millisecond, "base suspicion timeout"),
 		journal:  fs.String("journal", "", "durable decision journal directory (empty = no journal)"),
 		segment:  fs.Int64("segment-bytes", 1<<20, "journal segment rotation size"),
+
+		groups:    fs.Int("groups", 1, "consensus groups multiplexed over the shared transport (each owns a strided instance-ID slice and its own journal subdirectory)"),
+		placement: fs.String("placement", "round-robin", "proposal placement across groups: round-robin, least-loaded or key-affinity"),
 
 		adaptive:      fs.Bool("adaptive", false, "attach the feedback control plane: batch/linger tuned from observed latency and backlog, overload shed with a typed error"),
 		adaptSelect:   fs.Bool("adaptive-select", true, "with -adaptive: pick each instance's algorithm from recent outcomes (A_f+2 when synchronous and trusted; single-process mode only)"),
@@ -134,17 +144,75 @@ func (f serviceFlags) adaptConfig(selectAlgos bool) *adapt.Config {
 	return cfg
 }
 
-// start builds the transport, the optional journal and the service from
-// the parsed flags. The returned cleanup closes the transport and the
-// journal; call it after the service is closed.
-func (f serviceFlags) start() (*service.Service, *transport.Hub, *journal.Journal, func(), error) {
+// started bundles whichever runtime shape the flags produced: one
+// service.Service for -groups 1 (byte-identical to the pre-sharding
+// path), or a shard.Runtime routing across G groups otherwise.
+type started struct {
+	svc     *service.Service // -groups 1
+	rt      *shard.Runtime   // -groups > 1
+	hub     *transport.Hub
+	jn      *journal.Journal // single-group journal; sharded ones live in rt
+	cleanup func()
+}
+
+// sink returns the proposal entry point of whichever shape started.
+func (s *started) sink() proposalSink {
+	if s.rt != nil {
+		return s.rt
+	}
+	return s.svc
+}
+
+// close drains and stops the runtime (transport cleanup stays separate).
+func (s *started) close() error {
+	if s.rt != nil {
+		return s.rt.Close()
+	}
+	return s.svc.Close()
+}
+
+// start builds the transport, the optional journal(s) and the service —
+// or the sharded runtime for -groups > 1 — from the parsed flags. The
+// returned cleanup closes the transport and the journal; call it after
+// the service is closed.
+func (f serviceFlags) start() (*started, error) {
 	factory, err := factoryByName(*f.algo)
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, err
+	}
+	if *f.groups < 1 {
+		return nil, fmt.Errorf("need at least one consensus group, got -groups %d", *f.groups)
+	}
+	policy, err := shard.ParsePolicy(*f.placement)
+	if err != nil {
+		return nil, err
 	}
 	eps, hub, closeTransport, err := buildEndpoints(*f.trans, *f.n)
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, err
+	}
+	cfg := service.Config{
+		N: *f.n, T: *f.t,
+		Factory:     factory,
+		BaseTimeout: *f.timeout,
+		MaxBatch:    *f.batch,
+		Linger:      *f.linger,
+		MaxInflight: *f.inflight,
+		Adaptive:    f.adaptConfig(true),
+	}
+	if *f.groups > 1 {
+		rt, err := shard.New(shard.Config{
+			Service:        cfg,
+			Groups:         *f.groups,
+			Placement:      policy,
+			JournalDir:     *f.journal,
+			JournalOptions: journal.Options{SegmentBytes: *f.segment},
+		}, eps)
+		if err != nil {
+			closeTransport()
+			return nil, err
+		}
+		return &started{rt: rt, hub: hub, cleanup: closeTransport}, nil
 	}
 	var jn *journal.Journal
 	cleanup := closeTransport
@@ -152,28 +220,20 @@ func (f serviceFlags) start() (*service.Service, *transport.Hub, *journal.Journa
 		jn, err = journal.Open(*f.journal, journal.Options{SegmentBytes: *f.segment})
 		if err != nil {
 			closeTransport()
-			return nil, nil, nil, nil, err
+			return nil, err
 		}
 		cleanup = func() {
 			closeTransport()
 			_ = jn.Close()
 		}
 	}
-	svc, err := service.New(service.Config{
-		N: *f.n, T: *f.t,
-		Factory:     factory,
-		BaseTimeout: *f.timeout,
-		MaxBatch:    *f.batch,
-		Linger:      *f.linger,
-		MaxInflight: *f.inflight,
-		Journal:     jn,
-		Adaptive:    f.adaptConfig(true),
-	}, eps)
+	cfg.Journal = jn
+	svc, err := service.New(cfg, eps)
 	if err != nil {
 		cleanup()
-		return nil, nil, nil, nil, err
+		return nil, err
 	}
-	return svc, hub, jn, cleanup, nil
+	return &started{svc: svc, hub: hub, jn: jn, cleanup: cleanup}, nil
 }
 
 // proposalSink is what the stdin loop needs from either service shape
@@ -251,14 +311,18 @@ func cmdServe(args []string) error {
 		fs.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
 		return servePeer(f, explicit)
 	}
-	svc, _, jn, cleanup, err := f.start()
+	s, err := f.start()
 	if err != nil {
 		return err
 	}
-	defer cleanup()
+	defer s.cleanup()
 
 	fmt.Printf("consensus service up: %s, n=%d t=%d, %s transport, batch ≤ %d, linger %s, ≤ %d instances inflight\n",
 		*f.algo, *f.n, *f.t, *f.trans, *f.batch, *f.linger, *f.inflight)
+	if s.rt != nil {
+		fmt.Printf("sharded: %d consensus groups, %s placement, strided instance-ID spaces\n",
+			s.rt.Groups(), s.rt.Policy())
+	}
 	if *f.adaptive {
 		mode := "batch/linger tuning + admission"
 		if *f.adaptSelect {
@@ -266,16 +330,35 @@ func cmdServe(args []string) error {
 		}
 		fmt.Printf("adaptive control plane on: %s (decision log with -verbose)\n", mode)
 	}
-	if jn != nil {
-		printJournalRecovery(jn)
+	if s.jn != nil {
+		printJournalRecovery(s.jn)
+	}
+	if s.rt != nil {
+		for _, jn := range s.rt.Journals() {
+			printJournalRecovery(jn)
+		}
 	}
 	fmt.Println("enter one integer proposal per line (EOF to stop):")
 
-	scanErr := serveLoop(svc)
-	if err := svc.Close(); err != nil {
+	scanErr := serveLoop(s.sink())
+	if err := s.close(); err != nil {
 		return err
 	}
-	st := svc.Snapshot()
+	if s.rt != nil {
+		roll := s.rt.Snapshot()
+		fmt.Printf("served %d proposals over %d instances across %d groups\n",
+			roll.Resolved, roll.Instances, s.rt.Groups())
+		for g, st := range roll.Groups {
+			fmt.Printf("  group %d: %d proposals over %d instances; latency %s\n",
+				g, st.Resolved, st.Instances, st.Latency)
+		}
+		printShardJournals(s.rt.Journals())
+		if len(roll.Violations) > 0 {
+			return fmt.Errorf("%d consensus violations: %v", len(roll.Violations), roll.Violations)
+		}
+		return scanErr
+	}
+	st := s.svc.Snapshot()
 	fmt.Printf("served %d proposals over %d instances; latency %s\n",
 		st.Resolved, st.Instances, st.Latency)
 	if *f.adaptive {
@@ -283,8 +366,8 @@ func cmdServe(args []string) error {
 			st.Control.Adjustments, st.Control.Ticks, st.Control.Batch, st.Control.Linger,
 			st.Control.Transitions, st.Overloads, formatAlgs(st.Algorithms))
 	}
-	if jn != nil {
-		js := jn.Snapshot()
+	if s.jn != nil {
+		js := s.jn.Snapshot()
 		fmt.Printf("journal: %d decisions durable over %d fsyncs; fsync %s\n",
 			js.Decisions, js.Syncs, js.SyncLatency)
 	}
@@ -292,6 +375,15 @@ func cmdServe(args []string) error {
 		return fmt.Errorf("%d consensus violations: %v", len(st.Violations), st.Violations)
 	}
 	return scanErr
+}
+
+// printShardJournals reports the per-group journals' durability summary.
+func printShardJournals(jns []*journal.Journal) {
+	for g, jn := range jns {
+		js := jn.Snapshot()
+		fmt.Printf("journal group %d: %d decisions durable over %d fsyncs; fsync %s\n",
+			g, js.Decisions, js.Syncs, js.SyncLatency)
+	}
 }
 
 // formatAlgs renders an instances-per-algorithm map as a stable
@@ -335,17 +427,18 @@ func cmdBenchService(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	svc, hub, jn, cleanup, err := f.start()
+	s, err := f.start()
 	if err != nil {
 		return err
 	}
-	defer cleanup()
+	defer s.cleanup()
+	svc := s.sink()
 	if *delay > 0 {
-		if hub == nil {
+		if s.hub == nil {
 			return fmt.Errorf("delay injection needs the memory transport")
 		}
-		hub.DelayProcess(1, *delay)
-		time.AfterFunc(*heal, hub.Heal)
+		s.hub.DelayProcess(1, *delay)
+		time.AfterFunc(*heal, s.hub.Heal)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *limit)
@@ -415,14 +508,17 @@ func cmdBenchService(args []string) error {
 	}
 	wg.Wait()
 	elapsed := time.Since(begin)
-	if err := svc.Close(); err != nil {
+	if err := s.close(); err != nil {
 		return err
 	}
 	if firstErr != nil {
 		return firstErr
 	}
+	if s.rt != nil {
+		return benchShardReport(f, s.rt, elapsed, *clients, *burst, *burstIdle)
+	}
 
-	st := svc.Snapshot()
+	st := s.svc.Snapshot()
 	title := fmt.Sprintf("bench-service: %s, n=%d t=%d, %s transport, %d clients, batch ≤ %d, ≤ %d inflight",
 		*f.algo, *f.n, *f.t, *f.trans, *clients, *f.batch, *f.inflight)
 	if *f.adaptive {
@@ -456,8 +552,8 @@ func cmdBenchService(args []string) error {
 		table.AddRowf("proposals shed (overload)", st.Overloads)
 		table.AddRowf("algorithms", formatAlgs(st.Algorithms))
 	}
-	if jn != nil {
-		js := jn.Snapshot()
+	if s.jn != nil {
+		js := s.jn.Snapshot()
 		table.AddRowf("journal decisions durable", js.Decisions)
 		table.AddRowf("journal fsyncs (group commits)", js.Syncs)
 		table.AddRowf("journal fsync p99", js.SyncLatency.P99.Round(time.Microsecond))
@@ -469,6 +565,49 @@ func cmdBenchService(args []string) error {
 	}
 	if st.Failed > 0 || st.InstanceFailures > 0 {
 		return fmt.Errorf("%d proposals / %d instances failed", st.Failed, st.InstanceFailures)
+	}
+	return nil
+}
+
+// benchShardReport renders the sharded bench table: aggregate throughput
+// across every group (the number the sharding exists to raise) plus one
+// row per group, since latency percentiles do not merge across groups.
+func benchShardReport(f serviceFlags, rt *shard.Runtime, elapsed time.Duration, clients, burst int, burstIdle time.Duration) error {
+	roll := rt.Snapshot()
+	title := fmt.Sprintf("bench-service: %s, n=%d t=%d, %s transport, %d clients, %d groups (%s placement), batch ≤ %d, ≤ %d inflight/group",
+		*f.algo, *f.n, *f.t, *f.trans, clients, rt.Groups(), rt.Policy(), *f.batch, *f.inflight)
+	if *f.adaptive {
+		title += ", adaptive"
+	}
+	if burst > 0 {
+		title += fmt.Sprintf(", bursts of %d every %s", burst, burstIdle)
+	}
+	table := stats.NewTable(title, "metric", "value")
+	table.AddRowf("proposals resolved (all groups)", roll.Resolved)
+	table.AddRowf("instances decided (all groups)", roll.Instances)
+	table.AddRowf("wall time", elapsed.Round(time.Millisecond))
+	table.AddRowf("aggregate proposals/sec", fmt.Sprintf("%.0f", float64(roll.Resolved)/elapsed.Seconds()))
+	table.AddRowf("aggregate decisions/sec", fmt.Sprintf("%.0f", float64(roll.Instances)/elapsed.Seconds()))
+	table.AddRowf("mean batch", fmt.Sprintf("%.2f", float64(roll.Resolved)/float64(max(roll.Instances, 1))))
+	table.AddRowf("proposals shed (overload)", roll.Overloads)
+	for g, st := range roll.Groups {
+		table.AddRowf(fmt.Sprintf("group %d", g),
+			fmt.Sprintf("%d proposals / %d instances, p50 %s p99 %s",
+				st.Resolved, st.Instances,
+				st.Latency.P50.Round(time.Microsecond), st.Latency.P99.Round(time.Microsecond)))
+	}
+	table.AddRowf("check violations", len(roll.Violations))
+	for g, jn := range rt.Journals() {
+		js := jn.Snapshot()
+		table.AddRowf(fmt.Sprintf("journal group %d", g),
+			fmt.Sprintf("%d decisions durable / %d fsyncs", js.Decisions, js.Syncs))
+	}
+	table.Render(os.Stdout)
+	if len(roll.Violations) > 0 {
+		return fmt.Errorf("%d consensus violations: %v", len(roll.Violations), roll.Violations)
+	}
+	if roll.Failed > 0 || roll.InstanceFailures > 0 {
+		return fmt.Errorf("%d proposals / %d instances failed", roll.Failed, roll.InstanceFailures)
 	}
 	return nil
 }

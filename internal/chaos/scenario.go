@@ -115,6 +115,14 @@ type Scenario struct {
 	// Horizon is the fault horizon: dropped frames deliver shortly
 	// after it, and all fault windows end at or before it.
 	Horizon time.Duration
+	// Groups, when above 1, runs the scenario on the sharded runtime
+	// (internal/shard): Groups consensus groups over the shared
+	// endpoints, proposals placed round-robin, every group journaling
+	// into its own subdirectory and audited per group. 0 or 1 runs the
+	// single-group service exactly as before the field existed; the
+	// field is omitted from the JSON encoding when 0, so legacy specs
+	// replay byte-identically.
+	Groups int `json:",omitempty"`
 	// Links, Partitions and Crashes are the fault schedule.
 	Links      []LinkFault
 	Partitions []Partition
@@ -160,6 +168,9 @@ func (sc Scenario) Validate() error {
 	if sc.BaseTimeout <= 0 || sc.Horizon <= 0 || sc.InstanceTimeout <= sc.Horizon {
 		return fmt.Errorf("chaos: need BaseTimeout>0, Horizon>0 and InstanceTimeout>Horizon (got %v, %v, %v)",
 			sc.BaseTimeout, sc.Horizon, sc.InstanceTimeout)
+	}
+	if sc.Groups < 0 || sc.Groups > 64 {
+		return fmt.Errorf("chaos: %d groups outside [0,64]", sc.Groups)
 	}
 	crashed := make(map[model.ProcessID]bool)
 	for _, c := range sc.Crashes {
@@ -317,6 +328,26 @@ func Generate(seed int64) Scenario {
 			c.Restart = c.At + time.Duration(r.Int63n(int64(horizon/4))) + time.Millisecond
 		}
 		sc.Crashes = append(sc.Crashes, c)
+	}
+	return sc
+}
+
+// GenerateGroups derives the multi-group variant of Generate(seed): the
+// identical spec — it consumes Generate's rand stream untouched, so the
+// shared fields match seed for seed — with Groups set and the proposal
+// load scaled so every group sees traffic. The scaled load keeps
+// Generate's non-blocking bound, now groups intakes wide. groups <= 1
+// returns Generate's spec unchanged.
+func GenerateGroups(seed int64, groups int) Scenario {
+	sc := Generate(seed)
+	if groups <= 1 {
+		return sc
+	}
+	sc.Groups = groups
+	bound := sc.MaxBatch * sc.MaxInflight * groups
+	sc.Proposals *= groups
+	if sc.Proposals > bound {
+		sc.Proposals = bound
 	}
 	return sc
 }

@@ -17,6 +17,7 @@ import (
 	"indulgence/internal/model"
 	"indulgence/internal/runtime"
 	"indulgence/internal/service"
+	"indulgence/internal/shard"
 	"indulgence/internal/transport"
 	"indulgence/internal/wire"
 )
@@ -155,13 +156,9 @@ func Run(sc Scenario, opts Options) Result {
 		eps[i] = nw.Wrap(ep)
 	}
 
-	// NoSync: the journal is an audit trail here, not a durability
-	// promise, and fsync stalls would leak wall time into the virtual
-	// schedule.
-	j, err := journal.Open(dir, journal.Options{NoSync: true})
-	if err != nil {
-		res.Err = err
-		return res
+	groups := sc.Groups
+	if groups < 1 {
+		groups = 1
 	}
 
 	cp := &crashPlan{down: make(map[model.ProcessID]bool)}
@@ -182,18 +179,77 @@ func Run(sc Scenario, opts Options) Result {
 		Linger:          sc.Linger,
 		MaxInflight:     sc.MaxInflight,
 		InstanceTimeout: sc.InstanceTimeout,
-		Journal:         j,
 		OnInstance:      cp.onInstance,
 		Clock:           clk,
 	}
 	if sc.Adaptive {
 		cfg.Adaptive = &adapt.Config{}
 	}
-	svc, err := service.New(cfg, eps)
-	if err != nil {
-		j.Close()
-		res.Err = err
-		return res
+	// The two runtime shapes — the single-group service and the sharded
+	// multi-group runtime — are abstracted behind four closures so the
+	// schedule driver and the audits below stay shared. NoSync on every
+	// journal: it is an audit trail here, not a durability promise, and
+	// fsync stalls would leak wall time into the virtual schedule.
+	var (
+		propose  func(context.Context, model.Value) (*service.Future, error)
+		abortSvc func()
+		closeSvc func()
+		// liveViolations reads the live check.Instance findings after
+		// shutdown; replayAll reads back every journaled record and
+		// claim (all groups of a sharded run in one stream, arming
+		// check.Replay's cross-group instance audit).
+		liveViolations func() []string
+		replayAll      func() ([]wire.DecisionRecord, []wire.StartRecord, error)
+	)
+	if groups > 1 {
+		rt, err := shard.New(shard.Config{
+			Service:        cfg,
+			Groups:         groups,
+			JournalDir:     dir,
+			JournalOptions: journal.Options{NoSync: true},
+		}, eps)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		propose = rt.Propose
+		abortSvc = rt.Abort
+		closeSvc = func() { rt.Close() }
+		liveViolations = func() []string { return rt.Snapshot().Violations }
+		replayAll = func() ([]wire.DecisionRecord, []wire.StartRecord, error) {
+			return shard.ReplayDir(dir, groups)
+		}
+	} else {
+		j, err := journal.Open(dir, journal.Options{NoSync: true})
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		cfg.Journal = j
+		svc, err := service.New(cfg, eps)
+		if err != nil {
+			j.Close()
+			res.Err = err
+			return res
+		}
+		propose = svc.Propose
+		abortSvc = svc.Abort
+		closeSvc = func() { svc.Close() }
+		liveViolations = func() []string { return svc.Snapshot().Violations }
+		replayAll = func() ([]wire.DecisionRecord, []wire.StartRecord, error) {
+			j.Close()
+			var recs []wire.DecisionRecord
+			var starts []wire.StartRecord
+			_, err := journal.Replay(dir, func(e journal.Entry) error {
+				if e.Start {
+					starts = append(starts, wire.StartRecord{Instance: e.Instance(), Alg: e.Alg})
+				} else {
+					recs = append(recs, e.Decision)
+				}
+				return nil
+			})
+			return recs, starts, err
+		}
 	}
 
 	// Proposal load: Waves waves submitted on the clock driver, each
@@ -225,7 +281,7 @@ func Run(sc Scenario, opts Options) Result {
 		}
 		for i := lo; i < hi; i++ {
 			i := i
-			fut, err := svc.Propose(context.Background(), value(i))
+			fut, err := propose(context.Background(), value(i))
 			if err != nil {
 				outs[i] = outcome{err: err, shed: errors.Is(err, adapt.ErrOverload)}
 				wg.Done()
@@ -304,33 +360,23 @@ func Run(sc Scenario, opts Options) Result {
 			wg.Done()
 		}
 		loadMu.Unlock()
-		svc.Abort()
+		abortSvc()
 		<-done
 		res.Violations = append(res.Violations,
 			fmt.Sprintf("wedged after %v virtual / %v wall", clk.Now().Sub(virtStart), time.Since(wallStart)))
 	} else {
-		svc.Close()
+		closeSvc()
 	}
 
 	res.Virtual = clk.Now().Sub(virtStart)
 	res.Wall = time.Since(wallStart)
 
 	// Audit 1: the service's own live check.Instance findings.
-	snap := svc.Snapshot()
-	res.Violations = append(res.Violations, snap.Violations...)
+	res.Violations = append(res.Violations, liveViolations()...)
 
-	// Audit 2: replay the journal against the futures' view.
-	j.Close()
-	var recs []wire.DecisionRecord
-	var starts []wire.StartRecord
-	if _, err := journal.Replay(dir, func(e journal.Entry) error {
-		if e.Start {
-			starts = append(starts, wire.StartRecord{Instance: e.Instance(), Alg: e.Alg})
-		} else {
-			recs = append(recs, e.Decision)
-		}
-		return nil
-	}); err != nil {
+	// Audit 2: replay the journals against the futures' view.
+	recs, starts, err := replayAll()
+	if err != nil {
 		res.Err = fmt.Errorf("chaos: replay journal: %w", err)
 		return res
 	}
@@ -380,9 +426,18 @@ type SweepStats struct {
 // starting at baseSeed. onRun, when non-nil, observes every result as
 // it completes (the CLI uses it for progress and failure printing).
 func Sweep(baseSeed int64, count int, opts Options, onRun func(Result)) SweepStats {
+	return SweepGroups(baseSeed, count, 1, opts, onRun)
+}
+
+// SweepGroups is Sweep on the sharded runtime: every generated scenario
+// runs with the given group count (via GenerateGroups, so the fault
+// schedules match Sweep's seed for seed — the sweep exercises the same
+// adversaries against the multi-group stack). groups <= 1 is exactly
+// Sweep.
+func SweepGroups(baseSeed int64, count, groups int, opts Options, onRun func(Result)) SweepStats {
 	var st SweepStats
 	for i := 0; i < count; i++ {
-		r := Run(Generate(baseSeed+int64(i)), opts)
+		r := Run(GenerateGroups(baseSeed+int64(i), groups), opts)
 		st.Runs++
 		st.Decided += r.Decided
 		st.Shed += r.Shed

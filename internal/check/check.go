@@ -161,7 +161,15 @@ func Instance(decisions []model.OptValue, proposals []model.Value, crashed model
 // misconfigured cluster whose members disagree on the algorithm —
 // and is flagged as an agreement violation (untagged claims are
 // compatible with everything; they predate the tag or chose not to
-// record one). Structurally impossible records (non-positive round or
+// record one). Group tags extend it to the sharded runtime: every
+// instance ID belongs to exactly one consensus group (the strided
+// allocation makes the spaces disjoint), so an instance claimed or
+// decided under two different groups — across the claims and records
+// of every journal fed to one Replay call, such as all group journals
+// of one member — means two groups ran the same instance ID and is
+// flagged as an agreement violation (pre-group records carry group 0,
+// the compatibility group, and conflict only with records of other
+// groups). Structurally impossible records (non-positive round or
 // batch) are flagged as validity violations: no decision can legally
 // produce them, so their presence means the log was not written by a
 // correct service. Termination is not assessable from a journal (a
@@ -170,8 +178,21 @@ func Instance(decisions []model.OptValue, proposals []model.Value, crashed model
 func Replay(records []wire.DecisionRecord, starts []wire.StartRecord, live map[uint64]model.Value) Report {
 	rep := Report{Validity: true, Agreement: true, Termination: true}
 
+	groups := make(map[uint64]uint64, len(starts)+len(records))
+	checkGroup := func(instance, group uint64) {
+		if prev, ok := groups[instance]; !ok {
+			groups[instance] = group
+		} else if prev != group {
+			rep.Agreement = false
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("agreement: instance %d recorded under group %d and again under group %d",
+					instance, prev, group))
+		}
+	}
+
 	algs := make(map[uint64]string, len(starts))
 	for _, s := range starts {
+		checkGroup(s.Instance, s.Group)
 		if s.Alg == "" {
 			continue
 		}
@@ -187,6 +208,7 @@ func Replay(records []wire.DecisionRecord, starts []wire.StartRecord, live map[u
 
 	seen := make(map[uint64]wire.DecisionRecord, len(records))
 	for _, r := range records {
+		checkGroup(r.Instance, r.Group)
 		if r.Round < 1 || r.Batch < 1 {
 			rep.Validity = false
 			rep.Violations = append(rep.Violations,

@@ -215,6 +215,56 @@ func TestReplayAlgorithmConflict(t *testing.T) {
 	}
 }
 
+// TestReplayGroupConflict pins the sharded-runtime invariant: an
+// instance ID claimed or decided under two different consensus groups
+// is an agreement violation (the strided allocation makes the group ID
+// spaces disjoint, so a cross-group instance means two groups ran the
+// same ID), while a group's own claims and decisions stay compatible
+// with each other.
+func TestReplayGroupConflict(t *testing.T) {
+	rep := Replay([]wire.DecisionRecord{
+		{Instance: 5, Value: 1, Round: 3, Batch: 1, Group: 1},
+		{Instance: 5, Value: 1, Round: 3, Batch: 1, Group: 3},
+	}, nil, nil)
+	if rep.Agreement {
+		t.Fatalf("cross-group decisions not flagged: %+v", rep)
+	}
+	if !errors.Is(rep.Err(), ErrViolation) || !strings.Contains(rep.Err().Error(), "group 1") {
+		t.Fatalf("Err() = %v", rep.Err())
+	}
+
+	// A claim and its decision under one group agree; a claim under
+	// another group conflicts. Pre-group records (group 0) conflict with
+	// grouped ones too — group 0 is a real group, the compatibility one.
+	rep = Replay(
+		[]wire.DecisionRecord{{Instance: 6, Value: 2, Round: 3, Batch: 1, Group: 2}},
+		[]wire.StartRecord{{Instance: 6, Alg: "A_t+2", Group: 1}}, nil)
+	if rep.Agreement {
+		t.Fatalf("claim/decision group split not flagged: %+v", rep)
+	}
+	rep = Replay(
+		[]wire.DecisionRecord{{Instance: 7, Value: 2, Round: 3, Batch: 1, Group: 2}},
+		[]wire.StartRecord{{Instance: 7}}, nil)
+	if rep.Agreement {
+		t.Fatalf("legacy claim vs grouped decision not flagged: %+v", rep)
+	}
+
+	clean := Replay(
+		[]wire.DecisionRecord{
+			{Instance: 1, Value: 4, Round: 3, Batch: 1, Group: 1},
+			{Instance: 2, Value: 5, Round: 3, Batch: 1, Group: 2},
+			{Instance: 1, Value: 4, Round: 3, Batch: 1, Group: 1},
+		},
+		[]wire.StartRecord{
+			{Instance: 1, Alg: "A_t+2", Group: 1},
+			{Instance: 2, Alg: "A_t+2", Group: 2},
+		},
+		map[uint64]model.Value{1: 4, 2: 5})
+	if !clean.OK() {
+		t.Fatalf("disjoint group spaces flagged: %+v", clean)
+	}
+}
+
 func TestReplayImpossibleRecord(t *testing.T) {
 	rep := Replay([]wire.DecisionRecord{
 		{Instance: 0, Value: 1, Round: 0, Batch: 1},

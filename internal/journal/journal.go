@@ -287,7 +287,16 @@ func (j *Journal) Append(rec wire.DecisionRecord) error {
 // crash that could lose the write also loses the frames. (Any later
 // decision fsync makes earlier start writes durable as a side effect.)
 func (j *Journal) AppendStart(instance uint64, alg string) error {
-	return j.append(Entry{Start: true, Alg: alg, Decision: wire.DecisionRecord{Instance: instance}}, false)
+	return j.AppendStartRecord(wire.StartRecord{Instance: instance, Alg: alg})
+}
+
+// AppendStartRecord is AppendStart with the full record: sharded
+// services use it to tag their claims with the consensus group, which
+// check.Replay audits (an instance ID journaled under two groups is an
+// agreement violation). It shares AppendStart's no-fsync contract.
+func (j *Journal) AppendStartRecord(r wire.StartRecord) error {
+	return j.append(Entry{Start: true, Alg: r.Alg,
+		Decision: wire.DecisionRecord{Instance: r.Instance, Group: r.Group}}, false)
 }
 
 func (j *Journal) append(e Entry, sync bool) error {

@@ -41,7 +41,9 @@ type Entry struct {
 	// as in records written before the tag existed). check.Replay uses
 	// it to audit algorithm choices across process lifetimes.
 	Alg string
-	// Decision is the decided outcome of the instance.
+	// Decision is the decided outcome of the instance. For starts, its
+	// Instance and Group carry the claim's addressing; the remaining
+	// fields are zero.
 	Decision wire.DecisionRecord
 }
 
@@ -58,7 +60,8 @@ func appendFrame(dst []byte, e Entry) []byte {
 		if len(alg) > wire.MaxAlgNameLen {
 			alg = alg[:wire.MaxAlgNameLen]
 		}
-		payload, _ = wire.AppendStartRecord(nil, wire.StartRecord{Instance: e.Decision.Instance, Alg: alg})
+		payload, _ = wire.AppendStartRecord(nil, wire.StartRecord{
+			Instance: e.Decision.Instance, Alg: alg, Group: e.Decision.Group})
 	} else {
 		payload = wire.AppendDecisionRecord(nil, e.Decision)
 	}
@@ -75,7 +78,8 @@ func decodeEntry(payload []byte) (Entry, bool) {
 		return Entry{}, false
 	}
 	if rec, n, err := wire.DecodeStartRecord(payload); err == nil {
-		return Entry{Start: true, Alg: rec.Alg, Decision: wire.DecisionRecord{Instance: rec.Instance}}, n == len(payload)
+		return Entry{Start: true, Alg: rec.Alg,
+			Decision: wire.DecisionRecord{Instance: rec.Instance, Group: rec.Group}}, n == len(payload)
 	}
 	rec, n, err := wire.DecodeDecisionRecord(payload)
 	if err != nil || n != len(payload) {

@@ -39,13 +39,13 @@ func (s *Service) runInstance(instance uint64, batch []*pending, choice adapt.Ch
 	defer releaseSlot()
 	retire := func() {
 		for _, m := range s.muxes {
-			m.Retire(instance)
+			m.RetireGroup(s.cfg.Group, instance)
 		}
 	}
 
 	eps := make([]transport.Transport, s.cfg.N)
 	for i, m := range s.muxes {
-		ep, err := m.Open(instance)
+		ep, err := m.OpenGroup(s.cfg.Group, instance)
 		if err != nil {
 			retire()
 			s.failInstance(batch, fmt.Errorf("service: open instance %d on p%d: %w", instance, i+1, err))
@@ -132,7 +132,7 @@ func (s *Service) runInstance(instance uint64, batch []*pending, choice adapt.Ch
 	// because resolving an unjournaled decision would let a restart
 	// re-run the instance.
 	if s.cfg.Journal != nil {
-		rec := wire.DecisionRecord{Instance: instance, Value: value, Round: round, Batch: len(batch)}
+		rec := wire.DecisionRecord{Instance: instance, Value: value, Round: round, Batch: len(batch), Group: s.cfg.Group}
 		if err := s.cfg.Journal.Append(rec); err != nil {
 			s.failInstance(batch, fmt.Errorf("service: journal instance %d: %w", instance, err))
 			return

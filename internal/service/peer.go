@@ -87,6 +87,13 @@ type PeerOptions struct {
 	// its peers, so per-instance algorithm selection is a single-process
 	// service feature; NewPeer rejects a config that asks for it.
 	Adaptive *adapt.Config
+	// Group and Groups place the member in a sharded deployment, exactly
+	// as for Config: the member runs group Group of Groups and owns the
+	// strided slot space congruent to Group modulo Groups. Join signals
+	// for other groups' slots are dropped. The defaults (0 and 1) are
+	// the single-group member.
+	Group  uint64
+	Groups int
 }
 
 // withDefaults returns cfg with zero fields replaced by defaults.
@@ -115,6 +122,9 @@ func (cfg PeerOptions) withDefaults() PeerOptions {
 	if cfg.NoopValue == 0 {
 		cfg.NoopValue = model.Value(math.MaxInt64)
 	}
+	if cfg.Groups == 0 {
+		cfg.Groups = 1
+	}
 	cfg.Clock = clock.Or(cfg.Clock)
 	return cfg
 }
@@ -137,10 +147,17 @@ func (cfg PeerOptions) withDefaults() PeerOptions {
 // audited offline by check.Replay over the members' journals and live
 // observations (the `indulgence cluster` helper does exactly that).
 type PeerService struct {
-	cfg    PeerOptions
-	n      int
-	self   model.ProcessID
-	mux    *transport.Mux
+	cfg  PeerOptions
+	n    int
+	self model.ProcessID
+	mux  *transport.Mux
+	// ownsMux reports whether Close/Abort shut the mux down: true when
+	// NewPeer built it, false when a shard runtime shares one mux across
+	// many group members (NewPeerOnMux).
+	ownsMux bool
+	// stride is uint64(cfg.Groups): the member's slots advance by it,
+	// keeping every local slot congruent to cfg.Group.
+	stride uint64
 	static adapt.Choice
 	plane  *adapt.Plane
 
@@ -188,18 +205,56 @@ type PeerService struct {
 // owned by the caller and is not closed by Close; the member wraps it
 // in a mux and owns all reads from it.
 func NewPeer(cfg PeerOptions, n int, ep transport.Transport) (*PeerService, error) {
-	cfg = cfg.withDefaults()
 	if n < 2 {
 		return nil, fmt.Errorf("service: need at least 2 processes, got %d", n)
 	}
 	if ep == nil {
 		return nil, errors.New("service: nil endpoint")
 	}
-	if self := ep.Self(); self < 1 || int(self) > n {
+	s, err := newPeerService(cfg, n, ep.Self())
+	if err != nil {
+		return nil, err
+	}
+	s.mux = transport.NewMuxNotify(ep, s.Join)
+	s.ownsMux = true
+	s.start()
+	return s, nil
+}
+
+// NewPeerOnMux starts one member over an already-built group-aware mux —
+// the sharded runtime's constructor, where every group's member of one
+// process multiplexes over a single mux. The mux stays owned by the
+// caller: Close and Abort leave it open, and join signals are the
+// caller's to deliver — whoever owns the mux's pending callback routes
+// each (group, instance) signal to the owning member's Join.
+func NewPeerOnMux(cfg PeerOptions, n int, mux *transport.Mux) (*PeerService, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("service: need at least 2 processes, got %d", n)
+	}
+	if mux == nil {
+		return nil, errors.New("service: nil mux")
+	}
+	s, err := newPeerService(cfg, n, mux.Self())
+	if err != nil {
+		return nil, err
+	}
+	s.mux = mux
+	s.start()
+	return s, nil
+}
+
+// newPeerService builds a member's core — everything but the mux, which
+// NewPeer and NewPeerOnMux attach before calling start.
+func newPeerService(cfg PeerOptions, n int, self model.ProcessID) (*PeerService, error) {
+	cfg = cfg.withDefaults()
+	if self < 1 || int(self) > n {
 		return nil, fmt.Errorf("service: endpoint Self()=%d outside 1..%d", self, n)
 	}
 	if cfg.Factory == nil {
 		return nil, errors.New("service: nil factory")
+	}
+	if cfg.Groups < 1 || cfg.Group >= uint64(cfg.Groups) {
+		return nil, fmt.Errorf("service: group %d out of range for %d groups", cfg.Group, cfg.Groups)
 	}
 	if cfg.Adaptive != nil && cfg.Adaptive.SelectAlgorithms {
 		return nil, errors.New("service: peer members cannot select algorithms per instance (the protocol of a shared slot is cluster-wide; run selection on the single-process service)")
@@ -229,7 +284,8 @@ func NewPeer(cfg PeerOptions, n int, ep transport.Transport) (*PeerService, erro
 	s := &PeerService{
 		cfg:         cfg,
 		n:           n,
-		self:        ep.Self(),
+		self:        self,
+		stride:      uint64(cfg.Groups),
 		static:      static,
 		plane:       plane,
 		intake:      make(chan *pending, ceiling*cfg.MaxInflight),
@@ -244,30 +300,61 @@ func NewPeer(cfg PeerOptions, n int, ep transport.Transport) (*PeerService, erro
 		fills:       stats.NewReservoir[int](maxSamples),
 		algs:        make(map[string]int),
 	}
-	s.mux = transport.NewMuxNotify(ep, func(instance uint64) {
-		// Router goroutine: never block. A dropped signal re-fires on
-		// the instance's next inbound frame.
-		select {
-		case s.joins <- instance:
-		default:
-		}
-	})
-	if cfg.Journal != nil {
+	return s, nil
+}
+
+// start finishes construction once the mux is attached: journal
+// recovery, then the batcher and control loop.
+func (s *PeerService) start() {
+	// The member's first slot is its group ID; later ones add the stride
+	// (see Service for the strided-allocation contract).
+	s.nextSlot = s.cfg.Group
+	s.claimedThrough = s.nextSlot
+	if s.cfg.Journal != nil {
 		// Recovery: resume past every slot this member ever claimed or
 		// decided (a restarted member must never re-run an instance its
 		// previous lifetime touched — rejoining one with reset algorithm
 		// state would be amnesia, not a crash-stop) and drop stale
 		// frames below the frontier on arrival.
-		s.nextSlot = cfg.Journal.Frontier()
+		s.nextSlot = alignInstance(s.cfg.Journal.Frontier(), s.cfg.Group, s.stride)
 		s.claimedThrough = s.nextSlot
-		s.mux.RetireBelow(s.nextSlot)
+		s.mux.RetireGroupBelow(s.cfg.Group, s.nextSlot)
 	}
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	go s.batcher()
 	if s.plane != nil {
-		go controlLoop(s.runCtx, cfg.Clock, s.plane, s.intake, s.slots)
+		go controlLoop(s.runCtx, s.cfg.Clock, s.plane, s.intake, s.slots)
 	}
-	return s, nil
+}
+
+// Join signals that inbound frames exist for slot and this member should
+// adopt it. It never blocks — callable straight from a mux router
+// goroutine; a dropped signal re-fires on the slot's next inbound frame.
+// NewPeer wires it as the member's own pending callback; the sharded
+// peer runtime, which owns its shared mux's callback, calls it on the
+// group member each signal addresses. Slots outside the member's group
+// are dropped by the batcher.
+func (s *PeerService) Join(slot uint64) {
+	select {
+	case s.joins <- slot:
+	default:
+	}
+}
+
+// Group returns the consensus group this member runs (0 for the
+// single-group member).
+func (s *PeerService) Group() uint64 { return s.cfg.Group }
+
+// Occupancy reports the intake buffer's current fill and capacity — the
+// load signal shard placement policies compare across groups.
+func (s *PeerService) Occupancy() (used, capacity int) {
+	return len(s.intake), cap(s.intake)
+}
+
+// Shedding reports whether the member's admission gate is currently
+// rejecting proposals with adapt.ErrOverload.
+func (s *PeerService) Shedding() bool {
+	return s.plane != nil && !s.plane.Admit()
 }
 
 // Self returns this member's process ID.
@@ -329,7 +416,9 @@ func (s *PeerService) Close() error {
 	<-s.batcherDone
 	s.wg.Wait()
 	s.runCancel()
-	_ = s.mux.Close()
+	if s.ownsMux {
+		_ = s.mux.Close()
+	}
 	return nil
 }
 
@@ -346,7 +435,9 @@ func (s *PeerService) Abort() {
 	s.mu.Unlock()
 	s.runCancel()
 	close(s.intake)
-	_ = s.mux.Close()
+	if s.ownsMux {
+		_ = s.mux.Close()
+	}
 }
 
 // Snapshot returns current counters and latency/round summaries. Only
@@ -439,7 +530,7 @@ func (s *PeerService) batcher() {
 		batch = nil
 		s.recordCut(len(b))
 		slot := s.nextSlot
-		s.nextSlot++
+		s.nextSlot += s.stride
 		s.launch(slot, b, false)
 	}
 	for {
@@ -466,6 +557,9 @@ func (s *PeerService) batcher() {
 				return
 			}
 		case slot := <-s.joins:
+			if slot%s.stride != s.cfg.Group {
+				continue // another group's slot — not this member's to run
+			}
 			if s.isActive(slot) {
 				continue
 			}
@@ -483,7 +577,7 @@ func (s *PeerService) batcher() {
 			// mux.Open failure.
 			var b []*pending
 			if slot >= s.nextSlot {
-				s.nextSlot = slot + 1
+				s.nextSlot = slot + s.stride
 				stopLinger()
 				b, batch = batch, nil
 			}
@@ -512,7 +606,7 @@ func (s *PeerService) launch(slot uint64, batch []*pending, joined bool) {
 	// the slot are about to touch the network, so a restart must resume
 	// past it (see Service.batcher for the block-claim rationale).
 	if s.cfg.Journal != nil && slot >= s.claimedThrough {
-		through, err := claimBlock(s.cfg.Journal, slot, s.cfg.MaxInflight, s.static.Name)
+		through, err := claimBlock(s.cfg.Journal, slot, s.cfg.MaxInflight, s.static.Name, s.cfg.Group, s.stride)
 		if err != nil {
 			<-s.slots
 			s.failSlot(batch, err)
@@ -559,7 +653,7 @@ func (s *PeerService) runSlot(slot uint64, batch []*pending, joined bool) {
 	}
 	defer releaseSlot()
 
-	ep, err := s.mux.Open(slot)
+	ep, err := s.mux.OpenGroup(s.cfg.Group, slot)
 	if err != nil {
 		// A join can race the slot's retirement (one stale signal after
 		// the instance finished): not a failure, nothing to do. An
@@ -591,7 +685,7 @@ func (s *PeerService) runSlot(slot uint64, batch []*pending, joined bool) {
 		Clock:       s.cfg.Clock,
 	})
 	if err != nil {
-		s.mux.Retire(slot)
+		s.mux.RetireGroup(s.cfg.Group, slot)
 		s.failSlot(batch, fmt.Errorf("service: instance %d: %w", slot, err))
 		return
 	}
@@ -604,7 +698,7 @@ func (s *PeerService) runSlot(slot uint64, batch []*pending, joined bool) {
 	ctx, cancel := clock.WithTimeout(s.runCtx, s.cfg.Clock, deadline)
 	defer cancel()
 	if err := cl.Start(ctx); err != nil {
-		s.mux.Retire(slot)
+		s.mux.RetireGroup(s.cfg.Group, slot)
 		s.failSlot(batch, fmt.Errorf("service: instance %d: %w", slot, err))
 		return
 	}
@@ -617,7 +711,7 @@ func (s *PeerService) runSlot(slot uint64, batch []*pending, joined bool) {
 	decisionLat := s.cfg.Clock.Since(begin)
 	if !decided {
 		cl.Stop()
-		s.mux.Retire(slot)
+		s.mux.RetireGroup(s.cfg.Group, slot)
 		err := fmt.Errorf("service: instance %d reached no local decision", slot)
 		if ctx.Err() != nil {
 			err = fmt.Errorf("service: instance %d: %w", slot, ctx.Err())
@@ -634,10 +728,10 @@ func (s *PeerService) runSlot(slot uint64, batch []*pending, joined bool) {
 		localBatch = 1
 	}
 	if s.cfg.Journal != nil {
-		rec := wire.DecisionRecord{Instance: slot, Value: value, Round: res.Round, Batch: localBatch}
+		rec := wire.DecisionRecord{Instance: slot, Value: value, Round: res.Round, Batch: localBatch, Group: s.cfg.Group}
 		if err := s.cfg.Journal.Append(rec); err != nil {
 			cl.Stop()
-			s.mux.Retire(slot)
+			s.mux.RetireGroup(s.cfg.Group, slot)
 			s.failSlot(batch, fmt.Errorf("service: journal instance %d: %w", slot, err))
 			return
 		}
@@ -682,7 +776,7 @@ func (s *PeerService) runSlot(slot uint64, batch []*pending, joined bool) {
 		grace.Stop()
 	}
 	cl.Stop()
-	s.mux.Retire(slot)
+	s.mux.RetireGroup(s.cfg.Group, slot)
 }
 
 // failSlot resolves a batch's futures with err and records the failure.

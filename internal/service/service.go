@@ -45,6 +45,7 @@ import (
 	"indulgence/internal/runtime"
 	"indulgence/internal/stats"
 	"indulgence/internal/transport"
+	"indulgence/internal/wire"
 )
 
 // ErrClosed reports use of a closed service.
@@ -106,6 +107,17 @@ type Config struct {
 	// The chaos harness injects a virtual clock here and threads it
 	// through every instance's runtime cluster.
 	Clock clock.Clock
+	// Group and Groups place the service in a sharded deployment
+	// (internal/shard): the service runs consensus group Group of Groups
+	// total, and owns the strided slice of the global instance-ID space
+	// congruent to Group modulo Groups — group g of G assigns instances
+	// g, g+G, g+2G, … — so every group's IDs are globally unique and
+	// check.Replay can treat an instance ID under two groups as a
+	// violation. The defaults (0 and 1) are the single-group service,
+	// whose instance IDs and wire frames are unchanged from before
+	// groups existed.
+	Group  uint64
+	Groups int
 }
 
 // withDefaults returns cfg with zero fields replaced by defaults.
@@ -121,6 +133,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.InstanceTimeout == 0 {
 		cfg.InstanceTimeout = 30 * time.Second
+	}
+	if cfg.Groups == 0 {
+		cfg.Groups = 1
 	}
 	cfg.Clock = clock.Or(cfg.Clock)
 	return cfg
@@ -227,6 +242,13 @@ type Stats struct {
 type Service struct {
 	cfg   Config
 	muxes []*transport.Mux
+	// ownsMuxes reports whether Close/Abort shut the muxes down: true
+	// when New built them, false when a shard runtime shares one set of
+	// muxes across many group services (NewOnMuxes).
+	ownsMuxes bool
+	// stride is uint64(cfg.Groups): the service's instance IDs advance
+	// by it, keeping every assigned ID congruent to cfg.Group.
+	stride uint64
 
 	// static is the fallback algorithm choice built from Config (its
 	// Name probed from the factory); plane is the adaptive control
@@ -285,19 +307,58 @@ const maxSamples = 1 << 16
 // themselves remain owned by the caller and are not closed by Close.
 func New(cfg Config, endpoints []transport.Transport) (*Service, error) {
 	cfg = cfg.withDefaults()
-	if cfg.N < 2 {
-		return nil, fmt.Errorf("service: need at least 2 processes, got %d", cfg.N)
-	}
-	if len(endpoints) != cfg.N {
+	if cfg.N >= 2 && len(endpoints) != cfg.N {
 		return nil, fmt.Errorf("service: need %d endpoints, got %d", cfg.N, len(endpoints))
-	}
-	if cfg.Factory == nil {
-		return nil, errors.New("service: nil factory")
 	}
 	for i, ep := range endpoints {
 		if ep.Self() != model.ProcessID(i+1) {
 			return nil, fmt.Errorf("service: endpoint %d answers Self()=%d", i+1, ep.Self())
 		}
+	}
+	muxes := make([]*transport.Mux, len(endpoints))
+	for i, ep := range endpoints {
+		muxes[i] = transport.NewMux(ep)
+	}
+	s, err := newService(cfg, muxes, true)
+	if err != nil {
+		for _, m := range muxes {
+			_ = m.Close()
+		}
+		return nil, err
+	}
+	return s, nil
+}
+
+// NewOnMuxes starts a service over already-built muxes — the sharded
+// runtime's constructor, where many group services (each with its own
+// cfg.Group) multiplex over one set of muxes per member process. The
+// muxes stay owned by the caller: Close and Abort leave them open, and
+// the service confines itself to its group's streams (OpenGroup /
+// RetireGroup under cfg.Group), so sibling groups never observe it.
+func NewOnMuxes(cfg Config, muxes []*transport.Mux) (*Service, error) {
+	cfg = cfg.withDefaults()
+	if cfg.N >= 2 && len(muxes) != cfg.N {
+		return nil, fmt.Errorf("service: need %d muxes, got %d", cfg.N, len(muxes))
+	}
+	for i, m := range muxes {
+		if m.Self() != model.ProcessID(i+1) {
+			return nil, fmt.Errorf("service: mux %d answers Self()=%d", i+1, m.Self())
+		}
+	}
+	return newService(cfg, muxes, false)
+}
+
+// newService is the shared constructor behind New and NewOnMuxes; cfg
+// already has defaults applied and muxes are validated.
+func newService(cfg Config, muxes []*transport.Mux, ownsMuxes bool) (*Service, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("service: need at least 2 processes, got %d", cfg.N)
+	}
+	if cfg.Factory == nil {
+		return nil, errors.New("service: nil factory")
+	}
+	if cfg.Groups < 1 || cfg.Group >= uint64(cfg.Groups) {
+		return nil, fmt.Errorf("service: group %d out of range for %d groups", cfg.Group, cfg.Groups)
 	}
 	static := adapt.Choice{
 		Name:       adapt.ProbeName(cfg.Factory, cfg.N, cfg.T),
@@ -328,7 +389,9 @@ func New(cfg Config, endpoints []transport.Transport) (*Service, error) {
 	}
 	s := &Service{
 		cfg:         cfg,
-		muxes:       make([]*transport.Mux, cfg.N),
+		muxes:       muxes,
+		ownsMuxes:   ownsMuxes,
+		stride:      uint64(cfg.Groups),
 		static:      static,
 		plane:       plane,
 		intake:      make(chan *pending, ceiling*cfg.MaxInflight),
@@ -341,19 +404,21 @@ func New(cfg Config, endpoints []transport.Transport) (*Service, error) {
 		fills:       stats.NewReservoir[int](maxSamples),
 		algs:        make(map[string]int),
 	}
-	for i, ep := range endpoints {
-		s.muxes[i] = transport.NewMux(ep)
-	}
+	// The first instance of group g is g itself; every later one adds
+	// the stride, so the assigned IDs are exactly {g, g+G, g+2G, …}.
+	s.nextInstance = cfg.Group
+	s.claimedThrough = s.nextInstance
 	if cfg.Journal != nil {
 		// Recovery: resume the instance-ID frontier past every journaled
-		// start claim and decision, and bulk-retire the journaled range
-		// on every mux, so stale flood frames from a previous process
-		// lifetime are dropped instead of buffering for instances nobody
-		// will open.
-		s.nextInstance = cfg.Journal.Frontier()
+		// start claim and decision — aligned up to the group's residue
+		// class — and bulk-retire the journaled range of this group's
+		// streams on every mux, so stale flood frames from a previous
+		// process lifetime are dropped instead of buffering for instances
+		// nobody will open.
+		s.nextInstance = alignInstance(cfg.Journal.Frontier(), cfg.Group, s.stride)
 		s.claimedThrough = s.nextInstance
 		for _, m := range s.muxes {
-			m.RetireBelow(s.nextInstance)
+			m.RetireGroupBelow(cfg.Group, s.nextInstance)
 		}
 	}
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
@@ -439,8 +504,10 @@ func (s *Service) Close() error {
 	<-s.batcherDone
 	s.wg.Wait()
 	s.runCancel()
-	for _, m := range s.muxes {
-		_ = m.Close()
+	if s.ownsMuxes {
+		for _, m := range s.muxes {
+			_ = m.Close()
+		}
 	}
 	return nil
 }
@@ -470,9 +537,29 @@ func (s *Service) Abort() {
 	s.mu.Unlock()
 	s.runCancel()
 	close(s.intake)
-	for _, m := range s.muxes {
-		_ = m.Close()
+	if s.ownsMuxes {
+		for _, m := range s.muxes {
+			_ = m.Close()
+		}
 	}
+}
+
+// Group returns the consensus group this service runs (0 for the
+// single-group service).
+func (s *Service) Group() uint64 { return s.cfg.Group }
+
+// Occupancy reports the intake buffer's current fill and capacity — the
+// load signal shard placement policies compare across groups.
+func (s *Service) Occupancy() (used, capacity int) {
+	return len(s.intake), cap(s.intake)
+}
+
+// Shedding reports whether the service's admission gate is currently
+// rejecting proposals with adapt.ErrOverload (always false for a
+// service without an adaptive config). Placement policies route around
+// a shedding group while a non-shedding one exists.
+func (s *Service) Shedding() bool {
+	return s.plane != nil && !s.plane.Admit()
 }
 
 // Snapshot returns current counters and latency/round summaries.
@@ -568,7 +655,7 @@ func (s *Service) batcher() {
 			return
 		}
 		instance := s.nextInstance
-		s.nextInstance++
+		s.nextInstance += s.stride
 		choice := s.static
 		if s.plane != nil && s.plane.Selecting() {
 			choice = s.plane.Pick()
@@ -586,16 +673,17 @@ func (s *Service) batcher() {
 			// algorithm audit exact.
 			switch {
 			case s.plane != nil && s.plane.Selecting():
-				if err := s.cfg.Journal.AppendStart(instance, choice.Name); err != nil {
+				rec := wire.StartRecord{Instance: instance, Alg: choice.Name, Group: s.cfg.Group}
+				if err := s.cfg.Journal.AppendStartRecord(rec); err != nil {
 					<-s.slots
 					failBatch(b, fmt.Errorf("service: claim instance %d: %w", instance, err))
 					return
 				}
 				if instance >= s.claimedThrough {
-					s.claimedThrough = instance + 1
+					s.claimedThrough = instance + s.stride
 				}
 			case instance >= s.claimedThrough:
-				through, err := claimBlock(s.cfg.Journal, instance, s.cfg.MaxInflight, s.static.Name)
+				through, err := claimBlock(s.cfg.Journal, instance, s.cfg.MaxInflight, s.static.Name, s.cfg.Group, s.stride)
 				if err != nil {
 					<-s.slots
 					failBatch(b, err)
@@ -674,16 +762,36 @@ func drainIntake(intake <-chan *pending, batch []*pending, limit int) (out []*pe
 }
 
 // claimBlock journals a start-claim covering instance and the rest of
-// its inflight-sized ID block, returning the new claimed-through
-// frontier (first ID not covered). alg tags the claim with the
-// statically configured algorithm every instance of the block runs
-// (adaptive selection claims per instance instead — see the batcher).
-// Both batchers share it so the claim arithmetic — which restart
-// recovery depends on — has one owner.
-func claimBlock(j *journal.Journal, instance uint64, inflight int, alg string) (uint64, error) {
-	claim := instance + uint64(inflight) - 1
-	if err := j.AppendStart(claim, alg); err != nil {
+// its inflight-sized ID block — the block spans inflight IDs of the
+// claiming group's strided space, so its highest member is instance +
+// stride*(inflight-1) — returning the new claimed-through frontier
+// (first group ID not covered). alg tags the claim with the statically
+// configured algorithm every instance of the block runs (adaptive
+// selection claims per instance instead — see the batcher). Both
+// batchers share it so the claim arithmetic — which restart recovery
+// depends on — has one owner.
+func claimBlock(j *journal.Journal, instance uint64, inflight int, alg string, group, stride uint64) (uint64, error) {
+	claim := instance + stride*(uint64(inflight)-1)
+	if err := j.AppendStartRecord(wire.StartRecord{Instance: claim, Alg: alg, Group: group}); err != nil {
 		return 0, fmt.Errorf("service: claim instances through %d: %w", claim, err)
 	}
-	return claim + 1, nil
+	return claim + stride, nil
+}
+
+// alignInstance returns the smallest instance ID at or above frontier
+// that belongs to group's strided ID space ({group, group+stride, …}) —
+// the recovery arithmetic mapping a journal frontier, which covers every
+// group journaled in that directory, back onto one group's allocation.
+func alignInstance(frontier, group, stride uint64) uint64 {
+	if stride <= 1 {
+		return frontier
+	}
+	if frontier <= group {
+		return group
+	}
+	delta := (frontier - group) % stride
+	if delta == 0 {
+		return frontier
+	}
+	return frontier + stride - delta
 }

@@ -1,0 +1,232 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"indulgence/internal/journal"
+	"indulgence/internal/model"
+	"indulgence/internal/service"
+	"indulgence/internal/transport"
+)
+
+// PeerConfig describes one process's member of a sharded multi-process
+// cluster.
+type PeerConfig struct {
+	// Peer is the per-group member template: every group runs a
+	// service.PeerService with this configuration. Its Group, Groups
+	// and Journal fields must be zero — the runtime assigns the first
+	// two and opens per-group journals itself when JournalDir is set.
+	Peer service.PeerOptions
+	// Groups is the number of consensus groups (default 1). Every
+	// member of the cluster must agree on it — a slot's owning group is
+	// slot mod Groups on every member.
+	Groups int
+	// Placement routes local proposals to groups (default round-robin).
+	// Members may differ here; placement only decides where a proposal
+	// enters, and any member joins any group's slot on the wire signal.
+	Placement Policy
+	// JournalDir, when non-empty, gives every group member a durable
+	// journal under its own subdirectory (see GroupDir); the directory
+	// is this member's own — members never share journals.
+	JournalDir string
+	// JournalOptions configures every group's journal.
+	JournalOptions journal.Options
+}
+
+// PeerRuntime is one process's sharded cluster member: G
+// service.PeerService group members over a single shared group-aware
+// mux. The runtime owns the mux's pending callback and routes each
+// (group, instance) join signal to the group member that owns it, so a
+// proposal entering any member reaches every member's matching group.
+type PeerRuntime struct {
+	groups   []*service.PeerService
+	journals []*journal.Journal
+	mux      *transport.Mux
+	policy   Policy
+	views    []Group
+	seq      atomic.Uint64
+	closed   atomic.Bool
+
+	// joinMu orders early join signals against construction: the mux
+	// starts routing (and signalling) the moment it exists, before the
+	// group members do, so signals arriving in the window buffer in
+	// backlog and flush once every member is up.
+	joinMu  sync.Mutex
+	ready   bool
+	backlog [][2]uint64
+}
+
+// joinBacklog bounds the pre-ready backlog. Signals beyond it drop
+// harmlessly: a join signal re-fires on the slot's next inbound frame.
+const joinBacklog = 1024
+
+// NewPeer starts one sharded member of an n-process cluster over its
+// transport endpoint. The endpoint stays owned by the caller; the
+// runtime wraps it in one group-aware mux shared by all its group
+// members and owns all reads from it.
+func NewPeer(cfg PeerConfig, n int, ep transport.Transport) (*PeerRuntime, error) {
+	if cfg.Groups == 0 {
+		cfg.Groups = 1
+	}
+	if cfg.Groups < 1 {
+		return nil, fmt.Errorf("shard: need at least 1 group, got %d", cfg.Groups)
+	}
+	if cfg.Peer.Group != 0 || cfg.Peer.Groups != 0 || cfg.Peer.Journal != nil {
+		return nil, fmt.Errorf("shard: the peer template's Group, Groups and Journal must be unset")
+	}
+	if cfg.Placement == nil {
+		cfg.Placement = NewRoundRobin()
+	}
+	r := &PeerRuntime{policy: cfg.Placement}
+	r.mux = transport.NewMuxGroupNotify(ep, r.dispatch)
+	for g := 0; g < cfg.Groups; g++ {
+		peerCfg := cfg.Peer
+		peerCfg.Group = uint64(g)
+		peerCfg.Groups = cfg.Groups
+		if cfg.JournalDir != "" {
+			j, err := journal.Open(GroupDir(cfg.JournalDir, g), cfg.JournalOptions)
+			if err != nil {
+				r.teardown()
+				return nil, fmt.Errorf("shard: open group %d journal: %w", g, err)
+			}
+			r.journals = append(r.journals, j)
+			peerCfg.Journal = j
+		}
+		svc, err := service.NewPeerOnMux(peerCfg, n, r.mux)
+		if err != nil {
+			r.teardown()
+			return nil, fmt.Errorf("shard: start group %d: %w", g, err)
+		}
+		r.groups = append(r.groups, svc)
+		r.views = append(r.views, svc)
+	}
+	r.joinMu.Lock()
+	r.ready = true
+	backlog := r.backlog
+	r.backlog = nil
+	r.joinMu.Unlock()
+	for _, sig := range backlog {
+		r.deliver(sig[0], sig[1])
+	}
+	return r, nil
+}
+
+// dispatch is the shared mux's pending callback: route the join signal
+// to the owning group member, or buffer it while construction is still
+// assembling the members. Runs on the mux router goroutine — it must
+// never block, and deliver only does a non-blocking channel send.
+func (r *PeerRuntime) dispatch(group, instance uint64) {
+	r.joinMu.Lock()
+	if !r.ready {
+		if len(r.backlog) < joinBacklog {
+			r.backlog = append(r.backlog, [2]uint64{group, instance})
+		}
+		r.joinMu.Unlock()
+		return
+	}
+	r.joinMu.Unlock()
+	r.deliver(group, instance)
+}
+
+// deliver hands one join signal to its group member. Signals for groups
+// this member does not run (a peer misconfigured with more groups) are
+// dropped — the member cannot join a group it has no service for.
+func (r *PeerRuntime) deliver(group, instance uint64) {
+	if group < uint64(len(r.groups)) {
+		r.groups[group].Join(instance)
+	}
+}
+
+// teardown unwinds a partially constructed runtime.
+func (r *PeerRuntime) teardown() {
+	for _, svc := range r.groups {
+		_ = svc.Close()
+	}
+	_ = r.mux.Close()
+	for _, j := range r.journals {
+		_ = j.Close()
+	}
+}
+
+// Self returns this member's process ID.
+func (r *PeerRuntime) Self() model.ProcessID { return r.mux.Self() }
+
+// Groups returns the number of consensus groups.
+func (r *PeerRuntime) Groups() int { return len(r.groups) }
+
+// Policy returns the placement policy's name.
+func (r *PeerRuntime) Policy() string { return r.policy.Name() }
+
+// Group returns one group's member service.
+func (r *PeerRuntime) Group(g int) *service.PeerService { return r.groups[g] }
+
+// Journals returns the per-group journals, indexed by group ID (empty
+// when the member was built without a JournalDir).
+func (r *PeerRuntime) Journals() []*journal.Journal { return r.journals }
+
+// Propose routes a local proposal to a group under the placement policy.
+func (r *PeerRuntime) Propose(ctx context.Context, v model.Value) (*service.Future, error) {
+	return r.ProposeKey(ctx, r.seq.Add(1)-1, v)
+}
+
+// ProposeKey routes a local proposal by its routing key.
+func (r *PeerRuntime) ProposeKey(ctx context.Context, key uint64, v model.Value) (*service.Future, error) {
+	if r.closed.Load() {
+		return nil, service.ErrClosed
+	}
+	return r.groups[r.policy.Pick(key, r.views)].Propose(ctx, v)
+}
+
+// Lookup serves the journaled decision of an already-decided instance
+// from the group that owns its ID.
+func (r *PeerRuntime) Lookup(instance uint64) (service.Decision, bool) {
+	return r.groups[instance%uint64(len(r.groups))].Lookup(instance)
+}
+
+// Snapshot returns the cross-group rollup of this member's groups.
+func (r *PeerRuntime) Snapshot() Rollup {
+	views := make([]groupStats, len(r.groups))
+	for i, svc := range r.groups {
+		views[i] = svc
+	}
+	return rollup(views)
+}
+
+// Close stops every group member, then the shared mux, then the
+// journals. The endpoint stays with the caller. Idempotent.
+func (r *PeerRuntime) Close() error {
+	if !r.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	var first error
+	for _, svc := range r.groups {
+		if err := svc.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	_ = r.mux.Close()
+	for _, j := range r.journals {
+		if err := j.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Abort hard-stops every group member without flushing — the crash
+// shutdown shape the kill/restart tests use (see service.Abort).
+func (r *PeerRuntime) Abort() {
+	if !r.closed.CompareAndSwap(false, true) {
+		return
+	}
+	for _, svc := range r.groups {
+		svc.Abort()
+	}
+	_ = r.mux.Close()
+	for _, j := range r.journals {
+		_ = j.Close()
+	}
+}

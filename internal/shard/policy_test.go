@@ -1,0 +1,187 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fakeGroup is a policy-visible group with scripted load.
+type fakeGroup struct {
+	id       uint64
+	used     int
+	capacity int
+	shedding bool
+}
+
+func (g fakeGroup) Group() uint64         { return g.id }
+func (g fakeGroup) Occupancy() (int, int) { return g.used, g.capacity }
+func (g fakeGroup) Shedding() bool        { return g.shedding }
+func asGroups(fs []fakeGroup) (out []Group) {
+	for _, f := range fs {
+		out = append(out, f)
+	}
+	return out
+}
+
+// TestRoundRobinPermutation pins the rotation property: any window of
+// G*k consecutive picks is k exact passes over the groups — every group
+// index appears exactly k times, regardless of where the window starts
+// (the counter survives across windows).
+func TestRoundRobinPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		g := 1 + rng.Intn(8)
+		groups := make([]fakeGroup, g)
+		for i := range groups {
+			groups[i] = fakeGroup{id: uint64(i), capacity: 1}
+		}
+		views := asGroups(groups)
+		p := NewRoundRobin()
+		// Skew the window start by a random prefix of picks.
+		for skip := rng.Intn(3 * g); skip > 0; skip-- {
+			p.Pick(rng.Uint64(), views)
+		}
+		k := 1 + rng.Intn(5)
+		counts := make([]int, g)
+		for i := 0; i < g*k; i++ {
+			idx := p.Pick(rng.Uint64(), views)
+			if idx < 0 || idx >= g {
+				t.Fatalf("trial %d: pick %d out of range [0,%d)", trial, idx, g)
+			}
+			counts[idx]++
+		}
+		for i, c := range counts {
+			if c != k {
+				t.Fatalf("trial %d: group %d picked %d times in a %d*%d window, want %d",
+					trial, i, c, g, k, k)
+			}
+		}
+	}
+}
+
+// TestKeyAffinityStable pins the affinity property: the picked group
+// depends only on (key, group-ID set) — equal sets in any order place
+// one key on one group ID, across calls and across fresh policy values.
+func TestKeyAffinityStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		g := 1 + rng.Intn(8)
+		groups := make([]fakeGroup, g)
+		for i := range groups {
+			// Non-contiguous IDs: stability must track the IDs, not the
+			// slice positions.
+			groups[i] = fakeGroup{id: uint64(i*3 + rng.Intn(2)), used: rng.Intn(10), capacity: 10}
+		}
+		views := asGroups(groups)
+		shuffled := append([]Group(nil), views...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+		p, q := NewKeyAffinity(), NewKeyAffinity()
+		for i := 0; i < 100; i++ {
+			key := rng.Uint64()
+			want := views[p.Pick(key, views)].Group()
+			if got := views[p.Pick(key, views)].Group(); got != want {
+				t.Fatalf("trial %d: key %d moved %d -> %d across calls", trial, key, want, got)
+			}
+			if got := shuffled[q.Pick(key, shuffled)].Group(); got != want {
+				t.Fatalf("trial %d: key %d moved %d -> %d under reordering", trial, key, want, got)
+			}
+		}
+	}
+}
+
+// TestKeyAffinityMinimalDisruption checks the rendezvous bonus: removing
+// one group only moves the keys that lived on it.
+func TestKeyAffinityMinimalDisruption(t *testing.T) {
+	full := asGroups([]fakeGroup{{id: 0}, {id: 1}, {id: 2}, {id: 3}})
+	without := asGroups([]fakeGroup{{id: 0}, {id: 1}, {id: 3}})
+	p := NewKeyAffinity()
+	for key := uint64(0); key < 500; key++ {
+		before := full[p.Pick(key, full)].Group()
+		after := without[p.Pick(key, without)].Group()
+		if before != 2 && after != before {
+			t.Fatalf("key %d moved %d -> %d though its group survived", key, before, after)
+		}
+	}
+}
+
+// TestLeastLoadedAvoidsShedding pins the routing-around property: as
+// long as any non-shedding group exists, a shedding group is never
+// picked — whatever the occupancies — and with every group shedding the
+// pick falls back to the least occupied overall.
+func TestLeastLoadedAvoidsShedding(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	p := NewLeastLoaded()
+	for trial := 0; trial < 200; trial++ {
+		g := 1 + rng.Intn(8)
+		groups := make([]fakeGroup, g)
+		anyOpen := false
+		for i := range groups {
+			groups[i] = fakeGroup{
+				id:       uint64(i),
+				used:     rng.Intn(16),
+				capacity: 1 + rng.Intn(16),
+				shedding: rng.Intn(2) == 0,
+			}
+			if !groups[i].shedding {
+				anyOpen = true
+			}
+		}
+		views := asGroups(groups)
+		idx := p.Pick(rng.Uint64(), views)
+		if idx < 0 || idx >= g {
+			t.Fatalf("trial %d: pick %d out of range [0,%d)", trial, idx, g)
+		}
+		if anyOpen && groups[idx].shedding {
+			t.Fatalf("trial %d: picked shedding group %d while a non-shedding group exists (%+v)",
+				trial, idx, groups)
+		}
+	}
+}
+
+// TestLeastLoadedPicksLightest checks the load comparison itself:
+// among non-shedding groups the smallest occupancy fraction wins, with
+// ties to the lower index.
+func TestLeastLoadedPicksLightest(t *testing.T) {
+	p := NewLeastLoaded()
+	groups := asGroups([]fakeGroup{
+		{id: 0, used: 5, capacity: 10},
+		{id: 1, used: 1, capacity: 10},
+		{id: 2, used: 3, capacity: 10, shedding: true},
+		{id: 3, used: 1, capacity: 10},
+	})
+	if idx := p.Pick(0, groups); idx != 1 {
+		t.Fatalf("picked %d, want 1 (lightest non-shedding, lower-index tie-break)", idx)
+	}
+	// Differing capacities compare as fractions: 2/100 < 1/10.
+	groups = asGroups([]fakeGroup{
+		{id: 0, used: 1, capacity: 10},
+		{id: 1, used: 2, capacity: 100},
+	})
+	if idx := p.Pick(0, groups); idx != 1 {
+		t.Fatalf("picked %d, want 1 (2%% beats 10%%)", idx)
+	}
+	// All shedding: fall back to the lightest overall.
+	groups = asGroups([]fakeGroup{
+		{id: 0, used: 9, capacity: 10, shedding: true},
+		{id: 1, used: 2, capacity: 10, shedding: true},
+	})
+	if idx := p.Pick(0, groups); idx != 1 {
+		t.Fatalf("picked %d, want 1 (lightest when all shed)", idx)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, name := range []string{"round-robin", "least-loaded", "key-affinity"} {
+		p, err := ParsePolicy(name)
+		if err != nil || p.Name() != name {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", name, p, err)
+		}
+	}
+	if p, err := ParsePolicy(""); err != nil || p.Name() != "round-robin" {
+		t.Fatalf("empty name = %v, %v; want round-robin", p, err)
+	}
+	if _, err := ParsePolicy("random"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

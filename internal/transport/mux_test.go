@@ -23,22 +23,22 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 	}
 }
 
-// hasStream reports whether m tracks a stream for instance (opened or
-// buffering) — the sign that the router has seen the instance's first
-// frame.
+// hasStream reports whether m tracks a stream for a group-0 instance
+// (opened or buffering) — the sign that the router has seen the
+// instance's first frame.
 func hasStream(m *Mux, instance uint64) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	_, ok := m.streams[instance]
+	_, ok := m.streams[streamKey{0, instance}]
 	return ok
 }
 
-// queuedFrames returns how many frames sit in instance's stream mailbox
-// queue. The mailbox pump holds one more in hand once a frame has
-// arrived, so "all k arrived" reads as queued >= k-1.
+// queuedFrames returns how many frames sit in a group-0 instance's
+// stream mailbox queue. The mailbox pump holds one more in hand once a
+// frame has arrived, so "all k arrived" reads as queued >= k-1.
 func queuedFrames(m *Mux, instance uint64) int {
 	m.mu.Lock()
-	s := m.streams[instance]
+	s := m.streams[streamKey{0, instance}]
 	m.mu.Unlock()
 	if s == nil {
 		return 0
@@ -46,6 +46,18 @@ func queuedFrames(m *Mux, instance uint64) int {
 	s.box.mu.Lock()
 	defer s.box.mu.Unlock()
 	return len(s.box.queue)
+}
+
+// retiredState returns a group's retirement frontier and leftover set
+// size (0, 0 for a group never retired from).
+func retiredState(m *Mux, group uint64) (below uint64, setLen int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.retired[group]
+	if !ok {
+		return 0, 0
+	}
+	return r.below, len(r.set)
 }
 
 // msgFrame builds a minimal valid version-0 frame (a bare wire message).
@@ -231,7 +243,7 @@ func TestMuxRetire(t *testing.T) {
 		t.Fatal("reopening a retired instance succeeded")
 	}
 	m2.mu.Lock()
-	_, buffered := m2.streams[3]
+	_, buffered := m2.streams[streamKey{0, 3}]
 	m2.mu.Unlock()
 	if buffered {
 		t.Fatal("late frame for retired instance re-created a stream")
@@ -249,9 +261,7 @@ func TestMuxRetireCompaction(t *testing.T) {
 	for i := 0; i < 100; i += 2 {
 		m1.Retire(uint64(i))
 	}
-	m1.mu.Lock()
-	below, setLen := m1.retiredBelow, len(m1.retiredSet)
-	m1.mu.Unlock()
+	below, setLen := retiredState(m1, 0)
 	if below != 100 || setLen != 0 {
 		t.Fatalf("retiredBelow=%d set=%d, want 100 and 0", below, setLen)
 	}
@@ -361,7 +371,7 @@ func TestMuxNeverOpenedBufferedInstance(t *testing.T) {
 	// Retiring the never-opened instance drops the buffer for good.
 	m2.Retire(9)
 	m2.mu.Lock()
-	_, still := m2.streams[9]
+	_, still := m2.streams[streamKey{0, 9}]
 	m2.mu.Unlock()
 	if still {
 		t.Fatal("retired unopened stream still tracked")
@@ -451,16 +461,12 @@ func TestMuxCompactionRandomOrder(t *testing.T) {
 	perm := rand.New(rand.NewSource(42)).Perm(window)
 	for i, p := range perm {
 		m1.Retire(uint64(p))
-		m1.mu.Lock()
-		below, setLen := m1.retiredBelow, len(m1.retiredSet)
-		m1.mu.Unlock()
+		below, setLen := retiredState(m1, 0)
 		if int(below)+setLen != i+1 {
 			t.Fatalf("after %d retirements: frontier %d + set %d != %d", i+1, below, setLen, i+1)
 		}
 	}
-	m1.mu.Lock()
-	below, setLen := m1.retiredBelow, len(m1.retiredSet)
-	m1.mu.Unlock()
+	below, setLen := retiredState(m1, 0)
 	if below != window || setLen != 0 {
 		t.Fatalf("final state: retiredBelow=%d set=%d, want %d and 0", below, setLen, window)
 	}
@@ -499,9 +505,9 @@ func TestMuxRetireBelow(t *testing.T) {
 	if _, ok := <-low.Recv(); ok {
 		t.Fatal("stream below frontier still delivering")
 	}
+	below, setLen := retiredState(m2, 0)
 	m2.mu.Lock()
-	below, setLen := m2.retiredBelow, len(m2.retiredSet)
-	_, stale := m2.streams[3]
+	_, stale := m2.streams[streamKey{0, 3}]
 	m2.mu.Unlock()
 	if below != 6 || setLen != 0 {
 		t.Fatalf("retiredBelow=%d set=%d, want 6 (5 compacted through) and 0", below, setLen)
@@ -528,9 +534,7 @@ func TestMuxRetireBelow(t *testing.T) {
 
 	// Monotonic: lowering the frontier is a no-op.
 	m2.RetireBelow(2)
-	m2.mu.Lock()
-	below = m2.retiredBelow
-	m2.mu.Unlock()
+	below, _ = retiredState(m2, 0)
 	if below != 6 {
 		t.Fatalf("frontier regressed to %d", below)
 	}
@@ -592,5 +596,218 @@ func TestMuxPendingNotification(t *testing.T) {
 	case got := <-notified:
 		t.Fatalf("opened instance notified as pending: %d", got)
 	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// TestMuxRoutesByGroup checks the group dimension of routing: the same
+// instance ID under two different groups is two independent streams,
+// and neither collides with the group-0 stream of that ID.
+func TestMuxRoutesByGroup(t *testing.T) {
+	_, m1, m2 := muxPair(t)
+	type pair struct{ group, instance uint64 }
+	addrs := []pair{{0, 5}, {1, 5}, {2, 5}, {2, 6}}
+	sends := make(map[pair]Transport)
+	recvs := make(map[pair]Transport)
+	for _, a := range addrs {
+		s, err := m1.OpenGroup(a.group, a.instance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := m2.OpenGroup(a.group, a.instance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sends[a], recvs[a] = s, r
+	}
+	// Send a distinct round number per address; each must arrive on
+	// exactly its own stream.
+	for i, a := range addrs {
+		if err := sends[a].Send(2, msgFrame(t, 1, model.Round(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, a := range addrs {
+		want := msgFrame(t, 1, model.Round(i+1))
+		if got := recvFrame(t, recvs[a]); string(got) != string(want) {
+			t.Fatalf("group %d instance %d got % x, want % x", a.group, a.instance, got, want)
+		}
+	}
+}
+
+// TestMuxGroupRetireIndependent pins per-group retirement: retiring an
+// instance in one group neither closes nor blocks the same instance ID
+// in another group, and bulk frontier retirement is scoped to its
+// group.
+func TestMuxGroupRetireIndependent(t *testing.T) {
+	_, m1, m2 := muxPair(t)
+	r1, err := m2.OpenGroup(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m2.OpenGroup(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.RetireGroup(1, 4)
+	if _, ok := <-r1.Recv(); ok {
+		t.Fatal("retired group-1 stream still delivering")
+	}
+	// Group 2's stream with the same instance ID is untouched.
+	s2, err := m1.OpenGroup(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := msgFrame(t, 1, 7)
+	if err := s2.Send(2, frame); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvFrame(t, r2); string(got) != string(frame) {
+		t.Fatalf("group-2 stream got % x, want % x", got, frame)
+	}
+	if _, err := m2.OpenGroup(1, 4); err == nil {
+		t.Fatal("reopening a retired group-1 instance succeeded")
+	}
+
+	// Bulk retirement in group 1 leaves group 2's frontier at zero.
+	m2.RetireGroupBelow(1, 100)
+	if below, _ := retiredState(m2, 1); below != 100 {
+		t.Fatalf("group-1 frontier = %d, want 100", below)
+	}
+	if below, setLen := retiredState(m2, 2); below != 0 || setLen != 0 {
+		t.Fatalf("group-2 retirement state moved: below=%d set=%d", below, setLen)
+	}
+	if _, err := m2.OpenGroup(2, 50); err != nil {
+		t.Fatalf("group-2 instance blocked by group-1 frontier: %v", err)
+	}
+}
+
+// TestMuxGroupNotify checks the group-aware pending callback and the
+// group-0 scoping of the legacy callback.
+func TestMuxGroupNotify(t *testing.T) {
+	hub, err := NewHub(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hub.Close()
+	a, _ := hub.Endpoint(1)
+	b, _ := hub.Endpoint(2)
+
+	type pair struct{ group, instance uint64 }
+	notified := make(chan pair, 16)
+	ma := NewMux(a)
+	defer ma.Close()
+	mb := NewMuxGroupNotify(b, func(group, instance uint64) {
+		select {
+		case notified <- pair{group, instance}:
+		default:
+		}
+	})
+	defer mb.Close()
+
+	sa, err := ma.OpenGroup(3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.Send(2, msgFrame(t, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-notified:
+		if got != (pair{3, 11}) {
+			t.Fatalf("pending (%d, %d), want (3, 11)", got.group, got.instance)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no pending notification")
+	}
+
+	// The legacy single-ID callback must not fire for non-zero groups.
+	c, err := NewHub(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ca, _ := c.Endpoint(1)
+	cb, _ := c.Endpoint(2)
+	legacy := make(chan uint64, 16)
+	mca := NewMux(ca)
+	defer mca.Close()
+	mcb := NewMuxNotify(cb, func(instance uint64) {
+		select {
+		case legacy <- instance:
+		default:
+		}
+	})
+	defer mcb.Close()
+	sg, err := mca.OpenGroup(2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sg.Send(2, msgFrame(t, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "router to buffer the grouped frame", func() bool {
+		mcb.mu.Lock()
+		defer mcb.mu.Unlock()
+		_, ok := mcb.streams[streamKey{2, 9}]
+		return ok
+	})
+	select {
+	case got := <-legacy:
+		t.Fatalf("legacy callback fired for group 2 instance %d", got)
+	default:
+	}
+	// And it still fires for group 0.
+	s0, err := mca.Open(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s0.Send(2, msgFrame(t, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-legacy:
+		if got != 6 {
+			t.Fatalf("legacy pending instance %d, want 6", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("legacy callback never fired for group 0")
+	}
+}
+
+// TestMuxGroupOverTCP runs grouped routing over real loopback
+// connections: two groups sharing one TCP connection pair.
+func TestMuxGroupOverTCP(t *testing.T) {
+	tc, err := NewTCPCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tc.Close() }()
+	ep1, err := tc.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep2, err := tc.Endpoint(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := NewMux(ep1), NewMux(ep2)
+	defer func() { _ = m1.Close(); _ = m2.Close() }()
+
+	for group := uint64(1); group <= 2; group++ {
+		send, err := m1.OpenGroup(group, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recv, err := m2.OpenGroup(group, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame := msgFrame(t, 1, model.Round(group))
+		if err := send.Send(2, frame); err != nil {
+			t.Fatal(err)
+		}
+		if got := recvFrame(t, recv); string(got) != string(frame) {
+			t.Fatalf("TCP group %d frame mangled: % x", group, got)
+		}
 	}
 }

@@ -1,0 +1,85 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"indulgence/internal/model"
+)
+
+// groupMarker opens a version-2 (group-addressed) frame: the sharded
+// runtime's envelope, carrying a consensus-group ID and an instance ID
+// so many independent groups multiplex one physical connection. Like
+// the other envelope markers it is an odd byte below 0x80, so it can
+// never open a version-0 frame (positive senders zigzag-encode to even
+// first bytes; continuation bytes have the high bit set) and is
+// disjoint from the instance envelope (0x01) and the record markers
+// (0x03, 0x05, 0x07): frame kind stays decidable from the first byte
+// alone.
+const groupMarker byte = 0x09
+
+// AppendGroupHeader appends the envelope header addressing (group,
+// instance) to dst. Group 0 is the compatibility group and emits the
+// pre-group layouts byte-identically: instance 0 appends nothing (a
+// bare version-0 frame), any other instance appends the version-1
+// instance envelope. Only group > 0 emits the version-2 group
+// envelope, so a single-group deployment's frames are exactly the
+// frames it sent before groups existed. StripGroup undoes exactly this
+// header.
+func AppendGroupHeader(dst []byte, group, instance uint64) []byte {
+	if group == 0 {
+		if instance == 0 {
+			return dst
+		}
+		return AppendInstanceHeader(dst, instance)
+	}
+	dst = append(dst, groupMarker)
+	dst = binary.AppendUvarint(dst, group)
+	return binary.AppendUvarint(dst, instance)
+}
+
+// StripGroup splits a frame into its consensus-group ID, instance ID
+// and bare message bytes. Frames of the earlier layouts — version-0
+// bare messages and version-1 instance envelopes — decode as group 0,
+// so every frame a pre-group peer can emit routes to the compatibility
+// group unchanged.
+func StripGroup(frame []byte) (group, instance uint64, inner []byte, err error) {
+	if len(frame) == 0 {
+		return 0, 0, nil, fmt.Errorf("%w: empty frame", ErrTruncated)
+	}
+	if frame[0] != groupMarker {
+		instance, inner, err = StripInstance(frame)
+		return 0, instance, inner, err
+	}
+	g, n := binary.Uvarint(frame[1:])
+	if n <= 0 {
+		return 0, 0, nil, fmt.Errorf("%w: group id", ErrTruncated)
+	}
+	off := 1 + n
+	id, n := binary.Uvarint(frame[off:])
+	if n <= 0 {
+		return 0, 0, nil, fmt.Errorf("%w: group instance id", ErrTruncated)
+	}
+	return g, id, frame[off+n:], nil
+}
+
+// EncodeGroupMessage appends the encoding of m addressed to (group,
+// instance). Group 0 emits the legacy layouts (see AppendGroupHeader).
+func EncodeGroupMessage(dst []byte, group, instance uint64, m model.Message) ([]byte, error) {
+	return EncodeMessage(AppendGroupHeader(dst, group, instance), m)
+}
+
+// DecodeGroupMessage decodes a frame of any envelope version, returning
+// its group (0 for pre-group frames), instance, message and the bytes
+// consumed.
+func DecodeGroupMessage(b []byte) (group, instance uint64, m model.Message, n int, err error) {
+	group, instance, inner, err := StripGroup(b)
+	if err != nil {
+		return 0, 0, model.Message{}, 0, err
+	}
+	m, used, err := DecodeMessage(inner)
+	if err != nil {
+		return 0, 0, model.Message{}, 0, err
+	}
+	return group, instance, m, len(b) - len(inner) + used, nil
+}

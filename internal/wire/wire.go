@@ -19,6 +19,14 @@
 // insulated the other way by the frame length prefix: they fail cleanly
 // on the unknown marker instead of misparsing.
 //
+// The sharded runtime adds a version-2 envelope — the marker byte 0x09
+// followed by a uvarint consensus-group ID and then the uvarint
+// instance ID and bare message — so many independent consensus groups
+// multiplex one physical connection. Group 0 is the compatibility
+// group: it is never encoded (AppendGroupHeader emits the version-0/1
+// layouts byte-identically), and both earlier layouts decode as group
+// 0, so pre-group peers interoperate unchanged. See group.go.
+//
 // # Record kinds
 //
 // The decision journal reuses the envelope family for its on-disk
@@ -147,17 +155,29 @@ type DecisionRecord struct {
 	Round model.Round
 	// Batch is the number of proposals the instance committed.
 	Batch int
+	// Group is the consensus group the instance was decided under (0
+	// for single-group deployments and every record written before
+	// groups existed). check.Replay uses it to flag an instance ID
+	// journaled under two different groups.
+	Group uint64
 }
 
 // AppendDecisionRecord appends the encoding of r to dst and returns the
 // extended slice. The layout is the record marker followed by uvarint
-// instance, varint value, varint round and uvarint batch.
+// instance, varint value, varint round and uvarint batch, with a
+// trailing uvarint group appended only when Group > 0 — group-0 records
+// stay byte-identical to the pre-group layout, and DecodeDecisionRecord
+// reads records that end after the batch as Group == 0.
 func AppendDecisionRecord(dst []byte, r DecisionRecord) []byte {
 	dst = append(dst, recordMarker)
 	dst = binary.AppendUvarint(dst, r.Instance)
 	dst = binary.AppendVarint(dst, int64(r.Value))
 	dst = binary.AppendVarint(dst, int64(r.Round))
-	return binary.AppendUvarint(dst, uint64(r.Batch))
+	dst = binary.AppendUvarint(dst, uint64(r.Batch))
+	if r.Group > 0 {
+		dst = binary.AppendUvarint(dst, r.Group)
+	}
+	return dst
 }
 
 // DecodeDecisionRecord decodes one record from b, returning it and the
@@ -198,6 +218,14 @@ func DecodeDecisionRecord(b []byte) (DecisionRecord, int, error) {
 	r.Value = model.Value(value)
 	r.Round = model.Round(round)
 	r.Batch = int(batch)
+	if off < len(b) {
+		group, n := binary.Uvarint(b[off:])
+		if n <= 0 {
+			return DecisionRecord{}, 0, fmt.Errorf("%w: record group", ErrTruncated)
+		}
+		off += n
+		r.Group = group
+	}
 	return r, off, nil
 }
 
@@ -221,13 +249,19 @@ type StartRecord struct {
 	// check.Replay audit algorithm choices exactly across restarts: an
 	// instance must never be claimed under two different algorithms.
 	Alg string
+	// Group is the consensus group claiming the instance (0 for
+	// single-group deployments and every record written before groups
+	// existed).
+	Group uint64
 }
 
 // AppendStartRecord appends the encoding of r to dst and returns the
 // extended slice. The layout is the start marker, the uvarint instance,
-// and a uvarint-length-prefixed algorithm tag; records written before
-// the tag existed simply end after the instance, and DecodeStartRecord
-// reads them as Alg == "".
+// a uvarint-length-prefixed algorithm tag, and a trailing uvarint group
+// appended only when Group > 0 — group-0 records stay byte-identical to
+// the pre-group layout. Records written before the tag existed simply
+// end after the instance, and DecodeStartRecord reads them as Alg == ""
+// and Group == 0.
 func AppendStartRecord(dst []byte, r StartRecord) ([]byte, error) {
 	if len(r.Alg) > MaxAlgNameLen {
 		return nil, fmt.Errorf("%w: algorithm tag of %d bytes", ErrFrameTooLarge, len(r.Alg))
@@ -235,7 +269,11 @@ func AppendStartRecord(dst []byte, r StartRecord) ([]byte, error) {
 	dst = append(dst, startMarker)
 	dst = binary.AppendUvarint(dst, r.Instance)
 	dst = binary.AppendUvarint(dst, uint64(len(r.Alg)))
-	return append(dst, r.Alg...), nil
+	dst = append(dst, r.Alg...)
+	if r.Group > 0 {
+		dst = binary.AppendUvarint(dst, r.Group)
+	}
+	return dst, nil
 }
 
 // DecodeStartRecord decodes one start record from b, returning it and
@@ -270,7 +308,16 @@ func DecodeStartRecord(b []byte) (StartRecord, int, error) {
 		return r, 0, fmt.Errorf("%w: start algorithm tag", ErrTruncated)
 	}
 	r.Alg = string(b[off : off+int(alen)])
-	return r, off + int(alen), nil
+	off += int(alen)
+	if off < len(b) {
+		group, n := binary.Uvarint(b[off:])
+		if n <= 0 {
+			return StartRecord{}, 0, fmt.Errorf("%w: start group", ErrTruncated)
+		}
+		off += n
+		r.Group = group
+	}
+	return r, off, nil
 }
 
 // helloMarker opens a handshake (hello) frame, the first frame either
