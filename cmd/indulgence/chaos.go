@@ -19,6 +19,7 @@ func cmdChaos(args []string) error {
 	count := fs.Int("scenarios", 100, "number of consecutive seeds to run")
 	groups := fs.Int("groups", 1, "run each scenario sharded over this many consensus groups")
 	spec := fs.String("spec", "", "JSON scenario spec to run instead of generated seeds (@FILE reads it from FILE)")
+	wl := fs.String("workload", "", "replace each generated scenario's wave load with this workload: gen:<seed>[:<maxevents>], @FILE or inline JSON (event cap clamps per scenario)")
 	journalDir := fs.String("journal", "", "keep each run's decision journal under this directory (debugging; default: private temp dirs)")
 	verbose := fs.Bool("verbose", false, "print every scenario's outcome, not just failures")
 	if err := fs.Parse(args); err != nil {
@@ -55,12 +56,22 @@ func cmdChaos(args []string) error {
 	if *groups < 1 {
 		return fmt.Errorf("need at least one consensus group, got -groups %d", *groups)
 	}
-	wallStart := time.Now()
-	st := chaos.SweepGroups(*seed, *count, *groups, opts, func(r chaos.Result) {
+	onRun := func(r chaos.Result) {
 		if *verbose || !r.OK() || r.Failed > 0 {
 			printChaosResult(r, *verbose)
 		}
-	})
+	}
+	wallStart := time.Now()
+	var st chaos.SweepStats
+	if *wl != "" {
+		wspec, err := parseWorkloadSpec(*wl)
+		if err != nil {
+			return err
+		}
+		st = chaos.SweepWorkload(*seed, *count, *groups, wspec, opts, onRun)
+	} else {
+		st = chaos.SweepGroups(*seed, *count, *groups, opts, onRun)
+	}
 	wall := time.Since(wallStart)
 	perSec := float64(st.Runs) / wall.Seconds()
 	speedup := float64(st.Virtual) / float64(wall)

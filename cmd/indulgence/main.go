@@ -22,11 +22,13 @@
 //	indulgence bench-service [-algo A] [-n N] [-t T] [-transport memory|tcp]
 //	                 [-proposals P] [-clients C] [-batch B] [-linger D]
 //	                 [-inflight I] [-delay D] [-heal D] [-timeout D]
-//	                 [-groups G] [-placement P]
+//	                 [-groups G] [-placement P] [-classes K]
 //	                 [-journal DIR] [-adaptive] [-burst N] [-burst-idle D]
+//	                 [-workload gen:SEED|@FILE|JSON] [-record FILE] [-live]
 //	indulgence replay -journal DIR [-limit N] [-quiet] [-verify=false]
+//	indulgence replay-trace [-verbose] FILE
 //	indulgence chaos [-seed S] [-scenarios N] [-groups G] [-spec JSON|@FILE]
-//	                 [-journal DIR] [-verbose]
+//	                 [-workload gen:SEED|@FILE|JSON] [-journal DIR] [-verbose]
 //
 // Algorithms: atplus2, atplus2ff, diamonds, afplus2, floodset, floodsetws,
 // ct, hurfinraynal, amr. Schedules: ff, killer2, killer3, splitbrain,
@@ -83,6 +85,8 @@ func run(args []string) error {
 		return cmdCluster(args[1:])
 	case "replay":
 		return cmdReplay(args[1:])
+	case "replay-trace":
+		return cmdReplayTrace(args[1:])
 	case "chaos":
 		return cmdChaos(args[1:])
 	case "help", "-h", "--help":
@@ -95,7 +99,7 @@ func run(args []string) error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: indulgence <run|worst|table|live|serve|bench-service|replay|chaos> [flags]
+	fmt.Fprintln(os.Stderr, `usage: indulgence <run|worst|table|live|serve|bench-service|replay|replay-trace|chaos> [flags]
 
   run            simulate one run of an algorithm under a schedule
   worst          explore all serial runs and report the worst-case decision round
@@ -104,12 +108,18 @@ func usage() {
   serve          run the consensus service; proposals read from stdin, one per line
                  (with -peers: run as one member of a multi-process cluster;
                  with -groups G: shard over G consensus groups, -placement routes)
-  bench-service  closed-loop load test of the consensus service
+  bench-service  load test of the consensus service: closed loop, or a generated
+                 open-loop workload with -workload (SLO classes, phase schedule;
+                 -record FILE records a deterministic replayable trace)
   cluster        spawn a local multi-process cluster of serve -peers members,
                  optionally kill/restart one, and audit agreement across them
   replay         dump and verify a decision journal written by serve -journal
+  replay-trace   re-execute a recorded workload trace and audit the replayed
+                 decisions against the recording (byte-identical when recorded
+                 deterministically); non-zero exit on any violation
   chaos          run seeded fault-injection scenarios on virtual time and audit
                  every decision; failing seeds print a replayable JSON spec
+                 (-workload swaps wave load for generated classed arrivals)
 
 run 'indulgence <cmd> -h' for the flags of each subcommand.`)
 }

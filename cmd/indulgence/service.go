@@ -81,6 +81,7 @@ type serviceFlags struct {
 	adaptSelect   *bool
 	adaptBatchMax *int
 	adaptLingMax  *time.Duration
+	classes       *int
 
 	// Multi-process peer mode (serve only): a non-empty -peers or
 	// -peers-file makes this process ONE member of a cluster of
@@ -113,6 +114,7 @@ func newServiceFlags(fs *flag.FlagSet) serviceFlags {
 		adaptSelect:   fs.Bool("adaptive-select", true, "with -adaptive: pick each instance's algorithm from recent outcomes (A_f+2 when synchronous and trusted; single-process mode only)"),
 		adaptBatchMax: fs.Int("adaptive-batch-max", 64, "with -adaptive: controller batch ceiling"),
 		adaptLingMax:  fs.Duration("adaptive-linger-max", 8*time.Millisecond, "with -adaptive: controller linger ceiling"),
+		classes:       fs.Int("classes", 0, "with -adaptive: SLO classes admission distinguishes, shedding lowest first (0 = classless, or the spec's class count for -workload runs)"),
 
 		peers:       fs.String("peers", "", "peer list p1=host:port,p2=host:port,... — run as ONE member of a multi-process cluster"),
 		peersFile:   fs.String("peers-file", "", "file with one pN=host:port peer entry per line (alternative to -peers)"),
@@ -135,6 +137,7 @@ func (f serviceFlags) adaptConfig(selectAlgos bool) *adapt.Config {
 		MaxBatch:         *f.adaptBatchMax,
 		MaxLinger:        *f.adaptLingMax,
 		SelectAlgorithms: selectAlgos && *f.adaptSelect,
+		Classes:          *f.classes,
 	}
 	if *f.verbose {
 		cfg.Logf = func(format string, args ...any) {
@@ -423,9 +426,18 @@ func cmdBenchService(args []string) error {
 		burst     = fs.Int("burst", 0, "release proposals in waves of this size (0 = steady closed loop)")
 		burstIdle = fs.Duration("burst-idle", 50*time.Millisecond, "idle gap between bursts")
 		limit     = fs.Duration("limit", 5*time.Minute, "overall deadline")
+		wl        = fs.String("workload", "", "drive a generated open-loop workload instead of the closed loop: gen:<seed>[:<maxevents>], @FILE or inline JSON")
+		record    = fs.String("record", "", "with -workload: record the run as a replayable trace at this path (deterministic virtual-time execution unless -live)")
+		liveRec   = fs.Bool("live", false, "with -workload -record: record the real-clock run instead of the deterministic virtual one")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *wl != "" {
+		return benchWorkload(f, *wl, *record, *liveRec, *limit)
+	}
+	if *record != "" || *liveRec {
+		return errors.New("-record and -live need -workload")
 	}
 	s, err := f.start()
 	if err != nil {

@@ -42,6 +42,7 @@ package adapt
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"indulgence/internal/core"
@@ -52,6 +53,35 @@ import (
 // queue stayed saturated across consecutive controller ticks. Callers
 // should back off and retry; the service remains healthy.
 var ErrOverload = errors.New("adapt: service overloaded, proposal shed")
+
+// MaxClasses bounds the SLO classes admission control distinguishes
+// (classes 0..7; higher classes are more important and shed later).
+const MaxClasses = 8
+
+// OverloadError is the typed admission refusal classed traffic
+// receives: which class was shed, how long the client should wait
+// before retrying, and how many retries its class is budgeted.
+// errors.Is(err, ErrOverload) matches it, so legacy callers keep
+// working unchanged.
+type OverloadError struct {
+	// Class is the SLO class of the shed proposal.
+	Class int
+	// RetryAfter is the suggested back-off before the next attempt —
+	// the minimum time admission needs to disarm once load drops.
+	RetryAfter time.Duration
+	// Budget is the per-class retry budget: how many back-off retries
+	// the class is entitled to before the client should give up or
+	// degrade. Higher classes get larger budgets.
+	Budget int
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("adapt: class %d shed, retry after %s (budget %d)", e.Class, e.RetryAfter, e.Budget)
+}
+
+// Unwrap makes errors.Is(e, ErrOverload) true.
+func (e *OverloadError) Unwrap() error { return ErrOverload }
 
 // Config describes the control plane attached to a service.
 type Config struct {
@@ -88,6 +118,23 @@ type Config struct {
 	// AdmitTicks is how many consecutive saturated ticks arm shedding
 	// (default 2).
 	AdmitTicks int
+	// Classes is how many SLO classes admission distinguishes (default
+	// 1, max MaxClasses). With more than one class, shedding arms per
+	// class from the lowest class up — class c sheds only at higher
+	// occupancy, after more consecutive hot ticks, and only while every
+	// class below it is already shedding — and disarms from the highest
+	// class down as the queue drains, so under saturation classes shed
+	// strictly lowest-first.
+	Classes int
+	// AdmitTop is the occupancy at which even the highest class sheds
+	// (default 0.98). Per-class high-water marks interpolate from
+	// AdmitHigh (class 0) to AdmitTop (class Classes-1); per-class
+	// low-water marks interpolate from AdmitLow (class 0) toward
+	// AdmitHigh, so higher classes disarm earlier on drain.
+	AdmitTop float64
+	// RetryBudget is the base per-class retry budget surfaced in
+	// OverloadError (default 3); class c is budgeted RetryBudget + c.
+	RetryBudget int
 	// Logf, when non-nil, receives one line per controller adjustment,
 	// selector transition and admission flip — the decision log surfaced
 	// by the CLI's -verbose mode.
@@ -129,6 +176,21 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.AdmitTicks == 0 {
 		cfg.AdmitTicks = 2
+	}
+	if cfg.Classes < 1 {
+		cfg.Classes = 1
+	}
+	if cfg.Classes > MaxClasses {
+		cfg.Classes = MaxClasses
+	}
+	if cfg.AdmitTop == 0 {
+		cfg.AdmitTop = 0.98
+	}
+	if cfg.AdmitTop < cfg.AdmitHigh {
+		cfg.AdmitTop = cfg.AdmitHigh
+	}
+	if cfg.RetryBudget == 0 {
+		cfg.RetryBudget = 3
 	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now

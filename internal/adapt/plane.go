@@ -17,8 +17,15 @@ type Stats struct {
 	Adjustments int
 	// Ticks counts controller ticks run.
 	Ticks int
-	// Shedding reports whether admission control is currently shedding.
+	// Shedding reports whether admission control is currently shedding
+	// (any class; class 0 sheds first, so this is class 0's state).
 	Shedding bool
+	// SheddingByClass is each class's current shedding state (length
+	// Config.Classes).
+	SheddingByClass []bool
+	// OverloadsByClass counts proposals denied by AdmitClass per class
+	// (length Config.Classes).
+	OverloadsByClass []int
 	// Algorithm is the selector's current choice ("" without selection).
 	Algorithm string
 	// Transitions counts selector level changes.
@@ -33,14 +40,19 @@ type Plane struct {
 	cfg    Config
 	static Choice
 
-	batch    atomic.Int64
-	linger   atomic.Int64
-	shedding atomic.Bool
+	batch  atomic.Int64
+	linger atomic.Int64
+	// shedMask is the per-class shedding state: bit c set means class c
+	// is currently shed. The invariant bit c+1 ⇒ bit c (lower classes
+	// shed first) is maintained by Tick.
+	shedMask atomic.Uint32
+	// denied counts AdmitClass refusals per class.
+	denied [MaxClasses]atomic.Int64
 
 	mu          sync.Mutex
 	ctl         *Controller
 	sel         *Selector // nil unless SelectAlgorithms
-	hotTicks    int
+	hotTicks    [MaxClasses]int
 	ticks       int
 	transitions int
 	lastTick    time.Time
@@ -98,9 +110,57 @@ func (p *Plane) BatchLimit() int { return int(p.batch.Load()) }
 // Linger returns the current effective linger.
 func (p *Plane) Linger() time.Duration { return time.Duration(p.linger.Load()) }
 
-// Admit reports whether a new proposal may enter intake; false means
-// the caller should fail the proposal with ErrOverload.
-func (p *Plane) Admit() bool { return !p.shedding.Load() }
+// Admit reports whether a new class-0 proposal may enter intake; false
+// means the caller should fail the proposal with ErrOverload. Class 0
+// is the first class to shed, so Admit is also "is any shedding
+// active" for unclassed callers.
+func (p *Plane) Admit() bool { return p.shedMask.Load()&1 == 0 }
+
+// Classes returns the number of SLO classes admission distinguishes.
+func (p *Plane) Classes() int { return p.cfg.Classes }
+
+// AdmitClass gates one proposal of the given class (clamped to the
+// configured class range). It returns nil when the proposal may enter
+// intake, or the typed refusal — class, suggested back-off and retry
+// budget — when the class is currently shed.
+func (p *Plane) AdmitClass(class int) *OverloadError {
+	if class < 0 {
+		class = 0
+	}
+	if class >= p.cfg.Classes {
+		class = p.cfg.Classes - 1
+	}
+	if p.shedMask.Load()&(1<<uint(class)) == 0 {
+		return nil
+	}
+	p.denied[class].Add(1)
+	return &OverloadError{
+		Class:      class,
+		RetryAfter: time.Duration(p.cfg.AdmitTicks) * p.cfg.Interval,
+		Budget:     p.cfg.RetryBudget + class,
+	}
+}
+
+// admitHigh is class c's high-water occupancy: AdmitHigh for class 0,
+// interpolated up to AdmitTop for the highest class.
+func (p *Plane) admitHigh(c int) float64 {
+	if p.cfg.Classes <= 1 {
+		return p.cfg.AdmitHigh
+	}
+	f := float64(c) / float64(p.cfg.Classes-1)
+	return p.cfg.AdmitHigh + (p.cfg.AdmitTop-p.cfg.AdmitHigh)*f
+}
+
+// admitLow is class c's low-water occupancy: AdmitLow for class 0,
+// rising toward AdmitHigh for higher classes so they disarm earlier as
+// the queue drains.
+func (p *Plane) admitLow(c int) float64 {
+	if p.cfg.Classes <= 1 {
+		return p.cfg.AdmitLow
+	}
+	f := float64(c) / float64(p.cfg.Classes)
+	return p.cfg.AdmitLow + (p.cfg.AdmitHigh-p.cfg.AdmitLow)*f
+}
 
 // Selecting reports whether per-instance algorithm selection is on.
 func (p *Plane) Selecting() bool { return p.sel != nil }
@@ -211,33 +271,52 @@ func (p *Plane) Tick(queueLen, queueCap, busy, slots int) Setting {
 		}
 	}
 
-	// Admission hysteresis: AdmitTicks consecutive ticks at or above the
-	// high-water occupancy arm shedding; one tick at or below the
-	// low-water mark disarms it.
+	// Admission hysteresis, per class: AdmitTicks+c consecutive ticks at
+	// or above class c's high-water mark arm its shedding (and only once
+	// every lower class already sheds); one tick at or below its
+	// low-water mark disarms it (and only once every higher class has
+	// disarmed). The staggered tick counts and nested occupancy bands
+	// make the shed order strictly lowest-class-first on the way up and
+	// highest-class-first on the way down.
 	occ := 0.0
 	if queueCap > 0 {
 		occ = float64(queueLen) / float64(queueCap)
 	}
-	switch {
-	case occ >= p.cfg.AdmitHigh:
-		p.hotTicks++
-		if p.hotTicks >= p.cfg.AdmitTicks && !p.shedding.Load() {
-			p.shedding.Store(true)
-			if p.cfg.Logf != nil {
-				logs = append(logs, fmt.Sprintf("adapt: admission shedding ON (queue %d/%d)", queueLen, queueCap))
+	mask := p.shedMask.Load()
+	for c := 0; c < p.cfg.Classes; c++ {
+		bit := uint32(1) << uint(c)
+		switch {
+		case occ >= p.admitHigh(c):
+			p.hotTicks[c]++
+			lowerShed := c == 0 || mask&(bit>>1) != 0
+			if p.hotTicks[c] >= p.cfg.AdmitTicks+c && lowerShed && mask&bit == 0 {
+				mask |= bit
+				if p.cfg.Logf != nil {
+					if p.cfg.Classes == 1 {
+						logs = append(logs, fmt.Sprintf("adapt: admission shedding ON (queue %d/%d)", queueLen, queueCap))
+					} else {
+						logs = append(logs, fmt.Sprintf("adapt: admission shedding ON class %d (queue %d/%d)", c, queueLen, queueCap))
+					}
+				}
 			}
-		}
-	case occ <= p.cfg.AdmitLow:
-		p.hotTicks = 0
-		if p.shedding.Load() {
-			p.shedding.Store(false)
-			if p.cfg.Logf != nil {
-				logs = append(logs, fmt.Sprintf("adapt: admission shedding off (queue %d/%d)", queueLen, queueCap))
+		case occ <= p.admitLow(c):
+			p.hotTicks[c] = 0
+			higherShed := mask &^ (bit<<1 - 1)
+			if mask&bit != 0 && higherShed == 0 {
+				mask &^= bit
+				if p.cfg.Logf != nil {
+					if p.cfg.Classes == 1 {
+						logs = append(logs, fmt.Sprintf("adapt: admission shedding off (queue %d/%d)", queueLen, queueCap))
+					} else {
+						logs = append(logs, fmt.Sprintf("adapt: admission shedding off class %d (queue %d/%d)", c, queueLen, queueCap))
+					}
+				}
 			}
+		default:
+			p.hotTicks[c] = 0
 		}
-	default:
-		p.hotTicks = 0
 	}
+	p.shedMask.Store(mask)
 	return setting
 }
 
@@ -245,13 +324,20 @@ func (p *Plane) Tick(queueLen, queueCap, busy, slots int) Setting {
 func (p *Plane) Snapshot() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	mask := p.shedMask.Load()
 	st := Stats{
 		Batch:       p.ctl.Setting().Batch,
 		Linger:      p.ctl.Setting().Linger,
 		Adjustments: p.ctl.Adjustments(),
 		Ticks:       p.ticks,
-		Shedding:    p.shedding.Load(),
+		Shedding:    mask&1 != 0,
 		Transitions: p.transitions,
+	}
+	st.SheddingByClass = make([]bool, p.cfg.Classes)
+	st.OverloadsByClass = make([]int, p.cfg.Classes)
+	for c := 0; c < p.cfg.Classes; c++ {
+		st.SheddingByClass[c] = mask&(1<<uint(c)) != 0
+		st.OverloadsByClass[c] = int(p.denied[c].Load())
 	}
 	if p.sel != nil {
 		st.Algorithm = p.sel.Current().Name

@@ -23,12 +23,15 @@ package chaos
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 
+	"indulgence/internal/adapt"
 	"indulgence/internal/core"
 	"indulgence/internal/model"
+	"indulgence/internal/workload"
 )
 
 // LinkFault perturbs the ordered process pair From→To.
@@ -123,6 +126,20 @@ type Scenario struct {
 	// field is omitted from the JSON encoding when 0, so legacy specs
 	// replay byte-identically.
 	Groups int `json:",omitempty"`
+	// Workload, when set, replaces the fixed wave load with a generated
+	// workload (internal/workload): every generated event is submitted
+	// at its virtual arrival instant, at its cohort's SLO class, and the
+	// run's outcomes are captured as trace records (Result.Outcomes).
+	// The spec must carry a MaxEvents cap no larger than the runtime's
+	// total intake capacity (MaxBatch × MaxInflight × groups), because
+	// scenario load is submitted on the clock driver and must never
+	// block. Proposals, Waves and WaveGap must be zero. Omitted from the
+	// JSON encoding when nil, so legacy specs replay byte-identically.
+	Workload *workload.Spec `json:",omitempty"`
+	// Classes, when above 1, arms per-SLO-class admission control on the
+	// adaptive plane (adapt.Config.Classes); it requires Adaptive and is
+	// only meaningful with a classed workload. Omitted when 0.
+	Classes int `json:",omitempty"`
 	// Links, Partitions and Crashes are the fault schedule.
 	Links      []LinkFault
 	Partitions []Partition
@@ -162,8 +179,29 @@ func (sc Scenario) Validate() error {
 	if _, _, err := algByName(sc.Algorithm); err != nil {
 		return err
 	}
-	if sc.Proposals < 1 {
+	if sc.Workload != nil {
+		if err := sc.Workload.Validate(); err != nil {
+			return fmt.Errorf("chaos: workload: %w", err)
+		}
+		groups := sc.Groups
+		if groups < 1 {
+			groups = 1
+		}
+		if bound := sc.MaxBatch * sc.MaxInflight * groups; sc.Workload.MaxEvents < 1 || sc.Workload.MaxEvents > bound {
+			return fmt.Errorf("chaos: workload MaxEvents %d outside [1,%d] (MaxBatch×MaxInflight×groups — scenario load must never block the clock driver)",
+				sc.Workload.MaxEvents, bound)
+		}
+		if sc.Proposals != 0 || sc.Waves != 0 || sc.WaveGap != 0 {
+			return errors.New("chaos: a workload scenario must leave Proposals, Waves and WaveGap zero")
+		}
+	} else if sc.Proposals < 1 {
 		return fmt.Errorf("chaos: %d proposals", sc.Proposals)
+	}
+	if sc.Classes < 0 || sc.Classes > adapt.MaxClasses {
+		return fmt.Errorf("chaos: %d classes outside [0,%d]", sc.Classes, adapt.MaxClasses)
+	}
+	if sc.Classes > 1 && !sc.Adaptive {
+		return errors.New("chaos: Classes needs Adaptive (per-class admission lives on the control plane)")
 	}
 	if sc.BaseTimeout <= 0 || sc.Horizon <= 0 || sc.InstanceTimeout <= sc.Horizon {
 		return fmt.Errorf("chaos: need BaseTimeout>0, Horizon>0 and InstanceTimeout>Horizon (got %v, %v, %v)",

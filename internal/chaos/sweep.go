@@ -20,6 +20,7 @@ import (
 	"indulgence/internal/shard"
 	"indulgence/internal/transport"
 	"indulgence/internal/wire"
+	"indulgence/internal/workload"
 )
 
 // Options tunes a chaos run.
@@ -55,6 +56,11 @@ type Result struct {
 	// same spec must produce identical logs — the reproducibility
 	// contract the chaos tests enforce.
 	Log string
+	// Outcomes holds one trace outcome record per workload event, by
+	// event sequence number — only populated for workload scenarios.
+	// Together with the regenerable event stream they form the run's
+	// trace (see ExecuteTrace).
+	Outcomes []wire.TraceOutcomeRecord
 	// Virtual and Wall are the simulated and wall-clock durations.
 	Virtual, Wall time.Duration
 	// Err is a harness setup error (invalid spec, journal failure) —
@@ -183,7 +189,7 @@ func Run(sc Scenario, opts Options) Result {
 		Clock:           clk,
 	}
 	if sc.Adaptive {
-		cfg.Adaptive = &adapt.Config{}
+		cfg.Adaptive = &adapt.Config{Classes: sc.Classes}
 	}
 	// The two runtime shapes — the single-group service and the sharded
 	// multi-group runtime — are abstracted behind four closures so the
@@ -191,7 +197,7 @@ func Run(sc Scenario, opts Options) Result {
 	// journal: it is an audit trail here, not a durability promise, and
 	// fsync stalls would leak wall time into the virtual schedule.
 	var (
-		propose  func(context.Context, model.Value) (*service.Future, error)
+		propose  func(context.Context, int, model.Value) (*service.Future, error)
 		abortSvc func()
 		closeSvc func()
 		// liveViolations reads the live check.Instance findings after
@@ -212,7 +218,7 @@ func Run(sc Scenario, opts Options) Result {
 			res.Err = err
 			return res
 		}
-		propose = rt.Propose
+		propose = rt.ProposeClass
 		abortSvc = rt.Abort
 		closeSvc = func() { rt.Close() }
 		liveViolations = func() []string { return rt.Snapshot().Violations }
@@ -232,7 +238,7 @@ func Run(sc Scenario, opts Options) Result {
 			res.Err = err
 			return res
 		}
-		propose = svc.Propose
+		propose = svc.ProposeClass
 		abortSvc = svc.Abort
 		closeSvc = func() { svc.Close() }
 		liveViolations = func() []string { return svc.Snapshot().Violations }
@@ -252,22 +258,48 @@ func Run(sc Scenario, opts Options) Result {
 		}
 	}
 
-	// Proposal load: Waves waves submitted on the clock driver, each
-	// proposal's future awaited by its own goroutine. outs is indexed
-	// by proposal number, so the decision log's order is the load
+	// Proposal load. Wave scenarios submit Waves fixed waves on the
+	// clock driver; workload scenarios submit each generated event at
+	// its arrival instant, at its cohort's SLO class. Either way every
+	// future is awaited by its own goroutine and outs is indexed by
+	// proposal/event number, so the decision log's order is the load
 	// order, not the resolution order.
 	type outcome struct {
-		dec  service.Decision
-		err  error
-		shed bool
+		dec     service.Decision
+		err     error
+		shed    bool
+		class   int
+		latency time.Duration
 	}
-	outs := make([]outcome, sc.Proposals)
+	var events []workload.Event
+	nProps := sc.Proposals
+	if sc.Workload != nil {
+		events = sc.Workload.Events()
+		nProps = len(events)
+	}
+	outs := make([]outcome, nProps)
 	var wg sync.WaitGroup
-	wg.Add(sc.Proposals)
+	wg.Add(nProps)
 	var loadMu sync.Mutex
 	submitted, aborted := 0, false
 	value := func(idx int) model.Value {
 		return model.Value(int64(idx+1)*1_000_003 + sc.Seed)
+	}
+	// submitOne proposes one load item (class-tagged) and hands its
+	// future to a waiter goroutine. Callers hold loadMu.
+	submitOne := func(i, class int, v model.Value) {
+		start := clk.Now()
+		fut, err := propose(context.Background(), class, v)
+		if err != nil {
+			outs[i] = outcome{err: err, shed: errors.Is(err, adapt.ErrOverload), class: class}
+			wg.Done()
+			return
+		}
+		go func() {
+			defer wg.Done()
+			dec, err := fut.Wait(context.Background())
+			outs[i] = outcome{dec: dec, err: err, class: class, latency: clk.Now().Sub(start)}
+		}()
 	}
 	submitWave := func(lo, hi int) {
 		loadMu.Lock()
@@ -280,38 +312,49 @@ func Run(sc Scenario, opts Options) Result {
 			return
 		}
 		for i := lo; i < hi; i++ {
-			i := i
-			fut, err := propose(context.Background(), value(i))
-			if err != nil {
-				outs[i] = outcome{err: err, shed: errors.Is(err, adapt.ErrOverload)}
-				wg.Done()
-				continue
-			}
-			go func() {
-				defer wg.Done()
-				dec, err := fut.Wait(context.Background())
-				outs[i] = outcome{dec: dec, err: err}
-			}()
+			submitOne(i, 0, value(i))
 		}
 		if hi > submitted {
 			submitted = hi
+		}
+	}
+	submitEvent := func(e workload.Event) {
+		loadMu.Lock()
+		defer loadMu.Unlock()
+		if aborted {
+			outs[e.Seq] = outcome{err: errAborted, class: e.Class}
+			wg.Done()
+			return
+		}
+		submitOne(int(e.Seq), e.Class, e.Value)
+		if int(e.Seq)+1 > submitted {
+			submitted = int(e.Seq) + 1
 		}
 	}
 	waves := sc.Waves
 	if waves < 1 {
 		waves = 1
 	}
-	per := (sc.Proposals + waves - 1) / waves
-	for w := 0; w < waves; w++ {
-		lo := w * per
-		hi := lo + per
-		if hi > sc.Proposals {
-			hi = sc.Proposals
+	if sc.Workload != nil {
+		// Events are At-sorted and same-instant callbacks fire in
+		// registration order, so submission order is event order.
+		for _, e := range events {
+			e := e
+			clk.AfterFunc(e.At, func() { submitEvent(e) })
 		}
-		if lo >= hi {
-			break
+	} else {
+		per := (sc.Proposals + waves - 1) / waves
+		for w := 0; w < waves; w++ {
+			lo := w * per
+			hi := lo + per
+			if hi > sc.Proposals {
+				hi = sc.Proposals
+			}
+			if lo >= hi {
+				break
+			}
+			clk.AfterFunc(time.Duration(w)*sc.WaveGap, func() { submitWave(lo, hi) })
 		}
-		clk.AfterFunc(time.Duration(w)*sc.WaveGap, func() { submitWave(lo, hi) })
 	}
 
 	done := make(chan struct{})
@@ -323,6 +366,9 @@ func Run(sc Scenario, opts Options) Result {
 	// on its own; the virtual cap and wall watchdog only catch bugs.
 	virtualCap := sc.Horizon + 2*sc.InstanceTimeout +
 		time.Duration(waves)*sc.WaveGap + time.Second
+	if sc.Workload != nil {
+		virtualCap += sc.Workload.Duration()
+	}
 	wallDeadline := wallStart.Add(opts.MaxWall)
 	finished := false
 	for !finished {
@@ -355,7 +401,7 @@ func Run(sc Scenario, opts Options) Result {
 	if res.Wedged {
 		loadMu.Lock()
 		aborted = true
-		for i := submitted; i < sc.Proposals; i++ {
+		for i := submitted; i < nProps; i++ {
 			outs[i] = outcome{err: errAborted}
 			wg.Done()
 		}
@@ -389,20 +435,52 @@ func Run(sc Scenario, opts Options) Result {
 	rep := check.Replay(recs, starts, live)
 	res.Violations = append(res.Violations, rep.Violations...)
 
-	// The canonical decision log.
+	// The canonical decision log (wave format unchanged — legacy specs
+	// must keep producing byte-identical logs) and, for workload runs,
+	// the trace outcomes. Latency rides the outcome record but stays out
+	// of the log: it is a measurement, not a decision.
 	var b strings.Builder
-	for i, o := range outs {
-		switch {
-		case o.shed:
-			res.Shed++
-			fmt.Fprintf(&b, "p%03d shed\n", i)
-		case o.err != nil:
-			res.Failed++
-			fmt.Fprintf(&b, "p%03d failed: %v\n", i, o.err)
-		default:
-			res.Decided++
-			fmt.Fprintf(&b, "p%03d v=%d -> inst=%d val=%d round=%d batch=%d\n",
-				i, value(i), o.dec.Instance, o.dec.Value, o.dec.Round, o.dec.Batch)
+	if sc.Workload != nil {
+		res.Outcomes = make([]wire.TraceOutcomeRecord, nProps)
+		for i, o := range outs {
+			rec := wire.TraceOutcomeRecord{Seq: uint64(i), Class: o.class, LatencyNanos: int64(o.latency)}
+			switch {
+			case o.shed:
+				res.Shed++
+				rec.Status = wire.TraceShed
+				fmt.Fprintf(&b, "e%04d c%d shed\n", i, o.class)
+			case o.err != nil:
+				res.Failed++
+				rec.Status = wire.TraceFailed
+				fmt.Fprintf(&b, "e%04d c%d failed: %v\n", i, o.class, o.err)
+			default:
+				res.Decided++
+				rec.Status = wire.TraceDecided
+				rec.Instance = o.dec.Instance
+				rec.Value = o.dec.Value
+				rec.Round = o.dec.Round
+				rec.Batch = o.dec.Batch
+				rec.Group = o.dec.Instance % uint64(groups)
+				rec.Class = o.dec.Class
+				fmt.Fprintf(&b, "e%04d c%d v=%d -> inst=%d val=%d round=%d batch=%d class=%d\n",
+					i, o.class, events[i].Value, o.dec.Instance, o.dec.Value, o.dec.Round, o.dec.Batch, o.dec.Class)
+			}
+			res.Outcomes[i] = rec
+		}
+	} else {
+		for i, o := range outs {
+			switch {
+			case o.shed:
+				res.Shed++
+				fmt.Fprintf(&b, "p%03d shed\n", i)
+			case o.err != nil:
+				res.Failed++
+				fmt.Fprintf(&b, "p%03d failed: %v\n", i, o.err)
+			default:
+				res.Decided++
+				fmt.Fprintf(&b, "p%03d v=%d -> inst=%d val=%d round=%d batch=%d\n",
+					i, value(i), o.dec.Instance, o.dec.Value, o.dec.Round, o.dec.Batch)
+			}
 		}
 	}
 	res.Log = b.String()
@@ -435,9 +513,50 @@ func Sweep(baseSeed int64, count int, opts Options, onRun func(Result)) SweepSta
 // adversaries against the multi-group stack). groups <= 1 is exactly
 // Sweep.
 func SweepGroups(baseSeed int64, count, groups int, opts Options, onRun func(Result)) SweepStats {
+	return sweepWith(func(seed int64) Scenario { return GenerateGroups(seed, groups) },
+		baseSeed, count, opts, onRun)
+}
+
+// SweepWorkload runs the generated adversaries of SweepGroups with each
+// scenario's fixed wave load replaced by the given workload (clamped per
+// scenario via WorkloadScenario): the same seeded partitions, gray links
+// and crashes, now exercised under classed multi-cohort arrivals.
+func SweepWorkload(baseSeed int64, count, groups int, spec *workload.Spec, opts Options, onRun func(Result)) SweepStats {
+	return sweepWith(func(seed int64) Scenario {
+		return WorkloadScenario(GenerateGroups(seed, groups), spec)
+	}, baseSeed, count, opts, onRun)
+}
+
+// WorkloadScenario replaces sc's wave load with a generated workload:
+// the spec's event cap is clamped to the scenario's intake bound (load
+// is submitted on the clock driver and must never block), wave fields
+// are cleared, and a classed workload arms per-class admission on the
+// adaptive plane.
+func WorkloadScenario(sc Scenario, spec *workload.Spec) Scenario {
+	w := *spec
+	groups := sc.Groups
+	if groups < 1 {
+		groups = 1
+	}
+	bound := sc.MaxBatch * sc.MaxInflight * groups
+	if w.MaxEvents == 0 || w.MaxEvents > bound {
+		w.MaxEvents = bound
+	}
+	sc.Workload = &w
+	sc.Proposals, sc.Waves, sc.WaveGap = 0, 0, 0
+	if c := w.Classes(); c > 1 {
+		sc.Adaptive = true
+		sc.Classes = c
+	}
+	return sc
+}
+
+// sweepWith drives one batch of seeded scenario runs; the sweep shapes
+// share it.
+func sweepWith(gen func(int64) Scenario, baseSeed int64, count int, opts Options, onRun func(Result)) SweepStats {
 	var st SweepStats
 	for i := 0; i < count; i++ {
-		r := Run(GenerateGroups(baseSeed+int64(i), groups), opts)
+		r := Run(gen(baseSeed+int64(i)), opts)
 		st.Runs++
 		st.Decided += r.Decided
 		st.Shed += r.Shed

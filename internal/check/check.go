@@ -169,7 +169,13 @@ func Instance(decisions []model.OptValue, proposals []model.Value, crashed model
 // of one member — means two groups ran the same instance ID and is
 // flagged as an agreement violation (pre-group records carry group 0,
 // the compatibility group, and conflict only with records of other
-// groups). Structurally impossible records (non-positive round or
+// groups). Class tags are audited the same way: an instance is decided
+// exactly once, so two records of one instance under different SLO
+// classes mean two conflicting decision events were journaled — an
+// agreement violation — and a class outside wire's encodable range
+// [0, MaxClassValue] is a validity violation (classless records carry
+// class 0 and conflict only with explicitly classed duplicates).
+// Structurally impossible records (non-positive round or
 // batch) are flagged as validity violations: no decision can legally
 // produce them, so their presence means the log was not written by a
 // correct service. Termination is not assessable from a journal (a
@@ -215,12 +221,23 @@ func Replay(records []wire.DecisionRecord, starts []wire.StartRecord, live map[u
 				fmt.Sprintf("journal: instance %d has an impossible record (round %d, batch %d)",
 					r.Instance, r.Round, r.Batch))
 		}
+		if r.Class < 0 || r.Class > wire.MaxClassValue {
+			rep.Validity = false
+			rep.Violations = append(rep.Violations,
+				fmt.Sprintf("journal: instance %d has an unencodable class %d", r.Instance, r.Class))
+		}
 		if prev, ok := seen[r.Instance]; ok {
 			if prev.Value != r.Value {
 				rep.Agreement = false
 				rep.Violations = append(rep.Violations,
 					fmt.Sprintf("agreement: instance %d journaled as %d and again as %d",
 						r.Instance, prev.Value, r.Value))
+			}
+			if prev.Class != r.Class {
+				rep.Agreement = false
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("agreement: instance %d journaled at class %d and again at class %d",
+						r.Instance, prev.Class, r.Class))
 			}
 			continue
 		}

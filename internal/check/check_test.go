@@ -277,3 +277,37 @@ func TestReplayImpossibleRecord(t *testing.T) {
 		t.Fatalf("violations = %v", rep.Violations)
 	}
 }
+
+// TestReplayClassConflict pins the SLO-class audit: an instance decided
+// exactly once cannot legally be on record under two different classes,
+// and a class outside wire's encodable range cannot have been written
+// by a correct service. Same-class duplicates and classless (class 0)
+// records stay clean.
+func TestReplayClassConflict(t *testing.T) {
+	rep := Replay([]wire.DecisionRecord{
+		{Instance: 9, Value: 3, Round: 3, Batch: 1, Class: 2},
+		{Instance: 9, Value: 3, Round: 3, Batch: 1, Class: 1},
+	}, nil, nil)
+	if rep.Agreement {
+		t.Fatalf("cross-class duplicate not flagged: %+v", rep)
+	}
+	if !errors.Is(rep.Err(), ErrViolation) || !strings.Contains(rep.Err().Error(), "class 2") {
+		t.Fatalf("Err() = %v", rep.Err())
+	}
+
+	rep = Replay([]wire.DecisionRecord{
+		{Instance: 10, Value: 1, Round: 3, Batch: 1, Class: wire.MaxClassValue + 1},
+	}, nil, nil)
+	if rep.Validity {
+		t.Fatalf("unencodable class not flagged: %+v", rep)
+	}
+
+	clean := Replay([]wire.DecisionRecord{
+		{Instance: 11, Value: 6, Round: 3, Batch: 2, Class: 3},
+		{Instance: 11, Value: 6, Round: 3, Batch: 2, Class: 3},
+		{Instance: 12, Value: 7, Round: 3, Batch: 1},
+	}, nil, map[uint64]model.Value{11: 6, 12: 7})
+	if !clean.OK() {
+		t.Fatalf("same-class duplicate flagged: %+v", clean)
+	}
+}

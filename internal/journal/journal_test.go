@@ -543,3 +543,40 @@ func TestWriteErrorLatchesFatal(t *testing.T) {
 		t.Fatalf("post-failure replay = %v", recs)
 	}
 }
+
+// TestClassRoundTrip pins the SLO-class tag through the journal: a
+// classed decision record survives Append → Get and Append → Replay
+// byte-exactly, and classless records keep reading back as class 0
+// (the trailing-field wire compatibility the sharded runtime's replay
+// audit depends on).
+func TestClassRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classed := wire.DecisionRecord{Instance: 0, Value: 7, Round: 3, Batch: 4, Group: 2, Class: 5}
+	classless := wire.DecisionRecord{Instance: 1, Value: 8, Round: 3, Batch: 1}
+	topClass := wire.DecisionRecord{Instance: 2, Value: 9, Round: 4, Batch: 2, Class: wire.MaxClassValue}
+	for _, r := range []wire.DecisionRecord{classed, classless, topClass} {
+		if err := j.Append(r); err != nil {
+			t.Fatalf("append %+v: %v", r, err)
+		}
+	}
+	if got, ok := j.Get(0); !ok || got != classed {
+		t.Fatalf("Get(0) = %+v, %v", got, ok)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := replayAll(t, dir)
+	want := []wire.DecisionRecord{classed, classless, topClass}
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records", len(recs))
+	}
+	for i, r := range recs {
+		if r != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, r, want[i])
+		}
+	}
+}

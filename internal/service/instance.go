@@ -9,6 +9,7 @@ import (
 	"indulgence/internal/check"
 	"indulgence/internal/model"
 	"indulgence/internal/runtime"
+	"indulgence/internal/stats"
 	"indulgence/internal/transport"
 	"indulgence/internal/wire"
 )
@@ -125,6 +126,15 @@ func (s *Service) runInstance(instance uint64, batch []*pending, choice adapt.Ch
 	}
 	rep := check.Instance(decisions, props, crashed)
 
+	// The batch's SLO class is its highest member class: the instance did
+	// that class's work, so the journal record and decision carry it.
+	batchClass := 0
+	for _, p := range batch {
+		if p.class > batchClass {
+			batchClass = p.class
+		}
+	}
+
 	// Journal-before-complete: the decision record must be durable
 	// before any future resolves, so a crash can lose an
 	// acknowledgement but never an acknowledged decision. A journal
@@ -132,14 +142,14 @@ func (s *Service) runInstance(instance uint64, batch []*pending, choice adapt.Ch
 	// because resolving an unjournaled decision would let a restart
 	// re-run the instance.
 	if s.cfg.Journal != nil {
-		rec := wire.DecisionRecord{Instance: instance, Value: value, Round: round, Batch: len(batch), Group: s.cfg.Group}
+		rec := wire.DecisionRecord{Instance: instance, Value: value, Round: round, Batch: len(batch), Group: s.cfg.Group, Class: batchClass}
 		if err := s.cfg.Journal.Append(rec); err != nil {
 			s.failInstance(batch, fmt.Errorf("service: journal instance %d: %w", instance, err))
 			return
 		}
 	}
 
-	dec := Decision{Instance: instance, Value: value, Round: round, Batch: len(batch)}
+	dec := Decision{Instance: instance, Value: value, Round: round, Batch: len(batch), Class: batchClass}
 	now := s.cfg.Clock.Now()
 	var latencies []time.Duration
 	for _, p := range batch {
@@ -150,8 +160,17 @@ func (s *Service) runInstance(instance uint64, batch []*pending, choice adapt.Ch
 	s.countMu.Lock()
 	s.instances++
 	s.resolved += len(batch)
-	for _, l := range latencies {
+	if batchClass > s.maxClass {
+		s.maxClass = batchClass
+	}
+	for i, l := range latencies {
 		s.latencies.Add(l)
+		c := batch[i].class
+		s.resolvedBy[c]++
+		if s.classLat[c] == nil {
+			s.classLat[c] = stats.NewReservoir[time.Duration](1024)
+		}
+		s.classLat[c].Add(l)
 	}
 	s.rounds.Add(int(round))
 	s.instLat.Add(decided)

@@ -153,6 +153,9 @@ type Decision struct {
 	Round model.Round
 	// Batch is the number of proposals committed by the instance.
 	Batch int
+	// Class is the highest SLO class among the batch's proposals (0 for
+	// unclassed traffic) — the class the instance was journaled under.
+	Class int
 }
 
 // Future resolves to the Decision of the instance a proposal was batched
@@ -182,6 +185,7 @@ func (f *Future) resolve(dec Decision, err error) {
 // pending is one enqueued proposal.
 type pending struct {
 	value    model.Value
+	class    int
 	enqueued time.Time
 	fut      *Future
 }
@@ -228,6 +232,14 @@ type Stats struct {
 	// Overloads counts proposals shed by admission control with
 	// adapt.ErrOverload (always 0 without an adaptive config).
 	Overloads int
+	// OverloadsByClass splits Overloads per SLO class (index = class;
+	// length = highest class the service has seen + 1).
+	OverloadsByClass []int
+	// ResolvedByClass splits Resolved per SLO class.
+	ResolvedByClass []int
+	// ClassLatency summarizes per-proposal latency per SLO class over
+	// the same kind of bounded sample as Latency.
+	ClassLatency []stats.LatencySummary
 	// Control is the adaptive control plane's snapshot: the current
 	// effective batch/linger, adjustment and transition counts, and the
 	// selector's current algorithm. Zero when the service runs static.
@@ -293,6 +305,13 @@ type Service struct {
 	roundLat     *stats.Reservoir[time.Duration]
 	fills        *stats.Reservoir[int]
 	algs         map[string]int
+	// Per-class accounting (index = SLO class). maxClass is the highest
+	// class any proposal has carried; Snapshot trims the exported
+	// slices to it. classLat reservoirs allocate lazily per class.
+	maxClass    int
+	overloadsBy [adapt.MaxClasses]int
+	resolvedBy  [adapt.MaxClasses]int
+	classLat    [adapt.MaxClasses]*stats.Reservoir[time.Duration]
 }
 
 // maxSamples bounds the latency/round history a long-running service
@@ -457,7 +476,7 @@ func (s *Service) Lookup(instance uint64) (Decision, bool) {
 	if !ok {
 		return Decision{}, false
 	}
-	return Decision{Instance: rec.Instance, Value: rec.Value, Round: rec.Round, Batch: rec.Batch}, true
+	return Decision{Instance: rec.Instance, Value: rec.Value, Round: rec.Round, Batch: rec.Batch, Class: rec.Class}, true
 }
 
 // Propose enqueues a proposal and returns its Future. It blocks only when
@@ -465,18 +484,39 @@ func (s *Service) Lookup(instance uint64) (Decision, bool) {
 // providing natural backpressure. An adaptive service whose admission
 // gate detects sustained intake saturation sheds the proposal with
 // adapt.ErrOverload instead of queueing it — callers back off and retry.
+// Propose submits at SLO class 0; classed traffic uses ProposeClass.
 func (s *Service) Propose(ctx context.Context, v model.Value) (*Future, error) {
-	p := &pending{value: v, enqueued: s.cfg.Clock.Now(), fut: &Future{done: make(chan struct{})}}
+	return s.ProposeClass(ctx, 0, v)
+}
+
+// ProposeClass enqueues a proposal at an SLO class (0..adapt.MaxClasses-1;
+// higher classes survive admission control longer under overload). A shed
+// classed proposal fails with an *adapt.OverloadError carrying the class's
+// suggested back-off and retry budget; errors.Is(err, adapt.ErrOverload)
+// matches it. The class rides with the proposal end to end: the deciding
+// instance is journaled under the batch's highest class, and latency is
+// additionally accounted per class.
+func (s *Service) ProposeClass(ctx context.Context, class int, v model.Value) (*Future, error) {
+	if class < 0 || class >= adapt.MaxClasses {
+		return nil, fmt.Errorf("service: class %d outside [0, %d]", class, adapt.MaxClasses-1)
+	}
+	p := &pending{value: v, class: class, enqueued: s.cfg.Clock.Now(), fut: &Future{done: make(chan struct{})}}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		return nil, ErrClosed
 	}
-	if s.plane != nil && !s.plane.Admit() {
-		s.countMu.Lock()
-		s.overloads++
-		s.countMu.Unlock()
-		return nil, adapt.ErrOverload
+	if s.plane != nil {
+		if oe := s.plane.AdmitClass(class); oe != nil {
+			s.countMu.Lock()
+			s.overloads++
+			s.overloadsBy[class]++
+			if class > s.maxClass {
+				s.maxClass = class
+			}
+			s.countMu.Unlock()
+			return nil, oe
+		}
 	}
 	select {
 	case s.intake <- p:
@@ -485,6 +525,9 @@ func (s *Service) Propose(ctx context.Context, v model.Value) (*Future, error) {
 	}
 	s.countMu.Lock()
 	s.proposals++
+	if class > s.maxClass {
+		s.maxClass = class
+	}
 	s.countMu.Unlock()
 	return p.fut, nil
 }
@@ -574,6 +617,19 @@ func (s *Service) Snapshot() Stats {
 	for k, v := range s.algs {
 		algs[k] = v
 	}
+	var overloadsBy, resolvedBy []int
+	var classLat []stats.LatencySummary
+	if s.maxClass > 0 {
+		n := s.maxClass + 1
+		overloadsBy = append(overloadsBy, s.overloadsBy[:n]...)
+		resolvedBy = append(resolvedBy, s.resolvedBy[:n]...)
+		classLat = make([]stats.LatencySummary, n)
+		for c := 0; c < n; c++ {
+			if r := s.classLat[c]; r != nil {
+				classLat[c] = stats.SummarizeDurations(r.Values())
+			}
+		}
+	}
 	return Stats{
 		Proposals:        s.proposals,
 		Resolved:         s.resolved,
@@ -581,6 +637,9 @@ func (s *Service) Snapshot() Stats {
 		Instances:        s.instances,
 		InstanceFailures: s.instanceFail,
 		Overloads:        s.overloads,
+		OverloadsByClass: overloadsBy,
+		ResolvedByClass:  resolvedBy,
+		ClassLatency:     classLat,
 		Violations:       append([]string(nil), s.violations...),
 		Latency:          stats.SummarizeDurations(s.latencies.Values()),
 		Rounds:           stats.Summarize(s.rounds.Values()),

@@ -148,10 +148,25 @@ func (r *Runtime) Propose(ctx context.Context, v model.Value) (*service.Future, 
 // sends every proposal of one key through one group's batcher (ordering
 // everything about the key), other policies ignore the key.
 func (r *Runtime) ProposeKey(ctx context.Context, key uint64, v model.Value) (*service.Future, error) {
+	return r.ProposeKeyClass(ctx, key, 0, v)
+}
+
+// ProposeClass routes a classed proposal under the placement policy,
+// keyed by the internal sequence like Propose.
+func (r *Runtime) ProposeClass(ctx context.Context, class int, v model.Value) (*service.Future, error) {
+	return r.ProposeKeyClass(ctx, r.seq.Add(1)-1, class, v)
+}
+
+// ProposeKeyClass routes a proposal by key at an SLO class — the full
+// submission surface. The class gates admission in the chosen group
+// (see service.ProposeClass) after placement: routing is class-blind,
+// so a high-class proposal still lands on its key's group rather than
+// shopping for an unshedding one.
+func (r *Runtime) ProposeKeyClass(ctx context.Context, key uint64, class int, v model.Value) (*service.Future, error) {
 	if r.closed.Load() {
 		return nil, service.ErrClosed
 	}
-	return r.groups[r.policy.Pick(key, r.views)].Propose(ctx, v)
+	return r.groups[r.policy.Pick(key, r.views)].ProposeClass(ctx, class, v)
 }
 
 // Lookup serves the journaled decision of an already-decided instance
@@ -172,6 +187,11 @@ type Rollup struct {
 	Proposals, Resolved, Failed int
 	Instances, InstanceFailures int
 	Overloads                   int
+	// OverloadsByClass and ResolvedByClass are the per-SLO-class sums
+	// across groups, indexed by class and sized to the highest class any
+	// group saw (nil when every group ran classless).
+	OverloadsByClass []int
+	ResolvedByClass  []int
 	// Violations collects every group's consensus-property violations,
 	// each prefixed with its group ("group 3: instance 7: ...").
 	Violations []string
@@ -201,11 +221,25 @@ func rollup(groups []groupStats) Rollup {
 		out.Instances += st.Instances
 		out.InstanceFailures += st.InstanceFailures
 		out.Overloads += st.Overloads
+		out.OverloadsByClass = addByClass(out.OverloadsByClass, st.OverloadsByClass)
+		out.ResolvedByClass = addByClass(out.ResolvedByClass, st.ResolvedByClass)
 		for _, v := range st.Violations {
 			out.Violations = append(out.Violations, fmt.Sprintf("group %d: %s", g, v))
 		}
 	}
 	return out
+}
+
+// addByClass accumulates one group's per-class counters into the
+// rollup's, growing the slice to the widest class seen.
+func addByClass(sum, add []int) []int {
+	for len(sum) < len(add) {
+		sum = append(sum, 0)
+	}
+	for c, v := range add {
+		sum[c] += v
+	}
+	return sum
 }
 
 // Close stops every group (flushing pending batches and waiting for

@@ -58,6 +58,8 @@ func FuzzDecodeDecisionRecord(f *testing.F) {
 	f.Add(AppendDecisionRecord(nil, DecisionRecord{}))
 	f.Add(AppendDecisionRecord(nil, DecisionRecord{Instance: 1, Value: 7, Round: 4, Batch: 1}))
 	f.Add(AppendDecisionRecord(nil, DecisionRecord{Instance: 1<<64 - 1, Value: -3, Round: 300, Batch: 8}))
+	f.Add(AppendDecisionRecord(nil, DecisionRecord{Instance: 4, Value: 9, Round: 2, Batch: 3, Group: 2, Class: 3}))
+	f.Add(AppendDecisionRecord(nil, DecisionRecord{Instance: 5, Value: 1, Round: 1, Batch: 1, Class: 7}))
 	f.Add([]byte{recordMarker})
 	f.Add([]byte{recordMarker, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
 
@@ -71,6 +73,77 @@ func FuzzDecodeDecisionRecord(f *testing.F) {
 		}
 		reenc := AppendDecisionRecord(nil, rec)
 		rec2, n2, err := DecodeDecisionRecord(reenc)
+		if err != nil {
+			t.Fatalf("decode of re-encoding failed: %v", err)
+		}
+		if rec2 != rec || n2 != len(reenc) {
+			t.Fatalf("decode/encode not a fixed point: %+v (%d) vs %+v (%d)",
+				rec, n, rec2, n2)
+		}
+	})
+}
+
+// FuzzDecodeTraceRecord covers the workload trace file's three record
+// kinds through the dispatching decoder: arbitrary bytes must never
+// panic any of the decoders, every accepted record must satisfy its
+// bounds (class caps, string caps, status range), and re-encoding must
+// be a decode fixed point that consumes exactly the bytes the encoder
+// emits — the property the trace replayer's byte-identity contract
+// rests on.
+func FuzzDecodeTraceRecord(f *testing.F) {
+	hdr, err := AppendTraceHeaderRecord(nil, TraceHeaderRecord{
+		Version: TraceFormatVersion, Deterministic: true, Seed: 42,
+		N: 5, T: 2, Groups: 3, MaxBatch: 8, MaxInflight: 4,
+		LingerNanos: 1e6, TimeoutNanos: 1e7,
+		Algorithm: "atplus2", Placement: "hash",
+		Classes: 3, Spec: `{"seed":42}`,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(hdr)
+	f.Add(AppendTraceEventRecord(nil, TraceEventRecord{
+		Seq: 9, AtNanos: 1234567, Cohort: 1, Client: 3, Class: 2,
+		Key: 1 << 40, Value: -77, Payload: 512,
+	}))
+	f.Add(AppendTraceOutcomeRecord(nil, TraceOutcomeRecord{
+		Seq: 9, Status: TraceDecided, Instance: 17, Value: -77,
+		Round: 4, Batch: 6, Group: 2, Class: 2, LatencyNanos: 2500,
+	}))
+	f.Add(AppendTraceOutcomeRecord(nil, TraceOutcomeRecord{Seq: 3, Status: TraceShed, Class: 1}))
+	f.Add([]byte{traceHeaderMarker})
+	f.Add([]byte{traceEventMarker, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Add([]byte{traceOutcomeMarker, 0x01, 0x03}) // status over the cap
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		rec, n, err := DecodeTraceRecord(b)
+		if err != nil {
+			return
+		}
+		if n > len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		var reenc []byte
+		switch r := rec.(type) {
+		case TraceHeaderRecord:
+			reenc, err = AppendTraceHeaderRecord(nil, r)
+		case TraceEventRecord:
+			if r.Class > MaxClassValue {
+				t.Fatalf("accepted event class %d", r.Class)
+			}
+			reenc = AppendTraceEventRecord(nil, r)
+		case TraceOutcomeRecord:
+			if r.Status > TraceFailed {
+				t.Fatalf("accepted outcome status %d", r.Status)
+			}
+			reenc = AppendTraceOutcomeRecord(nil, r)
+		default:
+			t.Fatalf("unknown decoded kind %T", rec)
+		}
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		rec2, n2, err := DecodeTraceRecord(reenc)
 		if err != nil {
 			t.Fatalf("decode of re-encoding failed: %v", err)
 		}

@@ -1,0 +1,467 @@
+package wire
+
+// Trace record kinds: the on-disk format of the workload engine's
+// record/replay traces (internal/workload). A trace file is a sequence
+// of CRC-framed records — one TraceHeaderRecord describing the run,
+// then one TraceEventRecord per recorded proposal arrival and one
+// TraceOutcomeRecord per resolved proposal. The three markers extend
+// the odd-byte family documented in the package comment: 0x0B, 0x0D
+// and 0x0F can never open a version-0 frame, so record kind is
+// decidable from the first byte alone.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"indulgence/internal/model"
+)
+
+// Trace record markers.
+const (
+	traceHeaderMarker  byte = 0x0B
+	traceEventMarker   byte = 0x0D
+	traceOutcomeMarker byte = 0x0F
+)
+
+// TraceFormatVersion is the trace format this package encodes. Decoders
+// accept only versions they know; bumping the version is how future
+// layouts stay distinguishable.
+const TraceFormatVersion = 1
+
+// MaxTraceSpecLen bounds the embedded workload-spec JSON a trace header
+// may carry.
+const MaxTraceSpecLen = 1 << 16
+
+// Trace outcome statuses.
+const (
+	// TraceDecided marks a proposal that was decided.
+	TraceDecided = 0
+	// TraceShed marks a proposal refused by admission control.
+	TraceShed = 1
+	// TraceFailed marks a proposal that errored without deciding.
+	TraceFailed = 2
+)
+
+// TraceHeaderRecord is the first record of every trace file: the
+// configuration under which the run was recorded, sufficient to rebuild
+// an equivalent service stack for replay.
+type TraceHeaderRecord struct {
+	// Version is the trace format version (TraceFormatVersion).
+	Version int
+	// Deterministic reports whether the recording ran on the virtual
+	// clock behind the deterministic fault fabric, in which case replay
+	// must reproduce every outcome byte-identically. Real-clock
+	// recordings replay the same arrivals but may batch differently, so
+	// replays of them are audited for agreement, not identity.
+	Deterministic bool
+	// Seed is the workload seed the arrivals were generated from (0 for
+	// traces recorded from external load).
+	Seed int64
+	// N and T are the simulated cluster size and resilience.
+	N, T int
+	// Groups is the sharded group count (0 or 1 for a single group).
+	Groups int
+	// MaxBatch, MaxInflight, LingerNanos and TimeoutNanos mirror the
+	// service configuration of the recorded run.
+	MaxBatch     int
+	MaxInflight  int
+	LingerNanos  int64
+	TimeoutNanos int64
+	// Algorithm names the consensus algorithm ("" for the default).
+	Algorithm string
+	// Placement names the sharding placement policy ("" when unsharded).
+	Placement string
+	// Classes is the number of SLO classes the run admitted (0 for
+	// unclassed traffic).
+	Classes int
+	// Spec is the JSON encoding of the workload spec the arrivals were
+	// generated from ("" for traces recorded from external load).
+	Spec string
+}
+
+// AppendTraceHeaderRecord appends the encoding of r to dst and returns
+// the extended slice. The layout is the header marker, uvarint version,
+// a flags byte (bit 0 = deterministic), varint seed, uvarint n, t,
+// groups, batch, inflight, varint linger and timeout nanos, the
+// uvarint-length-prefixed algorithm, placement and spec strings, and a
+// trailing uvarint class count.
+func AppendTraceHeaderRecord(dst []byte, r TraceHeaderRecord) ([]byte, error) {
+	if len(r.Algorithm) > MaxAlgNameLen {
+		return nil, fmt.Errorf("%w: trace algorithm of %d bytes", ErrFrameTooLarge, len(r.Algorithm))
+	}
+	if len(r.Placement) > MaxAlgNameLen {
+		return nil, fmt.Errorf("%w: trace placement of %d bytes", ErrFrameTooLarge, len(r.Placement))
+	}
+	if len(r.Spec) > MaxTraceSpecLen {
+		return nil, fmt.Errorf("%w: trace spec of %d bytes", ErrFrameTooLarge, len(r.Spec))
+	}
+	dst = append(dst, traceHeaderMarker)
+	dst = binary.AppendUvarint(dst, uint64(r.Version))
+	var flags byte
+	if r.Deterministic {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendVarint(dst, r.Seed)
+	dst = binary.AppendUvarint(dst, uint64(r.N))
+	dst = binary.AppendUvarint(dst, uint64(r.T))
+	dst = binary.AppendUvarint(dst, uint64(r.Groups))
+	dst = binary.AppendUvarint(dst, uint64(r.MaxBatch))
+	dst = binary.AppendUvarint(dst, uint64(r.MaxInflight))
+	dst = binary.AppendVarint(dst, r.LingerNanos)
+	dst = binary.AppendVarint(dst, r.TimeoutNanos)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Algorithm)))
+	dst = append(dst, r.Algorithm...)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Placement)))
+	dst = append(dst, r.Placement...)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Spec)))
+	dst = append(dst, r.Spec...)
+	return binary.AppendUvarint(dst, uint64(r.Classes)), nil
+}
+
+// DecodeTraceHeaderRecord decodes one trace header from b, returning it
+// and the number of bytes consumed.
+func DecodeTraceHeaderRecord(b []byte) (TraceHeaderRecord, int, error) {
+	var r TraceHeaderRecord
+	if len(b) == 0 {
+		return r, 0, fmt.Errorf("%w: empty trace header", ErrTruncated)
+	}
+	if b[0] != traceHeaderMarker {
+		return r, 0, fmt.Errorf("%w: trace header marker %#x", ErrUnknownPayload, b[0])
+	}
+	off := 1
+	version, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: trace version", ErrTruncated)
+	}
+	if version != TraceFormatVersion {
+		return r, 0, fmt.Errorf("%w: trace version %d", ErrUnknownPayload, version)
+	}
+	off += n
+	if off >= len(b) {
+		return r, 0, fmt.Errorf("%w: trace flags", ErrTruncated)
+	}
+	flags := b[off]
+	if flags > 1 {
+		return r, 0, fmt.Errorf("%w: trace flags %#x", ErrUnknownPayload, flags)
+	}
+	off++
+	seed, n := binary.Varint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: trace seed", ErrTruncated)
+	}
+	off += n
+	var u [5]uint64
+	for i, field := range []string{"n", "t", "groups", "batch", "inflight"} {
+		v, vn := binary.Uvarint(b[off:])
+		if vn <= 0 {
+			return r, 0, fmt.Errorf("%w: trace %s", ErrTruncated, field)
+		}
+		if v > MaxFrameSize {
+			return r, 0, fmt.Errorf("%w: trace %s %d", ErrUnknownPayload, field, v)
+		}
+		off += vn
+		u[i] = v
+	}
+	linger, n := binary.Varint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: trace linger", ErrTruncated)
+	}
+	off += n
+	timeout, n := binary.Varint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: trace timeout", ErrTruncated)
+	}
+	off += n
+	var s [3]string
+	for i, field := range []struct {
+		name string
+		max  int
+	}{{"algorithm", MaxAlgNameLen}, {"placement", MaxAlgNameLen}, {"spec", MaxTraceSpecLen}} {
+		slen, sn := binary.Uvarint(b[off:])
+		if sn <= 0 {
+			return r, 0, fmt.Errorf("%w: trace %s length", ErrTruncated, field.name)
+		}
+		if slen > uint64(field.max) {
+			return r, 0, fmt.Errorf("%w: trace %s of %d bytes", ErrUnknownPayload, field.name, slen)
+		}
+		off += sn
+		if uint64(len(b)-off) < slen {
+			return r, 0, fmt.Errorf("%w: trace %s", ErrTruncated, field.name)
+		}
+		s[i] = string(b[off : off+int(slen)])
+		off += int(slen)
+	}
+	classes, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: trace classes", ErrTruncated)
+	}
+	if classes > MaxClassValue+1 {
+		return r, 0, fmt.Errorf("%w: trace classes %d", ErrUnknownPayload, classes)
+	}
+	off += n
+	r.Version = int(version)
+	r.Deterministic = flags&1 != 0
+	r.Seed = seed
+	r.N, r.T, r.Groups = int(u[0]), int(u[1]), int(u[2])
+	r.MaxBatch, r.MaxInflight = int(u[3]), int(u[4])
+	r.LingerNanos, r.TimeoutNanos = linger, timeout
+	r.Algorithm, r.Placement, r.Spec = s[0], s[1], s[2]
+	r.Classes = int(classes)
+	return r, off, nil
+}
+
+// TraceEventRecord is one recorded proposal arrival: the instant load
+// entered the system, which cohort and client produced it, and the
+// proposal itself.
+type TraceEventRecord struct {
+	// Seq is the arrival's position in the global arrival order; the
+	// matching TraceOutcomeRecord carries the same Seq.
+	Seq uint64
+	// AtNanos is the arrival instant as nanoseconds since run start.
+	AtNanos int64
+	// Cohort and Client locate the generating stream within the spec.
+	Cohort int
+	Client int
+	// Class is the proposal's SLO class.
+	Class int
+	// Key routes the proposal to a consensus group when sharded.
+	Key uint64
+	// Value is the proposed value.
+	Value model.Value
+	// Payload is the synthetic payload size in bytes.
+	Payload int
+}
+
+// AppendTraceEventRecord appends the encoding of r to dst and returns
+// the extended slice. The layout is the event marker followed by
+// uvarint seq, varint at-nanos, uvarint cohort, client and class,
+// uvarint key, varint value and uvarint payload size.
+func AppendTraceEventRecord(dst []byte, r TraceEventRecord) []byte {
+	dst = append(dst, traceEventMarker)
+	dst = binary.AppendUvarint(dst, r.Seq)
+	dst = binary.AppendVarint(dst, r.AtNanos)
+	dst = binary.AppendUvarint(dst, uint64(r.Cohort))
+	dst = binary.AppendUvarint(dst, uint64(r.Client))
+	dst = binary.AppendUvarint(dst, uint64(r.Class))
+	dst = binary.AppendUvarint(dst, r.Key)
+	dst = binary.AppendVarint(dst, int64(r.Value))
+	return binary.AppendUvarint(dst, uint64(r.Payload))
+}
+
+// DecodeTraceEventRecord decodes one trace event from b, returning it
+// and the number of bytes consumed.
+func DecodeTraceEventRecord(b []byte) (TraceEventRecord, int, error) {
+	var r TraceEventRecord
+	if len(b) == 0 {
+		return r, 0, fmt.Errorf("%w: empty trace event", ErrTruncated)
+	}
+	if b[0] != traceEventMarker {
+		return r, 0, fmt.Errorf("%w: trace event marker %#x", ErrUnknownPayload, b[0])
+	}
+	off := 1
+	seq, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: event seq", ErrTruncated)
+	}
+	off += n
+	at, n := binary.Varint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: event at", ErrTruncated)
+	}
+	off += n
+	cohort, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: event cohort", ErrTruncated)
+	}
+	if cohort > MaxFrameSize {
+		return r, 0, fmt.Errorf("%w: event cohort %d", ErrUnknownPayload, cohort)
+	}
+	off += n
+	client, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: event client", ErrTruncated)
+	}
+	if client > MaxFrameSize {
+		return r, 0, fmt.Errorf("%w: event client %d", ErrUnknownPayload, client)
+	}
+	off += n
+	class, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: event class", ErrTruncated)
+	}
+	if class > MaxClassValue {
+		return r, 0, fmt.Errorf("%w: event class %d", ErrUnknownPayload, class)
+	}
+	off += n
+	key, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: event key", ErrTruncated)
+	}
+	off += n
+	value, n := binary.Varint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: event value", ErrTruncated)
+	}
+	off += n
+	size, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: event payload", ErrTruncated)
+	}
+	if size > MaxFrameSize {
+		return r, 0, fmt.Errorf("%w: event payload %d", ErrUnknownPayload, size)
+	}
+	off += n
+	r.Seq = seq
+	r.AtNanos = at
+	r.Cohort, r.Client, r.Class = int(cohort), int(client), int(class)
+	r.Key = key
+	r.Value = model.Value(value)
+	r.Payload = int(size)
+	return r, off, nil
+}
+
+// TraceOutcomeRecord is the fate of one recorded arrival: the decision
+// it was committed under, or the shed/failure it received instead.
+type TraceOutcomeRecord struct {
+	// Seq matches the TraceEventRecord of the arrival.
+	Seq uint64
+	// Status is TraceDecided, TraceShed or TraceFailed.
+	Status int
+	// Instance, Value, Round, Batch, Group and Class mirror the
+	// DecisionRecord the proposal was journaled under (zero for shed
+	// and failed proposals).
+	Instance uint64
+	Value    model.Value
+	Round    model.Round
+	Batch    int
+	Group    uint64
+	Class    int
+	// LatencyNanos is the proposal's submit-to-resolve latency.
+	LatencyNanos int64
+}
+
+// AppendTraceOutcomeRecord appends the encoding of r to dst and returns
+// the extended slice. The layout is the outcome marker followed by
+// uvarint seq, uvarint status, uvarint instance, varint value, varint
+// round, uvarint batch, group and class, and varint latency nanos.
+func AppendTraceOutcomeRecord(dst []byte, r TraceOutcomeRecord) []byte {
+	dst = append(dst, traceOutcomeMarker)
+	dst = binary.AppendUvarint(dst, r.Seq)
+	dst = binary.AppendUvarint(dst, uint64(r.Status))
+	dst = binary.AppendUvarint(dst, r.Instance)
+	dst = binary.AppendVarint(dst, int64(r.Value))
+	dst = binary.AppendVarint(dst, int64(r.Round))
+	dst = binary.AppendUvarint(dst, uint64(r.Batch))
+	dst = binary.AppendUvarint(dst, r.Group)
+	dst = binary.AppendUvarint(dst, uint64(r.Class))
+	return binary.AppendVarint(dst, r.LatencyNanos)
+}
+
+// DecodeTraceOutcomeRecord decodes one trace outcome from b, returning
+// it and the number of bytes consumed.
+func DecodeTraceOutcomeRecord(b []byte) (TraceOutcomeRecord, int, error) {
+	var r TraceOutcomeRecord
+	if len(b) == 0 {
+		return r, 0, fmt.Errorf("%w: empty trace outcome", ErrTruncated)
+	}
+	if b[0] != traceOutcomeMarker {
+		return r, 0, fmt.Errorf("%w: trace outcome marker %#x", ErrUnknownPayload, b[0])
+	}
+	off := 1
+	seq, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: outcome seq", ErrTruncated)
+	}
+	off += n
+	status, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: outcome status", ErrTruncated)
+	}
+	if status > TraceFailed {
+		return r, 0, fmt.Errorf("%w: outcome status %d", ErrUnknownPayload, status)
+	}
+	off += n
+	instance, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: outcome instance", ErrTruncated)
+	}
+	off += n
+	value, n := binary.Varint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: outcome value", ErrTruncated)
+	}
+	off += n
+	round, n := binary.Varint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: outcome round", ErrTruncated)
+	}
+	off += n
+	batch, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: outcome batch", ErrTruncated)
+	}
+	if batch > MaxFrameSize {
+		return r, 0, fmt.Errorf("%w: outcome batch %d", ErrUnknownPayload, batch)
+	}
+	off += n
+	group, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: outcome group", ErrTruncated)
+	}
+	off += n
+	class, n := binary.Uvarint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: outcome class", ErrTruncated)
+	}
+	if class > MaxClassValue {
+		return r, 0, fmt.Errorf("%w: outcome class %d", ErrUnknownPayload, class)
+	}
+	off += n
+	latency, n := binary.Varint(b[off:])
+	if n <= 0 {
+		return r, 0, fmt.Errorf("%w: outcome latency", ErrTruncated)
+	}
+	off += n
+	r.Seq = seq
+	r.Status = int(status)
+	r.Instance = instance
+	r.Value = model.Value(value)
+	r.Round = model.Round(round)
+	r.Batch = int(batch)
+	r.Group = group
+	r.Class = int(class)
+	r.LatencyNanos = latency
+	return r, off, nil
+}
+
+// DecodeTraceRecord decodes one trace record of any kind from b,
+// dispatching on the marker byte. The returned value is a
+// TraceHeaderRecord, TraceEventRecord or TraceOutcomeRecord.
+func DecodeTraceRecord(b []byte) (any, int, error) {
+	if len(b) == 0 {
+		return nil, 0, fmt.Errorf("%w: empty trace record", ErrTruncated)
+	}
+	switch b[0] {
+	case traceHeaderMarker:
+		r, n, err := DecodeTraceHeaderRecord(b)
+		if err != nil {
+			return nil, 0, err
+		}
+		return r, n, nil
+	case traceEventMarker:
+		r, n, err := DecodeTraceEventRecord(b)
+		if err != nil {
+			return nil, 0, err
+		}
+		return r, n, nil
+	case traceOutcomeMarker:
+		r, n, err := DecodeTraceOutcomeRecord(b)
+		if err != nil {
+			return nil, 0, err
+		}
+		return r, n, nil
+	default:
+		return nil, 0, fmt.Errorf("%w: trace marker %#x", ErrUnknownPayload, b[0])
+	}
+}

@@ -35,11 +35,15 @@
 // claim that an instance ID is about to touch the network, optionally
 // tagged with the algorithm the instance is launched with — opens with
 // 0x05. The multi-process TCP transport's connection handshake — a
-// HelloRecord naming the cluster and the sender — opens with 0x07. Like
-// 0x01, the odd bytes 0x03, 0x05 and 0x07 can never open a version-0
-// frame (positive senders zigzag-encode to even first bytes, and
-// continuation bytes have the high bit set), so every kind is
-// distinguishable from its first byte alone.
+// HelloRecord naming the cluster and the sender — opens with 0x07. The
+// workload engine's trace files (see trace.go) add three more kinds:
+// a TraceHeaderRecord opens with 0x0B, a TraceEventRecord (one recorded
+// proposal arrival) with 0x0D, and a TraceOutcomeRecord (the decision
+// that proposal received) with 0x0F. Like 0x01, the odd bytes 0x03,
+// 0x05, 0x07, 0x0B, 0x0D and 0x0F can never open a version-0 frame
+// (positive senders zigzag-encode to even first bytes, and continuation
+// bytes have the high bit set), so every kind is distinguishable from
+// its first byte alone.
 package wire
 
 import (
@@ -160,22 +164,36 @@ type DecisionRecord struct {
 	// groups existed). check.Replay uses it to flag an instance ID
 	// journaled under two different groups.
 	Group uint64
+	// Class is the highest SLO class among the proposals the instance
+	// committed (0 for unclassed traffic and every record written
+	// before classes existed). check.Replay uses it to flag an
+	// instance ID journaled under two different classes.
+	Class int
 }
+
+// MaxClassValue bounds the SLO class a record may carry; it matches
+// adapt.MaxClasses-1 without importing the package.
+const MaxClassValue = 7
 
 // AppendDecisionRecord appends the encoding of r to dst and returns the
 // extended slice. The layout is the record marker followed by uvarint
-// instance, varint value, varint round and uvarint batch, with a
-// trailing uvarint group appended only when Group > 0 — group-0 records
-// stay byte-identical to the pre-group layout, and DecodeDecisionRecord
-// reads records that end after the batch as Group == 0.
+// instance, varint value, varint round and uvarint batch, with trailing
+// uvarint group and uvarint class fields appended only when set —
+// group-0 class-0 records stay byte-identical to the pre-group layout,
+// and DecodeDecisionRecord reads records that end early as zero. A
+// class > 0 forces the group field (even group 0) so the two trailing
+// fields stay positionally unambiguous.
 func AppendDecisionRecord(dst []byte, r DecisionRecord) []byte {
 	dst = append(dst, recordMarker)
 	dst = binary.AppendUvarint(dst, r.Instance)
 	dst = binary.AppendVarint(dst, int64(r.Value))
 	dst = binary.AppendVarint(dst, int64(r.Round))
 	dst = binary.AppendUvarint(dst, uint64(r.Batch))
-	if r.Group > 0 {
+	if r.Group > 0 || r.Class > 0 {
 		dst = binary.AppendUvarint(dst, r.Group)
+	}
+	if r.Class > 0 {
+		dst = binary.AppendUvarint(dst, uint64(r.Class))
 	}
 	return dst
 }
@@ -225,6 +243,17 @@ func DecodeDecisionRecord(b []byte) (DecisionRecord, int, error) {
 		}
 		off += n
 		r.Group = group
+	}
+	if off < len(b) {
+		class, n := binary.Uvarint(b[off:])
+		if n <= 0 {
+			return DecisionRecord{}, 0, fmt.Errorf("%w: record class", ErrTruncated)
+		}
+		if class > MaxClassValue {
+			return DecisionRecord{}, 0, fmt.Errorf("%w: record class %d", ErrUnknownPayload, class)
+		}
+		off += n
+		r.Class = int(class)
 	}
 	return r, off, nil
 }

@@ -1,0 +1,226 @@
+package workload
+
+// Trace file IO. A trace is a flat file of CRC-framed wire records —
+// the journal's exact frame discipline (4-byte big-endian length,
+// 4-byte big-endian CRC-32C of the payload, payload) applied to the
+// trace record kinds: one TraceHeaderRecord first, then
+// TraceEventRecords and TraceOutcomeRecords in any order. Like a
+// journal segment, a trace tolerates a torn tail (a crash mid-append)
+// by truncating to the longest intact prefix; any corruption before
+// the tail is an error.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+	"sync"
+
+	"indulgence/internal/wire"
+)
+
+// frameHeader is the per-record overhead: length + CRC.
+const frameHeader = 8
+
+// castagnoli is the CRC-32C table (the journal's checksum).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame appends one CRC-framed record to dst.
+func appendFrame(dst, rec []byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(rec)))
+	dst = binary.BigEndian.AppendUint32(dst, crc32.Checksum(rec, castagnoli))
+	return append(dst, rec...)
+}
+
+// Trace is one decoded trace file.
+type Trace struct {
+	// Header describes the recorded run.
+	Header wire.TraceHeaderRecord
+	// Events are the recorded arrivals, sorted by Seq.
+	Events []wire.TraceEventRecord
+	// Outcomes are the recorded fates, sorted by Seq.
+	Outcomes []wire.TraceOutcomeRecord
+	// TornBytes is the length of the torn tail dropped during decode
+	// (0 for a cleanly-closed trace).
+	TornBytes int
+}
+
+// EventList converts the trace's event records to generator events.
+func (t *Trace) EventList() []Event {
+	evs := make([]Event, 0, len(t.Events))
+	for _, r := range t.Events {
+		evs = append(evs, EventFromRecord(r))
+	}
+	return evs
+}
+
+// Encode renders the trace in canonical byte order — header, events by
+// Seq, outcomes by Seq — the form whose bytes the record→replay
+// fixed-point property compares. The receiver is not modified.
+func (t *Trace) Encode() ([]byte, error) {
+	hdr, err := wire.AppendTraceHeaderRecord(nil, t.Header)
+	if err != nil {
+		return nil, err
+	}
+	buf := appendFrame(nil, hdr)
+	events := append([]wire.TraceEventRecord(nil), t.Events...)
+	sort.Slice(events, func(i, j int) bool { return events[i].Seq < events[j].Seq })
+	for _, e := range events {
+		buf = appendFrame(buf, wire.AppendTraceEventRecord(nil, e))
+	}
+	outcomes := append([]wire.TraceOutcomeRecord(nil), t.Outcomes...)
+	sort.Slice(outcomes, func(i, j int) bool { return outcomes[i].Seq < outcomes[j].Seq })
+	for _, o := range outcomes {
+		buf = appendFrame(buf, wire.AppendTraceOutcomeRecord(nil, o))
+	}
+	return buf, nil
+}
+
+// DecodeTrace decodes a trace from its file bytes. A torn tail — a
+// final frame whose length, checksum or payload is incomplete or whose
+// CRC mismatches — is dropped and reported in TornBytes; torn or
+// unknown records anywhere else are errors.
+func DecodeTrace(b []byte) (*Trace, error) {
+	t := &Trace{}
+	off := 0
+	sawHeader := false
+	for off < len(b) {
+		rest := len(b) - off
+		if rest < frameHeader {
+			t.TornBytes = rest
+			break
+		}
+		size := int(binary.BigEndian.Uint32(b[off:]))
+		want := binary.BigEndian.Uint32(b[off+4:])
+		if size > wire.MaxFrameSize {
+			return nil, fmt.Errorf("workload: trace frame of %d bytes at offset %d", size, off)
+		}
+		if rest < frameHeader+size {
+			t.TornBytes = rest
+			break
+		}
+		rec := b[off+frameHeader : off+frameHeader+size]
+		if crc32.Checksum(rec, castagnoli) != want {
+			// A CRC mismatch on the final frame is a torn append; any
+			// earlier mismatch is corruption.
+			if off+frameHeader+size == len(b) {
+				t.TornBytes = rest
+				break
+			}
+			return nil, fmt.Errorf("workload: trace CRC mismatch at offset %d", off)
+		}
+		dec, n, err := wire.DecodeTraceRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace record at offset %d: %w", off, err)
+		}
+		if n != len(rec) {
+			return nil, fmt.Errorf("workload: trace record at offset %d: %d trailing bytes", off, len(rec)-n)
+		}
+		switch r := dec.(type) {
+		case wire.TraceHeaderRecord:
+			if sawHeader {
+				return nil, fmt.Errorf("workload: duplicate trace header at offset %d", off)
+			}
+			sawHeader = true
+			t.Header = r
+		case wire.TraceEventRecord:
+			if !sawHeader {
+				return nil, fmt.Errorf("workload: trace event before header")
+			}
+			t.Events = append(t.Events, r)
+		case wire.TraceOutcomeRecord:
+			if !sawHeader {
+				return nil, fmt.Errorf("workload: trace outcome before header")
+			}
+			t.Outcomes = append(t.Outcomes, r)
+		}
+		off += frameHeader + size
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("workload: trace has no header")
+	}
+	sort.Slice(t.Events, func(i, j int) bool { return t.Events[i].Seq < t.Events[j].Seq })
+	sort.Slice(t.Outcomes, func(i, j int) bool { return t.Outcomes[i].Seq < t.Outcomes[j].Seq })
+	return t, nil
+}
+
+// WriteTrace writes the trace to path in canonical order.
+func WriteTrace(path string, t *Trace) error {
+	buf, err := t.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// ReadTrace reads and decodes the trace at path.
+func ReadTrace(path string) (*Trace, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeTrace(b)
+}
+
+// Writer streams a trace to disk during a live recording: the header
+// immediately, then events and outcomes in completion order, safe for
+// concurrent use by the recording run's client goroutines. Live
+// recordings are not in canonical byte order — replay re-canonicalizes
+// through Encode.
+type Writer struct {
+	mu  sync.Mutex
+	f   *os.File
+	err error
+}
+
+// NewWriter creates path and writes the header frame.
+func NewWriter(path string, hdr wire.TraceHeaderRecord) (*Writer, error) {
+	enc, err := wire.AppendTraceHeaderRecord(nil, hdr)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(appendFrame(nil, enc)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Writer{f: f}, nil
+}
+
+// Event appends one arrival record.
+func (w *Writer) Event(r wire.TraceEventRecord) error {
+	return w.append(wire.AppendTraceEventRecord(nil, r))
+}
+
+// Outcome appends one outcome record.
+func (w *Writer) Outcome(r wire.TraceOutcomeRecord) error {
+	return w.append(wire.AppendTraceOutcomeRecord(nil, r))
+}
+
+func (w *Writer) append(rec []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if _, err := w.f.Write(appendFrame(nil, rec)); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
+
+// Close flushes and closes the file.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		w.f.Close()
+		return w.err
+	}
+	return w.f.Close()
+}
