@@ -1,0 +1,89 @@
+// Command indulgence-vet is the repository's static-analysis
+// multichecker: five analyzers that mechanically enforce the contracts
+// the substrates rest on — the injected-clock discipline of the live
+// stack (clockdiscipline), the seed-hash randomness contract of the
+// deterministic packages (seedroll), the ARCHITECTURE.md import DAG
+// (layering), the wire marker-byte frame-kind invariant (wiremarker),
+// and the virtual clock's same-instant ordering contract inside the
+// chaos fabric (taggedtimer). See docs/ARCHITECTURE.md, "Enforced
+// contracts", for the rules and the waiver syntax.
+//
+// Run it through the go command, which stages type information and
+// caches results per package:
+//
+//	go build -o /tmp/indulgence-vet ./cmd/indulgence-vet
+//	go vet -vettool=/tmp/indulgence-vet ./...
+//
+// or directly with package patterns, which re-execs `go vet` with
+// itself as the vettool:
+//
+//	indulgence-vet ./...
+//
+// Individual analyzers can be selected vet-style, e.g.
+// `go vet -vettool=... -layering ./...`.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"indulgence/internal/analysis"
+	"indulgence/internal/analysis/clockdiscipline"
+	"indulgence/internal/analysis/layering"
+	"indulgence/internal/analysis/seedroll"
+	"indulgence/internal/analysis/taggedtimer"
+	"indulgence/internal/analysis/unitchecker"
+	"indulgence/internal/analysis/wiremarker"
+)
+
+func analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		clockdiscipline.Analyzer,
+		seedroll.Analyzer,
+		layering.Analyzer,
+		wiremarker.Analyzer,
+		taggedtimer.Analyzer,
+	}
+}
+
+func main() {
+	// Convenience mode: invoked with package patterns instead of a vet
+	// config, delegate to `go vet` with ourselves as the vettool, so
+	// `indulgence-vet ./...` just works.
+	if len(os.Args) > 1 && packagePatterns(os.Args[1:]) {
+		os.Exit(reexec(os.Args[1:]))
+	}
+	unitchecker.Main(analyzers()...)
+}
+
+// packagePatterns reports whether args look like go package patterns
+// rather than the vet-tool protocol's flags and *.cfg argument.
+func packagePatterns(args []string) bool {
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") || strings.HasSuffix(a, ".cfg") {
+			return false
+		}
+	}
+	return true
+}
+
+func reexec(patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return 0
+}

@@ -193,6 +193,7 @@ func (cfg Config) withDefaults() Config {
 		cfg.RetryBudget = 3
 	}
 	if cfg.Now == nil {
+		//indulgence:wallclock production default for Config.Now; tests inject a virtual source
 		cfg.Now = time.Now
 	}
 	return cfg

@@ -1,0 +1,108 @@
+// Package analysis is the repository's static-analysis framework: a
+// deliberately small, dependency-free re-statement of the
+// golang.org/x/tools/go/analysis surface (Analyzer, Pass, Diagnostic)
+// that the indulgence-vet analyzers are written against.
+//
+// The module vendors no third-party code, so the framework is built on
+// the standard library alone: an Analyzer inspects one type-checked
+// package per Pass and reports Diagnostics; drivers decide where
+// packages come from. Two drivers exist — the unitchecker subpackage
+// speaks the `go vet -vettool` protocol for CI, and the analysistest
+// subpackage loads `testdata/src` packages with planted violations for
+// the analyzers' own tests. Because the test driver type-checks against
+// stub imports, analyzers must tolerate partially resolved type
+// information: missing Uses entries mean "don't know", never panic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one static-analysis rule: a named check with the
+// contract it enforces documented in Doc (the first line is the
+// summary shown by flag help).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and as the CLI flag
+	// that enables or disables it. It must be a valid Go identifier.
+	Name string
+	// Doc documents the contract the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass is one application of one analyzer to one package. The driver
+// owns every field; analyzers only read them and call Report.
+type Pass struct {
+	// Analyzer is the rule being applied.
+	Analyzer *Analyzer
+	// Fset maps positions of every file in the pass.
+	Fset *token.FileSet
+	// Files are the package's parsed syntax trees, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package. Under the test driver it may be
+	// only partially complete (stub imports), never nil.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's resolutions. Entries may be
+	// missing when type checking was lenient; analyzers fall back to
+	// syntax, never assume presence.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding: a position and a message. The message
+// states the violated contract and, where one exists, the sanctioned
+// alternative — diagnostics are how the contracts teach.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// PkgPath returns the package path of the pass, with any " [pkg.test]"
+// variant suffix the go command appends to test packages stripped, so
+// path-scoped analyzers treat a package and its test variant alike.
+func (p *Pass) PkgPath() string {
+	path := p.Pkg.Path()
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	return path
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Rules about
+// production determinism and layering exempt test code; tests may
+// sleep, seed PRNGs and reach across layers to assert on internals.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// ImportedPackage resolves expr to the import path of the package it
+// names, when expr is an identifier bound to an import (a PkgName).
+// The empty string means "not a package name, or not resolved" — under
+// lenient type checking an unresolved selector still records its
+// package qualifier, so this stays reliable even against stub imports.
+func (p *Pass) ImportedPackage(expr ast.Expr) string {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	obj := p.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = p.TypesInfo.Defs[id]
+	}
+	pn, ok := obj.(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}

@@ -1,0 +1,212 @@
+// Package analysistest runs an analyzer over packages of planted
+// violations and checks its diagnostics against // want expectations,
+// mirroring golang.org/x/tools/go/analysis/analysistest on the
+// standard library alone.
+//
+// Layout: testdata/src/<importpath>/*.go holds one package per
+// directory, the directory path below src doubling as the import path
+// (path-scoped analyzers are tested under their real prefixes, e.g.
+// src/indulgence/internal/fd). Each line that should be reported
+// carries a trailing comment
+//
+//	// want "regexp" ["regexp" ...]
+//
+// and the harness fails on any diagnostic without a matching want on
+// its line, and any want no diagnostic matched.
+//
+// Type checking is lenient by design: imports resolve to empty stub
+// packages and type errors are swallowed, so testdata needs no
+// buildable dependencies. Analyzers therefore see exactly the partial
+// information the framework contract guarantees them — package-name
+// resolutions and constant values, not cross-package method sets.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"indulgence/internal/analysis"
+)
+
+// Run applies a to each package under dir/src and checks expectations.
+// pkgpaths name the packages (directories below src) to load.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	for _, pkg := range pkgpaths {
+		runOne(t, dir, a, pkg)
+	}
+}
+
+func runOne(t *testing.T, dir string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	pkgdir := filepath.Join(dir, "src", filepath.FromSlash(pkgpath))
+	entries, err := os.ReadDir(pkgdir)
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(pkgdir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: parse %s: %v", a.Name, e.Name(), err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("%s: no Go files in %s", a.Name, pkgdir)
+	}
+
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{
+		Importer: &stubImporter{stubs: make(map[string]*types.Package)},
+		Error:    func(error) {}, // lenient: stub imports guarantee errors
+	}
+	pkg, _ := conf.Check(pkgpath, fset, files, info) // errors swallowed above
+	if pkg == nil {
+		pkg = types.NewPackage(pkgpath, files[0].Name.Name)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: run on %s: %v", a.Name, pkgpath, err)
+	}
+	check(t, a.Name, pkgpath, fset, files, diags)
+}
+
+// stubImporter resolves every import to an empty, complete package, so
+// package qualifiers still resolve to PkgNames without any dependency
+// being buildable.
+type stubImporter struct{ stubs map[string]*types.Package }
+
+var _ types.Importer = (*stubImporter)(nil)
+
+func (si *stubImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := si.stubs[path]; ok {
+		return p, nil
+	}
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	si.stubs[path] = p
+	return p, nil
+}
+
+// expectation is one parsed // want pattern.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// parseWants extracts the expectations from every comment.
+func parseWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					if rest[0] != '"' && rest[0] != '`' {
+						t.Fatalf("%s:%d: malformed // want operand %q", posn.Filename, posn.Line, rest)
+					}
+					lit, remainder, err := cutString(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: %v in %q", posn.Filename, posn.Line, err, rest)
+					}
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp: %v", posn.Filename, posn.Line, err)
+					}
+					wants = append(wants, &expectation{file: posn.Filename, line: posn.Line, re: re})
+					rest = strings.TrimSpace(remainder)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// cutString splits one leading Go string literal (quoted or backquoted)
+// off s, returning its value and the remainder.
+func cutString(s string) (lit, rest string, err error) {
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		switch {
+		case s[i] == '\\' && quote == '"':
+			i++
+		case s[i] == quote:
+			lit, err := strconv.Unquote(s[:i+1])
+			return lit, s[i+1:], err
+		}
+	}
+	return "", "", strconv.ErrSyntax
+}
+
+// check matches diagnostics against expectations, failing on surplus
+// of either kind.
+func check(t *testing.T, name, pkgpath string, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, fset, files)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == posn.Filename && w.line == posn.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: %s: unexpected diagnostic at %s:%d: %s",
+				name, pkgpath, posn.Filename, posn.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: %s: no diagnostic at %s:%d matched %q",
+				name, pkgpath, w.file, w.line, w.re)
+		}
+	}
+}

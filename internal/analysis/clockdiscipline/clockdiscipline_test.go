@@ -1,0 +1,15 @@
+package clockdiscipline_test
+
+import (
+	"testing"
+
+	"indulgence/internal/analysis/analysistest"
+	"indulgence/internal/analysis/clockdiscipline"
+)
+
+func TestClockDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", clockdiscipline.Analyzer,
+		"indulgence/internal/fd",  // live-stack: planted violations, waivers
+		"indulgence/internal/sim", // not live-stack: wall time allowed
+	)
+}

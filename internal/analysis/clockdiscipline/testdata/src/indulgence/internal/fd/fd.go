@@ -1,0 +1,36 @@
+// Package fd is clockdiscipline testdata: a live-stack package with
+// planted wall-clock reads, one waived site, and one waiver missing
+// its justification.
+package fd
+
+import "time"
+
+func bad() time.Time {
+	time.Sleep(time.Millisecond) // want `direct time\.Sleep in a live-stack package`
+	<-time.After(time.Second)    // want `direct time\.After in a live-stack package`
+	t := time.NewTimer(1)        // want `direct time\.NewTimer in a live-stack package`
+	_ = t
+	_ = time.NewTicker(1)       // want `direct time\.NewTicker in a live-stack package`
+	_ = time.Tick(1)            // want `direct time\.Tick in a live-stack package`
+	time.AfterFunc(1, nil)      // want `direct time\.AfterFunc in a live-stack package`
+	_ = time.Since(time.Time{}) // want `direct time\.Since in a live-stack package`
+	_ = time.Until(time.Time{}) // want `direct time\.Until in a live-stack package`
+	return time.Now()           // want `direct time\.Now in a live-stack package`
+}
+
+// escaped shows that references count, not only calls: assigning
+// time.Now to a field smuggles the wall clock past the injection point.
+func escaped() func() time.Time {
+	return time.Now // want `direct time\.Now in a live-stack package`
+}
+
+func waived() time.Time {
+	//indulgence:wallclock socket deadlines are kernel wall time, not schedulable
+	deadline := time.Now()
+	return deadline.Add(time.Now().Add(0).Sub(deadline)) //indulgence:wallclock same-line waiver form
+}
+
+func unjustified() {
+	/*indulgence:wallclock*/ // want `waiver needs a justification`
+	_ = time.Duration(0)     // arithmetic members stay allowed
+}

@@ -1,0 +1,9 @@
+package fd
+
+import "time"
+
+// Test files are exempt: tests may use wall time for deadlines.
+func helperUsingWallTime() time.Time {
+	time.Sleep(time.Microsecond)
+	return time.Now()
+}

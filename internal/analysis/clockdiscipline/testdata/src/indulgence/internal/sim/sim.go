@@ -1,0 +1,10 @@
+// Package sim is clockdiscipline testdata: the lockstep simulator is
+// not a live-stack package, so direct wall-clock reads are allowed.
+package sim
+
+import "time"
+
+func allowed() time.Time {
+	time.Sleep(time.Microsecond)
+	return time.Now()
+}

@@ -1,0 +1,99 @@
+// Package directive implements the waiver machinery shared by every
+// directive-aware indulgence-vet analyzer.
+//
+// A waiver is a comment of the form
+//
+//	//indulgence:<name> <justification>
+//
+// placed on the offending line or on the line directly above it. The
+// name binds the waiver to one analyzer's directive (wallclock, prng,
+// untagged, ...), and the justification is mandatory: a waiver without
+// a written reason is itself reported, so every escape hatch in the
+// tree carries its rationale at the call site, reviewable in the diff
+// that adds it. Analyzers opt in by calling Collect once per pass and
+// consulting Waived before reporting; future analyzers get the whole
+// mechanism by picking an unused directive name.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"indulgence/internal/analysis"
+)
+
+// Prefix opens every waiver comment.
+const Prefix = "//indulgence:"
+
+// Set holds the waivers of one directive name across one package.
+type Set struct {
+	name string
+	// byLine maps filename → line → justification for each waiver.
+	byLine map[string]map[int]string
+}
+
+// Collect gathers the pass's //indulgence:<name> directives. Waivers
+// with an empty justification are reported immediately — an analyzer
+// that collects its directive enforces the justification contract for
+// free — and directives bound to other names are left for their own
+// analyzers.
+func Collect(pass *analysis.Pass, name string) *Set {
+	s := &Set{name: name, byLine: make(map[string]map[int]string)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				s.collect(pass, c)
+			}
+		}
+	}
+	return s
+}
+
+func (s *Set) collect(pass *analysis.Pass, c *ast.Comment) {
+	text, ok := strings.CutPrefix(c.Text, Prefix)
+	if !ok {
+		// The block form /*indulgence:name reason*/ is accepted too,
+		// for sites where another trailing comment follows.
+		if text, ok = strings.CutPrefix(c.Text, "/*indulgence:"); !ok {
+			return
+		}
+		text = strings.TrimSuffix(text, "*/")
+	}
+	dir, reason, _ := strings.Cut(text, " ")
+	if dir != s.name {
+		return
+	}
+	reason = strings.TrimSpace(reason)
+	if reason == "" {
+		pass.Reportf(c.Pos(), "%s%s waiver needs a justification: //indulgence:%s <reason>",
+			Prefix, s.name, s.name)
+		return
+	}
+	posn := pass.Fset.Position(c.Pos())
+	lines := s.byLine[posn.Filename]
+	if lines == nil {
+		lines = make(map[int]string)
+		s.byLine[posn.Filename] = lines
+	}
+	lines[posn.Line] = reason
+}
+
+// Waived reports whether pos is covered by a waiver: one on the same
+// source line (a trailing comment) or on the line directly above (a
+// leading comment). The justification is returned for analyzers that
+// want to surface it.
+func (s *Set) Waived(fset *token.FileSet, pos token.Pos) (reason string, ok bool) {
+	posn := fset.Position(pos)
+	lines := s.byLine[posn.Filename]
+	if lines == nil {
+		return "", false
+	}
+	if r, ok := lines[posn.Line]; ok {
+		return r, true
+	}
+	if r, ok := lines[posn.Line-1]; ok {
+		return r, true
+	}
+	return "", false
+}

@@ -1,0 +1,4 @@
+// Package nonesuch is layering testdata: an internal package absent
+// from the layering table must be reported, so adding a package forces
+// a layering decision.
+package nonesuch // want `internal package "nonesuch" is not in the layering table`

@@ -1,0 +1,13 @@
+// Package sched is layering testdata: sched may import model, but the
+// planted sim and experiments imports reach upward through the DAG.
+package sched
+
+import (
+	"indulgence/internal/experiments" // want `layering violation: sched may not import experiments`
+	"indulgence/internal/model"
+	"indulgence/internal/sim" // want `layering violation: sched may not import sim`
+)
+
+var _ = model.Value(0)
+var _ = sim.Run
+var _ = experiments.E1

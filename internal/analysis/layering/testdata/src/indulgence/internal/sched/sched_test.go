@@ -1,0 +1,7 @@
+package sched
+
+// Test files may cross layers: asserting on internals from above is
+// how white-box tests work.
+import "indulgence/internal/experiments"
+
+var _ = experiments.E1

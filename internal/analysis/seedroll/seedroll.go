@@ -1,0 +1,177 @@
+// Package seedroll enforces the deterministic substrates' randomness
+// contract: packages whose outputs must be a pure function of a seed
+// draw every sample as a seed-hash roll (FNV over seed and coordinates,
+// the chaos injector's and workload generator's idiom), never from
+// math/rand — stateful PRNG draws make concurrent callers perturb each
+// other's outcomes, which is exactly how "one seed, one schedule" dies.
+// Additionally, no internal package may hold package-level PRNG state
+// or draw from math/rand's implicit global generator: global state
+// couples every caller in the process into one hidden sequence.
+package seedroll
+
+import (
+	"go/ast"
+	"strings"
+
+	"indulgence/internal/analysis"
+	"indulgence/internal/analysis/directive"
+)
+
+// Directive is the waiver name: //indulgence:prng <reason> exempts a
+// deliberate, locally-seeded math/rand use (for example a generator
+// whose published seeds depend on Go's math/rand sequence-compatibility
+// promise).
+const Directive = "prng"
+
+// detPrefixes are the deterministic packages: math/rand may not be
+// imported by their non-test code at all.
+var detPrefixes = []string{
+	"internal/workload",
+	"internal/chaos",
+	"internal/lowerbound",
+	"internal/sched",
+}
+
+// globalFns are the math/rand members backed by the package-global
+// generator. Constructors (New, NewSource, NewZipf) are excluded: a
+// locally-seeded *rand.Rand threaded from a caller is only forbidden
+// where the import itself is.
+var globalFns = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Seed": true,
+	"Read": true,
+	// math/rand/v2 spellings of the same global draws.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true,
+	"Int64N": true, "Uint32N": true, "Uint64N": true, "UintN": true,
+	"Uint": true,
+}
+
+func isRandPath(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+// Analyzer is the seedroll rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "seedroll",
+	Doc: "forbid math/rand imports in deterministic packages and package-level PRNG " +
+		"state or global-generator draws anywhere internal; randomness is seed-hash " +
+		"rolls or a caller-threaded seeded source (waive with //indulgence:prng <reason>)",
+	Run: run,
+}
+
+func inDetPackage(pkgpath string) bool {
+	for _, p := range detPrefixes {
+		if strings.HasSuffix(pkgpath, p) || strings.Contains(pkgpath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	pkgpath := pass.PkgPath()
+	if !strings.Contains(pkgpath+"/", "/internal/") {
+		return nil
+	}
+	waivers := directive.Collect(pass, Directive)
+	det := inDetPackage(pkgpath)
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		if det {
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if !isRandPath(path) {
+					continue
+				}
+				if _, ok := waivers.Waived(pass.Fset, imp.Pos()); ok {
+					continue
+				}
+				pass.Reportf(imp.Pos(),
+					"%s imported in a deterministic package: draw samples as seed-hash rolls "+
+						"(see chaos.Network.roll / workload's rollers), or waive a deliberately "+
+						"seeded use with //indulgence:prng <reason>", path)
+			}
+		}
+		checkPackageState(pass, f, waivers)
+		checkGlobalDraws(pass, f, waivers)
+	}
+	return nil
+}
+
+// checkPackageState reports package-level variables whose declared type
+// names a math/rand type — PRNG state with package lifetime.
+func checkPackageState(pass *analysis.Pass, f *ast.File, waivers *directive.Set) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			if !mentionsRand(pass, vs.Type) && !anyMentionsRand(pass, vs.Values) {
+				continue
+			}
+			if _, ok := waivers.Waived(pass.Fset, vs.Pos()); ok {
+				continue
+			}
+			pass.Reportf(vs.Pos(),
+				"package-level PRNG state: thread a seeded source from the caller or roll "+
+					"seed-hashes per draw (waive with //indulgence:prng <reason>)")
+		}
+	}
+}
+
+// checkGlobalDraws reports selector uses of math/rand's global
+// generator (rand.Intn, rand.Float64, ...).
+func checkGlobalDraws(pass *analysis.Pass, f *ast.File, waivers *directive.Set) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if !globalFns[sel.Sel.Name] || !isRandPath(pass.ImportedPackage(sel.X)) {
+			return true
+		}
+		if _, ok := waivers.Waived(pass.Fset, sel.Pos()); ok {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"draw from math/rand's global generator: every caller in the process shares "+
+				"(and perturbs) one hidden sequence — thread a seeded source instead "+
+				"(waive with //indulgence:prng <reason>)")
+		return true
+	})
+}
+
+// mentionsRand reports whether the expression's syntax references the
+// math/rand package (rand.Rand, *rand.Rand, rand.Source, rand.New(...)).
+func mentionsRand(pass *analysis.Pass, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && isRandPath(pass.ImportedPackage(sel.X)) {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+func anyMentionsRand(pass *analysis.Pass, es []ast.Expr) bool {
+	for _, e := range es {
+		if mentionsRand(pass, e) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,16 @@
+package seedroll_test
+
+import (
+	"testing"
+
+	"indulgence/internal/analysis/analysistest"
+	"indulgence/internal/analysis/seedroll"
+)
+
+func TestSeedRoll(t *testing.T) {
+	analysistest.Run(t, "testdata", seedroll.Analyzer,
+		"indulgence/internal/workload", // deterministic: import + state + draw flagged
+		"indulgence/internal/sched",    // deterministic: waived import, threaded source
+		"indulgence/internal/stats",    // non-deterministic: state + global draw flagged
+	)
+}

@@ -1,0 +1,13 @@
+// Package sched is seedroll testdata: a deterministic package whose
+// math/rand import carries a justified waiver, with the generator
+// threaded from the caller — no package state, no global draws.
+package sched
+
+import (
+	//indulgence:prng generator sequence is part of the published schedule format
+	"math/rand"
+)
+
+func generate(rng *rand.Rand) int {
+	return rng.Intn(6)
+}

@@ -1,0 +1,13 @@
+// Package stats is seedroll testdata: not a deterministic package, so
+// the import is legal — but the global-generator draw and package-level
+// state are still findings.
+package stats
+
+import "math/rand"
+
+var shared = rand.NewSource(42) // want `package-level PRNG state`
+
+func sample(n int) int {
+	local := rand.New(rand.NewSource(7)) // locally-seeded: allowed here
+	return local.Intn(n) + rand.Intn(n)  // want `draw from math/rand's global generator`
+}

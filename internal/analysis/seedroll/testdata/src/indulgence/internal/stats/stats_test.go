@@ -1,0 +1,8 @@
+package stats
+
+import "math/rand"
+
+// Test files are exempt: seeding and global draws are fine in tests.
+func shuffleForTest(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}

@@ -1,0 +1,14 @@
+// Package workload is seedroll testdata: a deterministic package with
+// a planted math/rand import, package-level PRNG state and a global
+// draw.
+package workload
+
+import (
+	"math/rand" // want `math/rand imported in a deterministic package`
+)
+
+var rng = rand.New(rand.NewSource(1)) // want `package-level PRNG state`
+
+func draw() int {
+	return rng.Intn(10) + rand.Intn(10) // want `draw from math/rand's global generator`
+}

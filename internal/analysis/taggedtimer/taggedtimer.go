@@ -1,0 +1,77 @@
+// Package taggedtimer guards the third clause of the virtual clock's
+// determinism contract inside the chaos fabric: callbacks that may
+// collide at one virtual instant must be scheduled with
+// AfterFuncTagged, whose tag — not goroutine interleaving — orders
+// same-instant events. A bare AfterFunc inside internal/chaos gets tag
+// zero implicitly; writing AfterFuncTagged(d, 0, f) instead states that
+// choice, and writing a hash tag makes the ordering a pure function of
+// the scenario. Either way the decision is visible at the call site,
+// which is what the analyzer enforces.
+package taggedtimer
+
+import (
+	"go/ast"
+	"strings"
+
+	"indulgence/internal/analysis"
+	"indulgence/internal/analysis/directive"
+)
+
+// Directive is the waiver name: //indulgence:untagged <reason> exempts
+// a call site that cannot tag (for example the fallback branch taken
+// only on clocks without AfterFuncTagged, where real time breaks ties).
+const Directive = "untagged"
+
+// Analyzer is the taggedtimer rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "taggedtimer",
+	Doc: "inside the chaos fabric, schedule same-instant callbacks with " +
+		"AfterFuncTagged (tag 0 for registration order, a seed-hash for scenario " +
+		"order), never bare AfterFunc (waive with //indulgence:untagged <reason>)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pkgpath := pass.PkgPath()
+	if !strings.HasSuffix(pkgpath, "internal/chaos") &&
+		!strings.Contains(pkgpath, "internal/chaos/") {
+		return nil
+	}
+	if strings.HasSuffix(pkgpath, "internal/chaos/clock") {
+		// The clock package defines both methods; it is the contract,
+		// not a consumer of it.
+		return nil
+	}
+	waivers := directive.Collect(pass, Directive)
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "AfterFunc" {
+				return true
+			}
+			// time.AfterFunc is clockdiscipline's finding; this rule is
+			// about clock-valued receivers.
+			if pass.ImportedPackage(sel.X) == "time" {
+				return true
+			}
+			if _, ok := waivers.Waived(pass.Fset, sel.Pos()); ok {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"bare AfterFunc in the chaos fabric: use AfterFuncTagged so the "+
+					"same-instant ordering decision is explicit (tag 0 keeps registration "+
+					"order; a seed-hash tag makes it a function of the scenario) — waive "+
+					"non-virtual-clock fallbacks with //indulgence:untagged <reason>",
+			)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+package taggedtimer_test
+
+import (
+	"testing"
+
+	"indulgence/internal/analysis/analysistest"
+	"indulgence/internal/analysis/taggedtimer"
+)
+
+func TestTaggedTimer(t *testing.T) {
+	analysistest.Run(t, "testdata", taggedtimer.Analyzer,
+		"indulgence/internal/chaos")
+}

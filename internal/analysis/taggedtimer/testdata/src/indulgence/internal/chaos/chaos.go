@@ -1,0 +1,24 @@
+// Package chaos is taggedtimer testdata: inside the fabric,
+// same-instant callbacks must carry an explicit ordering tag.
+package chaos
+
+import "time"
+
+type clock interface {
+	AfterFunc(d time.Duration, f func()) func()
+	AfterFuncTagged(d time.Duration, tag uint64, f func()) func()
+}
+
+func schedule(clk clock, d time.Duration) {
+	clk.AfterFunc(d, func() {}) // want `bare AfterFunc in the chaos fabric`
+
+	clk.AfterFuncTagged(d, 0, func() {}) // explicit tag: fine
+
+	//indulgence:untagged real clocks break their own ties
+	clk.AfterFunc(d, func() {})
+}
+
+// timePackageCalls are clockdiscipline's findings, not this rule's.
+func timePackageCalls() {
+	time.AfterFunc(time.Second, func() {})
+}

@@ -1,0 +1,292 @@
+// Package unitchecker is the `go vet -vettool` driver of the analysis
+// framework: it speaks the vet-tool protocol the go command defines —
+// answer `-V=full` with a content-hashed version line, answer `-flags`
+// with a JSON description of the tool's flags, and otherwise accept a
+// single *.cfg argument naming a JSON "vet config" that describes one
+// type-checked package unit (file lists, import map, export-data
+// locations). The tool type-checks the unit against the compiler's
+// export data, runs every enabled analyzer, prints diagnostics to
+// stderr and exits 2 when any were found, and always writes the fact
+// file the go command expects (empty — these analyzers keep no
+// cross-package facts) so vet results cache cleanly.
+//
+// This is a standard-library re-statement of the protocol subset
+// x/tools' unitchecker implements; the go command's side of the
+// contract is in cmd/go/internal/work (buildVetConfig) and the
+// analysistest subpackage covers the analyzers themselves, so this
+// driver stays a thin shell whose one integration risk — protocol
+// drift — is caught by CI actually invoking `go vet -vettool`.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"indulgence/internal/analysis"
+)
+
+// Config is the JSON schema of the vet config files the go command
+// hands the tool, one per package unit. Field names and meanings match
+// cmd/go's buildVetConfig; fields this driver has no use for are kept
+// (and unmarshalled) so the schema documents the full contract.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main runs the vet-tool protocol over analyzers and exits. The -V,
+// -flags and per-analyzer enable flags are registered on the default
+// flag set; with no enable flag set, every analyzer runs.
+func Main(analyzers ...*analysis.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	log.SetFlags(0)
+	log.SetPrefix(progname + ": ")
+
+	flag.Var(versionFlag{}, "V", "print version and exit")
+	printflags := flag.Bool("flags", false, "print analyzer flags in JSON")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		name, doc := a.Name, a.Doc
+		if enabled[name] != nil {
+			log.Fatalf("duplicate analyzer name %q", name)
+		}
+		enabled[name] = flag.Bool(name, false, doc)
+	}
+	flag.Parse()
+
+	if *printflags {
+		printFlags()
+		os.Exit(0)
+	}
+
+	// With no explicit selection, all analyzers run (go vet's default).
+	any := false
+	for _, on := range enabled {
+		any = any || *on
+	}
+	var selected []*analysis.Analyzer
+	for _, a := range analyzers {
+		if !any || *enabled[a.Name] {
+			selected = append(selected, a)
+		}
+	}
+
+	args := flag.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		log.Fatalf(`invoking %s directly is unsupported; use "go vet -vettool=$(which %s)"`,
+			progname, progname)
+	}
+	os.Exit(Run(args[0], selected))
+}
+
+// Run executes one package unit and returns the process exit code:
+// 0 clean, 2 diagnostics reported. Protocol errors are fatal.
+func Run(configFile string, analyzers []*analysis.Analyzer) int {
+	cfg := readConfig(configFile)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return writeVetx(cfg, 0)
+			}
+			log.Fatalf("%s: parse %s: %v", cfg.ImportPath, name, err)
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheck(cfg, fset, files)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return writeVetx(cfg, 0)
+		}
+		log.Fatalf("%s: typecheck: %v", cfg.ImportPath, err)
+	}
+
+	var diags []diagnostic
+	if !cfg.VetxOnly && len(files) > 0 {
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     files,
+				Pkg:       pkg,
+				TypesInfo: info,
+				Report: func(d analysis.Diagnostic) {
+					diags = append(diags, diagnostic{
+						analyzer: a.Name,
+						posn:     fset.Position(d.Pos).String(),
+						message:  d.Message,
+					})
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				log.Fatalf("%s: analyzer %s: %v", cfg.ImportPath, a.Name, err)
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool { return diags[i].posn < diags[j].posn })
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", d.posn, d.message)
+	}
+	code := 0
+	if len(diags) > 0 {
+		code = 2
+	}
+	return writeVetx(cfg, code)
+}
+
+type diagnostic struct {
+	analyzer, posn, message string
+}
+
+func readConfig(configFile string) *Config {
+	data, err := os.ReadFile(configFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		log.Fatalf("cannot decode vet config file %s: %v", configFile, err)
+	}
+	return cfg
+}
+
+// typecheck builds the unit's types against the export data the go
+// command staged for its dependencies (cfg.PackageFile), resolving
+// import paths through cfg.ImportMap exactly as the compiler did.
+func typecheck(cfg *Config, fset *token.FileSet, files []*ast.File) (*types.Package, *types.Info, error) {
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	compilerImporter := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		return compilerImporter.Import(importPath)
+	})
+	goarch := os.Getenv("GOARCH")
+	if goarch == "" {
+		goarch = runtime.GOARCH
+	}
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(compiler, goarch),
+		GoVersion: cfg.GoVersion,
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	return pkg, info, err
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// writeVetx writes the (empty) fact file the go command requires even
+// from fact-free tools — its presence is what lets vet cache the unit.
+func writeVetx(cfg *Config, code int) int {
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			log.Fatalf("write vetx: %v", err)
+		}
+	}
+	return code
+}
+
+// printFlags answers the go command's `-flags` query: a JSON array
+// describing every flag, from which vet validates user-supplied
+// analyzer flags before passing them through.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// versionFlag implements -V=full: the go command fingerprints the tool
+// by hashing its own executable, and the printed line's shape (`name
+// version devel ... buildID=hash`) is what cmd/go's toolID parser
+// accepts.
+type versionFlag struct{}
+
+func (versionFlag) IsBoolFlag() bool { return true }
+func (versionFlag) Get() any         { return nil }
+func (versionFlag) String() string   { return "" }
+func (versionFlag) Set(s string) error {
+	if s != "full" {
+		return fmt.Errorf("unsupported flag value: -V=%s", s)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := sha256.Sum256(data)
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, string(h[:16]))
+	os.Exit(0)
+	return nil
+}

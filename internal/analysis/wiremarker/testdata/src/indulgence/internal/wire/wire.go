@@ -1,0 +1,27 @@
+// Package wire is wiremarker testdata: a family of marker constants
+// with planted violations of each clause of the frame-kind invariant.
+package wire
+
+const instanceMarker byte = 0x01
+
+const (
+	recordMarker byte = 0x03
+	startMarker  byte = 0x05
+)
+
+// Markers defined by expression are evaluated like the compiler does.
+const (
+	traceHeaderMarker byte = 0x0B + 2*iota
+	traceEventMarker
+)
+
+const evenMarker byte = 0x04 // want `is even`
+
+const highMarker byte = 0x85 // want `high bit set`
+
+const zeroMarker byte = 0 // want `must be positive`
+
+const dupMarker byte = 0x03 // want `recordMarker and dupMarker are both 0x03`
+
+// notAMarkerByte is ignored: only *Marker names are markers.
+const notAMarkerByte byte = 0x04

@@ -1,0 +1,115 @@
+// Package wiremarker guards the wire format's frame-kind invariant.
+// Every envelope and record family in internal/wire opens with a
+// one-byte marker, and the whole family rests on one arithmetic fact:
+// a version-0 frame begins with the zigzag varint of a sender in
+// [1, MaxProcesses], which is always an even byte or a continuation
+// byte (high bit set). Markers must therefore be odd, below 0x80, and
+// pairwise distinct — any marker violating that can open (or be opened
+// by) a frame of another kind, and the first-byte dispatch in the mux,
+// journal recovery and trace codec silently mis-routes. The analyzer
+// recomputes the invariant from the marker constant declarations
+// themselves on every vet run.
+package wiremarker
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"indulgence/internal/analysis"
+)
+
+// Analyzer is the wiremarker rule.
+var Analyzer = &analysis.Analyzer{
+	Name: "wiremarker",
+	Doc: "require internal/wire's *Marker byte constants to be odd, below 0x80 and " +
+		"pairwise distinct, so no marker can open a version-0 uvarint frame or " +
+		"another marker's frame kind",
+	Run: run,
+}
+
+// marker is one collected marker constant.
+type marker struct {
+	name  string
+	value int64
+	pos   token.Pos
+}
+
+func run(pass *analysis.Pass) error {
+	if !strings.HasSuffix(pass.PkgPath(), "internal/wire") {
+		return nil
+	}
+	var markers []marker
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !strings.HasSuffix(name.Name, "Marker") {
+						continue
+					}
+					if m, ok := constValue(pass, name); ok {
+						markers = append(markers, m)
+					} else {
+						pass.Reportf(name.Pos(),
+							"marker constant %s does not evaluate to an integer constant", name.Name)
+					}
+				}
+			}
+		}
+	}
+	byValue := make(map[int64]marker, len(markers))
+	for _, m := range markers {
+		switch {
+		case m.value <= 0:
+			pass.Reportf(m.pos,
+				"wire marker %s = %d must be positive: zero or negative bytes cannot "+
+					"open a frame", m.name, m.value)
+		case m.value%2 == 0:
+			pass.Reportf(m.pos,
+				"wire marker %s = 0x%02x is even: an even first byte is a valid version-0 "+
+					"zigzag-varint sender, so this marker's frames are indistinguishable "+
+					"from bare messages", m.name, m.value)
+		case m.value >= 0x80:
+			pass.Reportf(m.pos,
+				"wire marker %s = 0x%02x has the high bit set: it decodes as a uvarint "+
+					"continuation byte and can open a version-0 frame", m.name, m.value)
+		}
+		if prev, dup := byValue[m.value]; dup {
+			pass.Reportf(m.pos,
+				"wire markers %s and %s are both 0x%02x: frame kinds must be decidable "+
+					"from the first byte", prev.name, m.name, m.value)
+		} else {
+			byValue[m.value] = m
+		}
+	}
+	return nil
+}
+
+// constValue resolves the declared constant's value via the type
+// checker, so markers defined by expression (iota arithmetic, shifts)
+// are evaluated exactly as the compiler sees them.
+func constValue(pass *analysis.Pass, name *ast.Ident) (marker, bool) {
+	obj := pass.TypesInfo.Defs[name]
+	c, ok := obj.(*types.Const)
+	if !ok {
+		return marker{}, false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(c.Val()))
+	if !exact {
+		return marker{}, false
+	}
+	return marker{name: name.Name, value: v, pos: name.Pos()}, true
+}

@@ -1,0 +1,13 @@
+package wiremarker_test
+
+import (
+	"testing"
+
+	"indulgence/internal/analysis/analysistest"
+	"indulgence/internal/analysis/wiremarker"
+)
+
+func TestWireMarker(t *testing.T) {
+	analysistest.Run(t, "testdata", wiremarker.Analyzer,
+		"indulgence/internal/wire")
+}

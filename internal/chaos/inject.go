@@ -120,6 +120,7 @@ func (e *endpoint) Send(to model.ProcessID, frame []byte) error {
 			tag := e.nw.hash(e.self, to, saltTag+i, frame)
 			tc.AfterFuncTagged(d, tag|1, func() { _ = e.inner.Send(to, fr) })
 		} else {
+			//indulgence:untagged fallback for non-virtual clocks, where real time breaks its own ties
 			e.nw.clk.AfterFunc(d, func() { _ = e.inner.Send(to, fr) })
 		}
 	}

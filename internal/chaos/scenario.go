@@ -25,6 +25,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	//indulgence:prng locally seeded; published seed->scenario mapping pins math/rand's fixed sequence
 	"math/rand"
 	"time"
 

@@ -143,6 +143,7 @@ func Run(sc Scenario, opts Options) Result {
 
 	clk := clock.NewVirtual()
 	virtStart := clk.Now()
+	//indulgence:wallclock wedge watchdog measures real elapsed time, outside the virtual run
 	wallStart := time.Now()
 
 	hub, err := transport.NewHubClock(sc.N, clk)
@@ -170,9 +171,9 @@ func Run(sc Scenario, opts Options) Result {
 	cp := &crashPlan{down: make(map[model.ProcessID]bool)}
 	for _, c := range sc.Crashes {
 		c := c
-		clk.AfterFunc(c.At, func() { cp.crash(c.P) })
+		clk.AfterFuncTagged(c.At, 0, func() { cp.crash(c.P) })
 		if c.Restart > 0 {
-			clk.AfterFunc(c.Restart, func() { cp.restart(c.P) })
+			clk.AfterFuncTagged(c.Restart, 0, func() { cp.restart(c.P) })
 		}
 	}
 
@@ -340,7 +341,7 @@ func Run(sc Scenario, opts Options) Result {
 		// registration order, so submission order is event order.
 		for _, e := range events {
 			e := e
-			clk.AfterFunc(e.At, func() { submitEvent(e) })
+			clk.AfterFuncTagged(e.At, 0, func() { submitEvent(e) })
 		}
 	} else {
 		per := (sc.Proposals + waves - 1) / waves
@@ -353,7 +354,7 @@ func Run(sc Scenario, opts Options) Result {
 			if lo >= hi {
 				break
 			}
-			clk.AfterFunc(time.Duration(w)*sc.WaveGap, func() { submitWave(lo, hi) })
+			clk.AfterFuncTagged(time.Duration(w)*sc.WaveGap, 0, func() { submitWave(lo, hi) })
 		}
 	}
 
@@ -379,6 +380,7 @@ func Run(sc Scenario, opts Options) Result {
 			continue
 		default:
 		}
+		//indulgence:wallclock wedge watchdog compares real elapsed time against the wall cap
 		if clk.Now().Sub(virtStart) > virtualCap || time.Now().After(wallDeadline) {
 			res.Wedged = true
 			break
@@ -409,12 +411,14 @@ func Run(sc Scenario, opts Options) Result {
 		abortSvc()
 		<-done
 		res.Violations = append(res.Violations,
+			//indulgence:wallclock wedge report quotes real elapsed time
 			fmt.Sprintf("wedged after %v virtual / %v wall", clk.Now().Sub(virtStart), time.Since(wallStart)))
 	} else {
 		closeSvc()
 	}
 
 	res.Virtual = clk.Now().Sub(virtStart)
+	//indulgence:wallclock Result.Wall reports real elapsed run time by definition
 	res.Wall = time.Since(wallStart)
 
 	// Audit 1: the service's own live check.Instance findings.

@@ -202,7 +202,7 @@ func Open(dir string, opts Options) (*Journal, error) {
 		intake:     make(chan appendReq, 256),
 		writerDone: make(chan struct{}),
 		index:      make(map[uint64]wire.DecisionRecord),
-		syncLat:    stats.NewReservoir[time.Duration](1 << 14),
+		syncLat:    stats.NewReservoirSeeded[time.Duration](1<<14, 0x6a6f75726e616c), // "journal"
 	}
 
 	fail := func(err error) (*Journal, error) {

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	//indulgence:prng RandomOpts.Rng is threaded from the caller; schedule corpora pin its sequence
 	"math/rand"
 
 	"indulgence/internal/model"

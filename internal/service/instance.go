@@ -168,7 +168,7 @@ func (s *Service) runInstance(instance uint64, batch []*pending, choice adapt.Ch
 		c := batch[i].class
 		s.resolvedBy[c]++
 		if s.classLat[c] == nil {
-			s.classLat[c] = stats.NewReservoir[time.Duration](1024)
+			s.classLat[c] = stats.NewReservoirSeeded[time.Duration](1024, uint64(c)+1)
 		}
 		s.classLat[c].Add(l)
 	}

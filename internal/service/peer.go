@@ -293,11 +293,11 @@ func newPeerService(cfg PeerOptions, n int, self model.ProcessID) (*PeerService,
 		slots:       make(chan struct{}, cfg.MaxInflight),
 		batcherDone: make(chan struct{}),
 		active:      make(map[uint64]struct{}),
-		latencies:   stats.NewReservoir[time.Duration](maxSamples),
-		rounds:      stats.NewReservoir[int](maxSamples),
-		instLat:     stats.NewReservoir[time.Duration](maxSamples),
-		roundLat:    stats.NewReservoir[time.Duration](maxSamples),
-		fills:       stats.NewReservoir[int](maxSamples),
+		latencies:   stats.NewReservoirSeeded[time.Duration](maxSamples, uint64(self)<<3|0),
+		rounds:      stats.NewReservoirSeeded[int](maxSamples, uint64(self)<<3|1),
+		instLat:     stats.NewReservoirSeeded[time.Duration](maxSamples, uint64(self)<<3|2),
+		roundLat:    stats.NewReservoirSeeded[time.Duration](maxSamples, uint64(self)<<3|3),
+		fills:       stats.NewReservoirSeeded[int](maxSamples, uint64(self)<<3|4),
 		algs:        make(map[string]int),
 	}
 	return s, nil

@@ -416,11 +416,11 @@ func newService(cfg Config, muxes []*transport.Mux, ownsMuxes bool) (*Service, e
 		intake:      make(chan *pending, ceiling*cfg.MaxInflight),
 		slots:       make(chan struct{}, cfg.MaxInflight),
 		batcherDone: make(chan struct{}),
-		latencies:   stats.NewReservoir[time.Duration](maxSamples),
-		rounds:      stats.NewReservoir[int](maxSamples),
-		instLat:     stats.NewReservoir[time.Duration](maxSamples),
-		roundLat:    stats.NewReservoir[time.Duration](maxSamples),
-		fills:       stats.NewReservoir[int](maxSamples),
+		latencies:   stats.NewReservoirSeeded[time.Duration](maxSamples, uint64(cfg.Group)<<3|0),
+		rounds:      stats.NewReservoirSeeded[int](maxSamples, uint64(cfg.Group)<<3|1),
+		instLat:     stats.NewReservoirSeeded[time.Duration](maxSamples, uint64(cfg.Group)<<3|2),
+		roundLat:    stats.NewReservoirSeeded[time.Duration](maxSamples, uint64(cfg.Group)<<3|3),
+		fills:       stats.NewReservoirSeeded[int](maxSamples, uint64(cfg.Group)<<3|4),
 		algs:        make(map[string]int),
 	}
 	// The first instance of group g is g itself; every later one adds

@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"math/rand"
 	"sort"
 	"strings"
 	"time"
@@ -191,21 +190,44 @@ func (s LatencySummary) String() string {
 // Algorithm R), so summaries over arbitrarily long runs use constant
 // memory while staying unbiased over the whole lifetime. Both the service
 // (proposal latencies, decision rounds) and the journal (fsync latencies)
-// sample through it. Not safe for concurrent use; callers serialize Add
-// under their own counters' lock.
+// sample through it. Sampling decisions come from a per-reservoir
+// splitmix64 generator seeded at construction — never from global PRNG
+// state — so the retained sample is a pure function of (seed, stream)
+// and two reservoirs never perturb each other's sequences. Not safe for
+// concurrent use; callers serialize Add under their own counters' lock.
 type Reservoir[T any] struct {
 	capacity int
 	seen     int
+	rng      uint64
 	buf      []T
 }
 
 // NewReservoir returns a reservoir holding at most capacity samples
-// (capacity < 1 selects 1 << 16).
+// (capacity < 1 selects 1 << 16) with a fixed default seed. Callers
+// running several reservoirs over correlated streams should use
+// NewReservoirSeeded with distinct seeds to decorrelate their samples.
 func NewReservoir[T any](capacity int) *Reservoir[T] {
+	return NewReservoirSeeded[T](capacity, 0x1905b1ec5e58e7a1)
+}
+
+// NewReservoirSeeded is NewReservoir with an explicit sampling seed.
+func NewReservoirSeeded[T any](capacity int, seed uint64) *Reservoir[T] {
 	if capacity < 1 {
 		capacity = 1 << 16
 	}
-	return &Reservoir[T]{capacity: capacity}
+	return &Reservoir[T]{capacity: capacity, rng: seed}
+}
+
+// roll returns a uniform index in [0, n) from the reservoir's splitmix64
+// stream. The modulo bias is below n/2^64 — many orders of magnitude
+// under the sampling noise of any reservoir this package sizes.
+func (r *Reservoir[T]) roll(n int) int {
+	r.rng += 0x9e3779b97f4a7c15
+	z := r.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z % uint64(n))
 }
 
 // Add offers one observation to the sample.
@@ -215,7 +237,7 @@ func (r *Reservoir[T]) Add(x T) {
 		r.buf = append(r.buf, x)
 		return
 	}
-	if i := rand.Intn(r.seen); i < r.capacity {
+	if i := r.roll(r.seen); i < r.capacity {
 		r.buf[i] = x
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"indulgence/internal/chaos/clock"
 	"indulgence/internal/model"
 	"indulgence/internal/wire"
 )
@@ -32,6 +33,12 @@ type TCPOptions struct {
 	// (dial failures, handshake rejections). The transport never logs
 	// frame contents.
 	Logf func(format string, args ...any)
+	// Clock supplies the time the reconnect pacer observes (default
+	// clock.Real). Socket deadlines stay on the wall clock regardless —
+	// the kernel enforces them — but backoff spacing is schedulable
+	// state, so under a virtual clock redial pacing compresses with the
+	// rest of the run.
+	Clock clock.Clock
 }
 
 // withDefaults returns o with zero fields replaced by defaults.
@@ -51,6 +58,7 @@ func (o TCPOptions) withDefaults() TCPOptions {
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
+	o.Clock = clock.Or(o.Clock)
 	return o
 }
 
@@ -296,6 +304,7 @@ func (e *TCPEndpoint) serveInbound(conn net.Conn) {
 		e.mu.Unlock()
 		_ = conn.Close()
 	}()
+	//indulgence:wallclock socket deadlines are enforced by the kernel against wall time
 	_ = conn.SetReadDeadline(time.Now().Add(e.opts.HandshakeTimeout))
 	frame, err := wire.ReadFrame(conn)
 	if err != nil {
@@ -325,6 +334,7 @@ func (e *TCPEndpoint) serveInbound(conn net.Conn) {
 		e.logf("transport: p%d: inbound %s: ack: %v", e.cfg.Self, conn.RemoteAddr(), err)
 		return
 	}
+	//indulgence:wallclock socket deadlines are enforced by the kernel against wall time
 	_ = conn.SetWriteDeadline(time.Now().Add(e.opts.HandshakeTimeout))
 	if err := wire.WriteFrame(conn, ack); err != nil {
 		e.logf("transport: p%d: inbound %s: ack: %v", e.cfg.Self, conn.RemoteAddr(), err)
@@ -408,7 +418,7 @@ func (l *peerLink) run() {
 			continue
 		}
 		l.popN(len(frames))
-		l.pace.wrote(time.Now())
+		l.pace.wrote(l.ep.opts.Clock.Now())
 	}
 }
 
@@ -463,15 +473,18 @@ func (l *peerLink) ensureConn() net.Conn {
 		// alike — and double the backoff once a gap has actually been
 		// served, so the "retrying in" the failure below logs is the
 		// wait the next attempt really observes.
-		if wait := l.pace.wait(time.Now()); wait > 0 {
+		clk := l.ep.opts.Clock
+		if wait := l.pace.wait(clk.Now()); wait > 0 {
+			t := clk.NewTimer(wait)
 			select {
-			case <-time.After(wait):
+			case <-t.C():
 			case <-l.ep.done:
+				t.Stop()
 				return nil
 			}
 			l.pace.served()
 		}
-		l.pace.dialed(time.Now())
+		l.pace.dialed(clk.Now())
 		c, err := l.dialOnce()
 		if err != nil {
 			l.mu.Lock()
@@ -491,7 +504,7 @@ func (l *peerLink) ensureConn() net.Conn {
 		l.conn = c
 		l.mu.Unlock()
 		conn = c
-		l.pace.connected(time.Now())
+		l.pace.connected(l.ep.opts.Clock.Now())
 		l.watch(c)
 	}
 	return conn
@@ -545,6 +558,7 @@ func (l *peerLink) dialOnce() (net.Conn, error) {
 	if err != nil {
 		return fail(err)
 	}
+	//indulgence:wallclock socket deadlines are enforced by the kernel against wall time
 	deadline := time.Now().Add(l.ep.opts.HandshakeTimeout)
 	_ = conn.SetDeadline(deadline)
 	if err := wire.WriteFrame(conn, hello); err != nil {
