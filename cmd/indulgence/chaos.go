@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	goruntime "runtime"
+	"strings"
 	"time"
 
 	"indulgence/internal/chaos"
@@ -105,6 +106,15 @@ func printChaosResult(r chaos.Result, withLog bool) {
 	}
 	if !ok {
 		fmt.Printf("  spec: %s\n", r.Scenario.JSON())
+		// The final metrics snapshot is deterministic per seed, so it is
+		// part of the failure's reproducible fingerprint — the replayed
+		// run must render it byte-identically.
+		if r.Metrics != "" {
+			fmt.Println("  metrics snapshot at quiescence:")
+			for _, line := range strings.Split(strings.TrimRight(r.Metrics, "\n"), "\n") {
+				fmt.Printf("    %s\n", line)
+			}
+		}
 	}
 	if withLog && r.Log != "" {
 		fmt.Print(r.Log)

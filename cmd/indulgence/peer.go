@@ -518,9 +518,12 @@ func cmdCluster(args []string) error {
 			continue
 		}
 		if _, err := journal.Replay(dir, func(e journal.Entry) error {
-			if e.Start {
+			switch {
+			case e.Trace != nil:
+				// Introspection context, not part of the consensus audit.
+			case e.Start:
 				starts = append(starts, wire.StartRecord{Instance: e.Instance(), Alg: e.Alg, Group: e.Decision.Group})
-			} else {
+			default:
 				records = append(records, e.Decision)
 			}
 			return nil

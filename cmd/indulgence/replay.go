@@ -4,6 +4,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"indulgence/internal/check"
 	"indulgence/internal/journal"
@@ -14,15 +16,19 @@ import (
 // cmdReplay dumps and verifies a decision journal: it replays every
 // intact record (tolerating a torn tail on the final segment, as
 // recovery does), prints them, and audits the log with check.Replay —
-// the offline counterpart of the service's per-instance audit. A
-// journal that fails the audit, or is corrupt before its final segment,
-// exits non-zero.
+// the offline counterpart of the service's per-instance audit — plus,
+// when decision-trace records are on file, a trace audit: every trace's
+// chosen algorithm must agree with the same instance's tagged start
+// claim, so each selector demotion is recoverable from the journal
+// alone. A journal that fails either audit, or is corrupt before its
+// final segment, exits non-zero.
 func cmdReplay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
 	var (
 		dir    = fs.String("journal", "", "journal directory (required)")
 		limit  = fs.Int("limit", 32, "print at most this many records (0 = all)")
 		quiet  = fs.Bool("quiet", false, "suppress the record table")
+		traces = fs.Bool("traces", false, "also print the decision-trace records")
 		verify = fs.Bool("verify", true, "audit the journal with check.Replay")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -34,12 +40,16 @@ func cmdReplay(args []string) error {
 
 	var recs []wire.DecisionRecord
 	var starts []wire.StartRecord
+	var trecs []wire.DecisionTraceRecord
 	info, err := journal.Replay(*dir, func(e journal.Entry) error {
-		if e.Start {
+		switch {
+		case e.Trace != nil:
+			trecs = append(trecs, *e.Trace)
+		case e.Start:
 			// Keep the group tag: a sharded group's journal replayed on
 			// its own must not look like a start/decision group mismatch.
 			starts = append(starts, wire.StartRecord{Instance: e.Instance(), Alg: e.Alg, Group: e.Decision.Group})
-		} else {
+		default:
 			recs = append(recs, e.Decision)
 		}
 		return nil
@@ -80,8 +90,26 @@ func cmdReplay(args []string) error {
 			fmt.Printf("... and %d more (raise -limit to see them)\n", len(recs)-shown)
 		}
 	}
-	fmt.Printf("%d decisions, %d instance starts, %d segments; frontier %d\n",
-		info.Decisions, len(starts), info.Segments, info.Frontier)
+	if *traces && len(trecs) > 0 {
+		table := stats.NewTable(fmt.Sprintf("decision traces %s", *dir),
+			"instance", "level", "chosen", "not taken", "susp", "queue", "fill%", "batch", "linger", "ewma", "shed")
+		shown := len(trecs)
+		if *limit > 0 && shown > *limit {
+			shown = *limit
+		}
+		for _, tr := range trecs[:shown] {
+			table.AddRowf(tr.Instance, tr.Level, tr.Chosen, strings.Join(tr.NotTaken, ","),
+				tr.Suspicions, fmt.Sprintf("%d/%d", tr.QueueLen, tr.QueueCap), tr.BatchFill,
+				tr.BatchLimit, time.Duration(tr.LingerNanos), time.Duration(tr.EWMANanos),
+				fmt.Sprintf("%08b", tr.ShedMask))
+		}
+		table.Render(os.Stdout)
+		if shown < len(trecs) {
+			fmt.Printf("... and %d more traces (raise -limit to see them)\n", len(trecs)-shown)
+		}
+	}
+	fmt.Printf("%d decisions, %d instance starts, %d decision traces, %d segments; frontier %d\n",
+		info.Decisions, len(starts), len(trecs), info.Segments, info.Frontier)
 	if info.TornBytes > 0 {
 		fmt.Printf("torn tail: %d trailing bytes of the final segment are not intact records (recovery drops them)\n",
 			info.TornBytes)
@@ -92,7 +120,21 @@ func cmdReplay(args []string) error {
 		if !rep.OK() {
 			return fmt.Errorf("journal audit failed: %v", rep.Err())
 		}
-		fmt.Println("audit: validity and agreement hold over the journaled history")
+		// Trace audit: a decision-trace record and a tagged start claim
+		// for the same instance were journaled by the same flush, so
+		// their algorithms must agree — this is what makes every selector
+		// demotion recoverable from the journal alone.
+		for _, tr := range trecs {
+			if claimed, ok := algOf[tr.Instance]; ok && tr.Chosen != "" && tr.Chosen != claimed {
+				return fmt.Errorf("journal audit failed: instance %d trace chose %q but start claim says %q",
+					tr.Instance, tr.Chosen, claimed)
+			}
+		}
+		if len(trecs) > 0 {
+			fmt.Printf("audit: validity and agreement hold; %d decision traces agree with their start claims\n", len(trecs))
+		} else {
+			fmt.Println("audit: validity and agreement hold over the journaled history")
+		}
 	}
 	return nil
 }

@@ -15,6 +15,7 @@ import (
 
 	"indulgence/internal/adapt"
 	"indulgence/internal/journal"
+	"indulgence/internal/metrics"
 	"indulgence/internal/model"
 	"indulgence/internal/service"
 	"indulgence/internal/shard"
@@ -68,6 +69,10 @@ type serviceFlags struct {
 	journal  *string
 	segment  *int64
 
+	// Ops endpoint (internal/metrics): -metrics-addr serves the live
+	// registry as Prometheus text and JSON plus net/http/pprof.
+	metricsAddr *string
+
 	// Sharding (internal/shard): -groups > 1 runs G consensus groups
 	// over the shared transport, each owning a strided slice of the
 	// instance-ID space, with a placement router in front.
@@ -106,6 +111,8 @@ func newServiceFlags(fs *flag.FlagSet) serviceFlags {
 		timeout:  fs.Duration("timeout", 25*time.Millisecond, "base suspicion timeout"),
 		journal:  fs.String("journal", "", "durable decision journal directory (empty = no journal)"),
 		segment:  fs.Int64("segment-bytes", 1<<20, "journal segment rotation size"),
+
+		metricsAddr: fs.String("metrics-addr", "", "ops endpoint address (host:port or :port) serving /metrics, /metrics.json and /debug/pprof (empty = off)"),
 
 		groups:    fs.Int("groups", 1, "consensus groups multiplexed over the shared transport (each owns a strided instance-ID slice and its own journal subdirectory)"),
 		placement: fs.String("placement", "round-robin", "proposal placement across groups: round-robin, least-loaded or key-affinity"),
@@ -154,7 +161,8 @@ type started struct {
 	svc     *service.Service // -groups 1
 	rt      *shard.Runtime   // -groups > 1
 	hub     *transport.Hub
-	jn      *journal.Journal // single-group journal; sharded ones live in rt
+	jn      *journal.Journal   // single-group journal; sharded ones live in rt
+	ops     *metrics.OpsServer // -metrics-addr endpoint (nil = off)
 	cleanup func()
 }
 
@@ -194,6 +202,24 @@ func (f serviceFlags) start() (*started, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The ops endpoint and the registry it serves: one registry spans
+	// the whole runtime — every group's service, control plane and
+	// journal registers on it — so one scrape shows the full picture.
+	var reg *metrics.Registry
+	var ops *metrics.OpsServer
+	cleanup := closeTransport
+	if *f.metricsAddr != "" {
+		reg = metrics.NewRegistry()
+		ops, err = metrics.ServeOps(*f.metricsAddr, reg)
+		if err != nil {
+			closeTransport()
+			return nil, fmt.Errorf("ops endpoint: %w", err)
+		}
+		cleanup = func() {
+			_ = ops.Close()
+			closeTransport()
+		}
+	}
 	cfg := service.Config{
 		N: *f.n, T: *f.t,
 		Factory:     factory,
@@ -202,6 +228,7 @@ func (f serviceFlags) start() (*started, error) {
 		Linger:      *f.linger,
 		MaxInflight: *f.inflight,
 		Adaptive:    f.adaptConfig(true),
+		Metrics:     reg,
 	}
 	if *f.groups > 1 {
 		rt, err := shard.New(shard.Config{
@@ -212,21 +239,26 @@ func (f serviceFlags) start() (*started, error) {
 			JournalOptions: journal.Options{SegmentBytes: *f.segment},
 		}, eps)
 		if err != nil {
-			closeTransport()
+			cleanup()
 			return nil, err
 		}
-		return &started{rt: rt, hub: hub, cleanup: closeTransport}, nil
+		return &started{rt: rt, hub: hub, ops: ops, cleanup: cleanup}, nil
 	}
 	var jn *journal.Journal
-	cleanup := closeTransport
 	if *f.journal != "" {
-		jn, err = journal.Open(*f.journal, journal.Options{SegmentBytes: *f.segment})
+		jo := journal.Options{SegmentBytes: *f.segment}
+		if reg != nil {
+			jo.Metrics = reg
+			jo.MetricsLabels = []metrics.Label{{Key: "group", Value: "0"}}
+		}
+		jn, err = journal.Open(*f.journal, jo)
 		if err != nil {
-			closeTransport()
+			cleanup()
 			return nil, err
 		}
+		prev := cleanup
 		cleanup = func() {
-			closeTransport()
+			prev()
 			_ = jn.Close()
 		}
 	}
@@ -236,7 +268,7 @@ func (f serviceFlags) start() (*started, error) {
 		cleanup()
 		return nil, err
 	}
-	return &started{svc: svc, hub: hub, jn: jn, cleanup: cleanup}, nil
+	return &started{svc: svc, hub: hub, jn: jn, ops: ops, cleanup: cleanup}, nil
 }
 
 // proposalSink is what the stdin loop needs from either service shape
@@ -310,6 +342,9 @@ func cmdServe(args []string) error {
 		return err
 	}
 	if *f.peers != "" || *f.peersFile != "" {
+		if *f.metricsAddr != "" {
+			return errors.New("-metrics-addr is not supported in peer mode yet")
+		}
 		explicit := make(map[string]bool)
 		fs.Visit(func(fl *flag.Flag) { explicit[fl.Name] = true })
 		return servePeer(f, explicit)
@@ -340,6 +375,9 @@ func cmdServe(args []string) error {
 		for _, jn := range s.rt.Journals() {
 			printJournalRecovery(jn)
 		}
+	}
+	if s.ops != nil {
+		fmt.Printf("ops: http://%s/metrics (Prometheus text), /metrics.json (snapshot), /debug/pprof\n", s.ops.Addr())
 	}
 	fmt.Println("enter one integer proposal per line (EOF to stop):")
 
@@ -444,6 +482,9 @@ func cmdBenchService(args []string) error {
 		return err
 	}
 	defer s.cleanup()
+	if s.ops != nil {
+		fmt.Printf("ops: http://%s/metrics (Prometheus text), /metrics.json (snapshot), /debug/pprof\n", s.ops.Addr())
+	}
 	svc := s.sink()
 	if *delay > 0 {
 		if s.hub == nil {

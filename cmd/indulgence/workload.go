@@ -310,9 +310,10 @@ func workloadReport(f serviceFlags, s *started, spec *workload.Spec, events []wo
 	for c := classes - 1; c >= 0; c-- {
 		sum := stats.SummarizeDurations(perLat[c])
 		table.AddRowf(fmt.Sprintf("class %d", c),
-			fmt.Sprintf("%d decided, %d shed, p50 %s p99 %s",
+			fmt.Sprintf("%d decided, %d shed, p50 %s p90 %s p99 %s p999 %s",
 				perDecided[c], perShed[c],
-				sum.P50.Round(time.Microsecond), sum.P99.Round(time.Microsecond)))
+				sum.P50.Round(time.Microsecond), sum.P90.Round(time.Microsecond),
+				sum.P99.Round(time.Microsecond), sum.P999.Round(time.Microsecond)))
 	}
 	var violations []string
 	if s.rt != nil {

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"indulgence/internal/core"
+	"indulgence/internal/metrics"
 	"indulgence/internal/model"
 )
 
@@ -135,6 +136,15 @@ type Config struct {
 	// RetryBudget is the base per-class retry budget surfaced in
 	// OverloadError (default 3); class c is budgeted RetryBudget + c.
 	RetryBudget int
+	// Metrics, when non-nil, registers the control plane's instruments
+	// on this registry: batch/linger/EWMA/selector-level gauges,
+	// adjustment/tick/transition counters, and per-class shedding
+	// gauges and shed counters (registered eagerly for every
+	// configured class, so a scrape always shows the full class set).
+	Metrics *metrics.Registry
+	// MetricsLabels are attached to every series Metrics registers —
+	// the sharded runtime passes its group label here.
+	MetricsLabels []metrics.Label
 	// Logf, when non-nil, receives one line per controller adjustment,
 	// selector transition and admission flip — the decision log surfaced
 	// by the CLI's -verbose mode.

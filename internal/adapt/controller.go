@@ -89,6 +89,11 @@ func (c *Controller) Setting() Setting { return c.setting }
 // Adjustments returns how many ticks changed the setting.
 func (c *Controller) Adjustments() int { return c.adjustments }
 
+// EWMA returns the controller's decision-latency baseline (0 until
+// the first decided window) — the reference the linger law compares
+// fresh latencies against, journaled in decision-trace records.
+func (c *Controller) EWMA() time.Duration { return c.ewma }
+
 // Tick folds one observation into the controller state and returns the
 // (possibly unchanged) setting, plus whether this tick changed it.
 //

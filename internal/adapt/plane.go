@@ -2,9 +2,12 @@ package adapt
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"indulgence/internal/metrics"
 )
 
 // Stats is a point-in-time snapshot of the control plane.
@@ -55,6 +58,7 @@ type Plane struct {
 	hotTicks    [MaxClasses]int
 	ticks       int
 	transitions int
+	suspicions  int // cumulative suspicion events across decided instances
 	lastTick    time.Time
 	// Window accumulators, reset every tick.
 	wDecided  int
@@ -63,6 +67,13 @@ type Plane struct {
 	wLatCount int
 	wFillSum  int
 	wCuts     int
+
+	// Registry instruments (nil without Config.Metrics; nil
+	// instruments no-op).
+	mBatch, mLinger, mEwma, mLevel *metrics.Gauge
+	mShedding                      [MaxClasses]*metrics.Gauge
+	mDenied                        [MaxClasses]*metrics.Counter
+	mAdjust, mTicks, mTransitions  *metrics.Counter
 }
 
 // NewPlane assembles a control plane. static is the service's
@@ -93,6 +104,31 @@ func NewPlane(cfg Config, static Choice, start Setting, n, t int) *Plane {
 	s := p.ctl.Setting()
 	p.batch.Store(int64(s.Batch))
 	p.linger.Store(int64(s.Linger))
+
+	reg := cfg.Metrics
+	p.mBatch = reg.Gauge("indulgence_adapt_batch_limit",
+		"effective batch-size limit set by the controller", cfg.MetricsLabels...)
+	p.mLinger = reg.Gauge("indulgence_adapt_linger_ns",
+		"effective under-full batch linger in nanoseconds", cfg.MetricsLabels...)
+	p.mEwma = reg.Gauge("indulgence_adapt_ewma_ns",
+		"controller decision-latency EWMA baseline in nanoseconds", cfg.MetricsLabels...)
+	p.mLevel = reg.Gauge("indulgence_adapt_selector_level",
+		"selector ladder level (0 = fastest rung)", cfg.MetricsLabels...)
+	p.mAdjust = reg.Counter("indulgence_adapt_adjustments_total",
+		"controller ticks that changed the batch/linger setting", cfg.MetricsLabels...)
+	p.mTicks = reg.Counter("indulgence_adapt_ticks_total",
+		"controller ticks run", cfg.MetricsLabels...)
+	p.mTransitions = reg.Counter("indulgence_adapt_selector_transitions_total",
+		"selector ladder transitions", cfg.MetricsLabels...)
+	for c := 0; c < cfg.Classes; c++ {
+		classLabels := append([]metrics.Label{{Key: "class", Value: strconv.Itoa(c)}}, cfg.MetricsLabels...)
+		p.mShedding[c] = reg.Gauge("indulgence_adapt_shedding",
+			"whether admission control is currently shedding the class (0/1)", classLabels...)
+		p.mDenied[c] = reg.Counter("indulgence_sheds_total",
+			"proposals refused by per-class admission control", classLabels...)
+	}
+	p.mBatch.Set(int64(s.Batch))
+	p.mLinger.Set(int64(s.Linger))
 	return p
 }
 
@@ -134,6 +170,7 @@ func (p *Plane) AdmitClass(class int) *OverloadError {
 		return nil
 	}
 	p.denied[class].Add(1)
+	p.mDenied[class].Inc()
 	return &OverloadError{
 		Class:      class,
 		RetryAfter: time.Duration(p.cfg.AdmitTicks) * p.cfg.Interval,
@@ -176,6 +213,56 @@ func (p *Plane) Pick() Choice {
 	return p.sel.Pick()
 }
 
+// ChoiceContext is the control plane's state at the moment one
+// instance's launch was chosen — what the service journals as a
+// decision-trace record. It deliberately carries no wire types: the
+// service owns the mapping onto the codec.
+type ChoiceContext struct {
+	// Level is the selector's rung index (0 with selection off).
+	Level int
+	// Chosen names the algorithm picked; NotTaken names the ladder's
+	// other rungs in ladder order (empty with selection off).
+	Chosen   string
+	NotTaken []string
+	// Suspicions is the cumulative failure-detector suspicion count
+	// across decided instances at choice time.
+	Suspicions int
+	// BatchLimit and Linger are the effective setting in force.
+	BatchLimit int
+	Linger     time.Duration
+	// EWMA is the controller's decision-latency baseline.
+	EWMA time.Duration
+	// ShedMask is the per-class admission state (bit c = class c shed).
+	ShedMask uint32
+}
+
+// PickContext returns the choice for the next instance together with
+// the control-plane context behind it, under one lock acquisition, so
+// a journaled trace can never disagree with the pick it annotates.
+func (p *Plane) PickContext() (Choice, ChoiceContext) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ctx := ChoiceContext{
+		BatchLimit: int(p.batch.Load()),
+		Linger:     time.Duration(p.linger.Load()),
+		EWMA:       p.ctl.EWMA(),
+		ShedMask:   p.shedMask.Load(),
+		Suspicions: p.suspicions,
+	}
+	choice := p.static
+	if p.sel != nil {
+		choice = p.sel.Pick()
+		ctx.Level = p.sel.Level()
+		for i, name := range p.sel.Rungs() {
+			if i != ctx.Level {
+				ctx.NotTaken = append(ctx.NotTaken, name)
+			}
+		}
+	}
+	ctx.Chosen = choice.Name
+	return choice, ctx
+}
+
 // ObserveCut records one batch cut by its fill — the cut size as a
 // percentage of the effective limit at the cut. The service computes
 // the percentage once and feeds this window accumulator and its own
@@ -197,6 +284,7 @@ func (p *Plane) ObserveDecision(latencies []time.Duration, suspicions int) {
 	var transition string
 	p.mu.Lock()
 	p.wDecided++
+	p.suspicions += suspicions
 	for _, l := range latencies {
 		p.wLatSum += l
 		p.wLatCount++
@@ -204,8 +292,10 @@ func (p *Plane) ObserveDecision(latencies []time.Duration, suspicions int) {
 	if p.sel != nil {
 		if tr := p.sel.Report(Outcome{Suspicions: suspicions}); tr != "" {
 			p.transitions++
+			p.mTransitions.Inc()
 			transition = tr
 		}
+		p.mLevel.Set(int64(p.sel.Level()))
 	}
 	p.mu.Unlock()
 	if transition != "" {
@@ -221,8 +311,10 @@ func (p *Plane) ObserveFailure() {
 	if p.sel != nil {
 		if tr := p.sel.Report(Outcome{Failed: true}); tr != "" {
 			p.transitions++
+			p.mTransitions.Inc()
 			transition = tr
 		}
+		p.mLevel.Set(int64(p.sel.Level()))
 	}
 	p.mu.Unlock()
 	if transition != "" {
@@ -260,10 +352,15 @@ func (p *Plane) Tick(queueLen, queueCap, busy, slots int) Setting {
 	p.lastTick = now
 	p.ticks++
 
+	p.mTicks.Inc()
 	setting, changed := p.ctl.Tick(obs)
+	p.mEwma.Set(int64(p.ctl.EWMA()))
 	if changed {
 		p.batch.Store(int64(setting.Batch))
 		p.linger.Store(int64(setting.Linger))
+		p.mAdjust.Inc()
+		p.mBatch.Set(int64(setting.Batch))
+		p.mLinger.Set(int64(setting.Linger))
 		if p.cfg.Logf != nil {
 			logs = append(logs, fmt.Sprintf("adapt: batch=%d linger=%s (queue %d/%d, busy %d/%d, fill %d%%, lat %s, window %s)",
 				setting.Batch, setting.Linger, queueLen, queueCap, busy, slots,
@@ -317,6 +414,13 @@ func (p *Plane) Tick(queueLen, queueCap, busy, slots int) Setting {
 		}
 	}
 	p.shedMask.Store(mask)
+	for c := 0; c < p.cfg.Classes; c++ {
+		shed := int64(0)
+		if mask&(1<<uint(c)) != 0 {
+			shed = 1
+		}
+		p.mShedding[c].Set(shed)
+	}
 	return setting
 }
 

@@ -94,6 +94,16 @@ func (s *Selector) Current() Choice { return s.ladder[s.level] }
 // Level returns the current ladder level (0 = fast).
 func (s *Selector) Level() int { return s.level }
 
+// Rungs returns the ladder's algorithm names in ladder order (fast
+// first) — the choice set a decision-trace record enumerates.
+func (s *Selector) Rungs() []string {
+	names := make([]string, len(s.ladder))
+	for i, c := range s.ladder {
+		names[i] = c.Name
+	}
+	return names
+}
+
 // Picks returns a copy of the per-algorithm pick counts.
 func (s *Selector) Picks() map[string]int {
 	out := make(map[string]int, len(s.picks))

@@ -24,10 +24,13 @@ var Table = map[string][]string{
 	// Leaves: these import no other internal package. clock is the time
 	// source injected everywhere, so everything may depend on it and it
 	// may depend on nothing; wire's only dependencies are the payload
-	// family it encodes.
+	// family it encodes; metrics is the instrumentation leaf the live
+	// stack reports into, so like clock it sits below everything and
+	// names nothing.
 	"model":       {},
 	"pool":        {},
 	"stats":       {},
+	"metrics":     {},
 	"chaos/clock": {},
 
 	"payload":  {"model"},
@@ -37,26 +40,27 @@ var Table = map[string][]string{
 	"workload": {"model", "wire"},
 
 	"sim":        {"model", "pool", "sched", "trace"},
-	"fd":         {"chaos/clock", "model", "trace"},
+	"fd":         {"chaos/clock", "metrics", "model", "trace"},
 	"baseline":   {"fd", "model", "payload"},
 	"core":       {"baseline", "fd", "model", "payload", "trace"},
 	"check":      {"model", "sim", "wire"},
 	"lowerbound": {"check", "model", "pool", "sched", "sim", "trace"},
 
-	"adapt":     {"core", "model"},
-	"journal":   {"stats", "wire"},
-	"transport": {"chaos/clock", "model", "wire"},
-	"runtime":   {"chaos/clock", "core", "fd", "model", "transport", "wire"},
-	"service": {"adapt", "chaos/clock", "check", "core", "journal", "model",
-		"runtime", "stats", "transport", "wire"},
-	"shard": {"chaos/clock", "journal", "model", "service", "transport", "wire"},
+	"adapt":     {"core", "metrics", "model"},
+	"journal":   {"metrics", "stats", "wire"},
+	"transport": {"chaos/clock", "metrics", "model", "wire"},
+	"runtime":   {"chaos/clock", "core", "fd", "metrics", "model", "transport", "wire"},
+	"service": {"adapt", "chaos/clock", "check", "core", "journal", "metrics",
+		"model", "runtime", "stats", "transport", "wire"},
+	"shard": {"chaos/clock", "journal", "metrics", "model", "service", "transport",
+		"wire"},
 
 	// chaos composes the whole live stack into the seeded sweep and
 	// trace record/replay harness; experiments sits above everything
 	// but chaos' CLI-facing siblings. Nothing may import experiments —
 	// no table entry lists it, which is the rule's encoding.
-	"chaos": {"adapt", "chaos/clock", "check", "core", "journal", "model",
-		"runtime", "service", "shard", "transport", "wire", "workload"},
+	"chaos": {"adapt", "chaos/clock", "check", "core", "journal", "metrics",
+		"model", "runtime", "service", "shard", "transport", "wire", "workload"},
 	"experiments": {"adapt", "baseline", "chaos", "chaos/clock", "check", "core",
 		"fd", "lowerbound", "model", "runtime", "sched", "service", "sim",
 		"stats", "transport", "wire", "workload"},

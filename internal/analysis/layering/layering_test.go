@@ -73,6 +73,29 @@ func TestTableIsDAG(t *testing.T) {
 	}
 }
 
+// TestMetricsIsALeaf pins the introspection plane's place in the DAG:
+// metrics may import no internal package (every instrumented layer
+// names it, so any dependency it grew would ripple upward through the
+// whole live stack), and each instrumented layer is allowed to report
+// into it.
+func TestMetricsIsALeaf(t *testing.T) {
+	if allowed := layering.Table["metrics"]; len(allowed) != 0 {
+		t.Errorf("metrics must stay a leaf, but allows %v", allowed)
+	}
+	for _, pkg := range []string{"fd", "transport", "journal", "adapt", "runtime",
+		"service", "shard", "chaos"} {
+		found := false
+		for _, imp := range layering.Table[pkg] {
+			if imp == "metrics" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s is not allowed to import metrics", pkg)
+		}
+	}
+}
+
 // TestNothingImportsExperiments pins the rule's encoding: no entry may
 // list experiments as an allowed import.
 func TestNothingImportsExperiments(t *testing.T) {

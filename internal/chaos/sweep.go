@@ -14,6 +14,7 @@ import (
 	"indulgence/internal/chaos/clock"
 	"indulgence/internal/check"
 	"indulgence/internal/journal"
+	"indulgence/internal/metrics"
 	"indulgence/internal/model"
 	"indulgence/internal/runtime"
 	"indulgence/internal/service"
@@ -56,6 +57,16 @@ type Result struct {
 	// same spec must produce identical logs — the reproducibility
 	// contract the chaos tests enforce.
 	Log string
+	// Metrics is the run's final registry snapshot (Prometheus text),
+	// taken after the service quiesced. The registry observes only
+	// virtual-clock durations and schedule-driven counters, so two runs
+	// of the same spec must produce byte-identical snapshots — the same
+	// contract Log carries, extended to the introspection plane. The one
+	// exception is stripped before the snapshot lands here: transport
+	// frame counters tally decide-flooding that shutdown cuts off
+	// mid-stride, so their totals are an artifact of teardown timing,
+	// not of the seed.
+	Metrics string
 	// Outcomes holds one trace outcome record per workload event, by
 	// event sequence number — only populated for workload scenarios.
 	// Together with the regenerable event stream they form the run's
@@ -177,6 +188,7 @@ func Run(sc Scenario, opts Options) Result {
 		}
 	}
 
+	reg := metrics.NewRegistry()
 	cfg := service.Config{
 		N: sc.N, T: sc.T,
 		Factory:         factory,
@@ -188,6 +200,7 @@ func Run(sc Scenario, opts Options) Result {
 		InstanceTimeout: sc.InstanceTimeout,
 		OnInstance:      cp.onInstance,
 		Clock:           clk,
+		Metrics:         reg,
 	}
 	if sc.Adaptive {
 		cfg.Adaptive = &adapt.Config{Classes: sc.Classes}
@@ -227,7 +240,11 @@ func Run(sc Scenario, opts Options) Result {
 			return shard.ReplayDir(dir, groups)
 		}
 	} else {
-		j, err := journal.Open(dir, journal.Options{NoSync: true})
+		j, err := journal.Open(dir, journal.Options{
+			NoSync:        true,
+			Metrics:       reg,
+			MetricsLabels: []metrics.Label{{Key: "group", Value: "0"}},
+		})
 		if err != nil {
 			res.Err = err
 			return res
@@ -248,9 +265,12 @@ func Run(sc Scenario, opts Options) Result {
 			var recs []wire.DecisionRecord
 			var starts []wire.StartRecord
 			_, err := journal.Replay(dir, func(e journal.Entry) error {
-				if e.Start {
+				switch {
+				case e.Trace != nil:
+					// Introspection context, not a claim or outcome.
+				case e.Start:
 					starts = append(starts, wire.StartRecord{Instance: e.Instance(), Alg: e.Alg})
-				} else {
+				default:
 					recs = append(recs, e.Decision)
 				}
 				return nil
@@ -421,6 +441,13 @@ func Run(sc Scenario, opts Options) Result {
 	//indulgence:wallclock Result.Wall reports real elapsed run time by definition
 	res.Wall = time.Since(wallStart)
 
+	// The final registry snapshot, at quiescence: every instrument fed
+	// by the run has settled, so this render is the run's deterministic
+	// introspection record — minus the frame counters, which count
+	// flood frames shutdown truncates at a point the schedule does not
+	// force.
+	res.Metrics = stripFrameSeries(reg.Text())
+
 	// Audit 1: the service's own live check.Instance findings.
 	res.Violations = append(res.Violations, liveViolations()...)
 
@@ -581,4 +608,21 @@ func sweepWith(gen func(int64) Scenario, baseSeed int64, count int, opts Options
 		return st.Failures[a].Scenario.Seed < st.Failures[b].Scenario.Seed
 	})
 	return st
+}
+
+// stripFrameSeries drops the transport frame-counter families from a
+// rendered snapshot. A decided node floods its DECIDE until Stop
+// reaches it, and shutdown truncates that flood at a point the virtual
+// schedule does not force — so frame totals are the one instrument
+// family that is teardown timing, not seed. Everything else in the
+// snapshot stays byte-identical run over run.
+func stripFrameSeries(text string) string {
+	var b strings.Builder
+	for _, line := range strings.SplitAfter(text, "\n") {
+		if strings.Contains(line, "indulgence_frames_") {
+			continue
+		}
+		b.WriteString(line)
+	}
+	return b.String()
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"indulgence/internal/chaos/clock"
+	"indulgence/internal/metrics"
 	"indulgence/internal/model"
 )
 
@@ -31,6 +32,7 @@ type TimeoutDetector struct {
 	suspected model.PIDSet
 	events    int
 	roundAt   time.Time
+	mEvents   *metrics.Counter
 }
 
 // NewTimeoutDetector returns a detector with the given initial per-process
@@ -48,6 +50,15 @@ func NewTimeoutDetectorClock(base time.Duration, clk clock.Clock) *TimeoutDetect
 		max:      64 * base,
 		timeouts: make(map[model.ProcessID]time.Duration),
 	}
+}
+
+// Instrument attaches a suspicion-event counter: every trusted-to-
+// suspected transition the detector raises also increments c. A nil
+// counter (the uninstrumented default) costs nothing.
+func (d *TimeoutDetector) Instrument(c *metrics.Counter) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.mEvents = c
 }
 
 // BeginRound marks the start of a receive phase: SuspectOverdue measures
@@ -78,6 +89,7 @@ func (d *TimeoutDetector) SuspectOverdue(n int, self model.ProcessID, heard mode
 		if elapsed >= t {
 			if !d.suspected.Has(q) {
 				d.events++
+				d.mEvents.Inc()
 			}
 			d.suspected.Add(q)
 		}
@@ -100,6 +112,7 @@ func (d *TimeoutDetector) Suspect(p model.ProcessID) {
 	defer d.mu.Unlock()
 	if !d.suspected.Has(p) {
 		d.events++
+		d.mEvents.Inc()
 	}
 	d.suspected.Add(p)
 }

@@ -12,10 +12,12 @@
 // A journal is a directory of segment files seg-00000000.wal,
 // seg-00000001.wal, ... Each segment is a sequence of frames: a 4-byte
 // length, a 4-byte CRC-32C, and one record of the wire envelope family
-// — a wire.DecisionRecord, or a wire.StartRecord claiming an instance
+// — a wire.DecisionRecord, a wire.StartRecord claiming an instance
 // ID before its first frame may touch the network (so a recovered
 // frontier can never collide with in-flight frames of an instance that
-// crashed undecided). Segments rotate once they exceed
+// crashed undecided), or a wire.DecisionTraceRecord carrying the
+// introspection context of one launch choice. Segments rotate once
+// they exceed
 // Options.SegmentBytes. The format is append-only and self-checking;
 // no index or manifest files exist — recovery is a linear scan.
 //
@@ -50,6 +52,7 @@ import (
 	"syscall"
 	"time"
 
+	"indulgence/internal/metrics"
 	"indulgence/internal/stats"
 	"indulgence/internal/wire"
 )
@@ -89,6 +92,15 @@ type Options struct {
 	// tests use to stop a service inside the journaled-but-unserved
 	// window. It must not call back into the journal.
 	OnAppend func(Entry)
+	// Metrics, when non-nil, registers the journal's instruments on
+	// this registry (entries by kind, fsync count and latency, segment
+	// count), labelled with MetricsLabels — the sharded runtime passes
+	// its group label here. Entry counters include the entries
+	// replayed at Open, so a recovered journal's series resume at
+	// their true totals.
+	Metrics *metrics.Registry
+	// MetricsLabels are attached to every series Metrics registers.
+	MetricsLabels []metrics.Label
 }
 
 // withDefaults returns o with zero fields replaced by defaults.
@@ -107,9 +119,10 @@ func (o Options) withDefaults() Options {
 
 // Stats is a point-in-time snapshot of journal counters.
 type Stats struct {
-	// Decisions and Starts count intact entries by kind (replayed at
-	// Open plus appended since); Decisions counts distinct instances.
-	Decisions, Starts int
+	// Decisions, Starts and Traces count intact entries by kind
+	// (replayed at Open plus appended since); Decisions counts
+	// distinct instances.
+	Decisions, Starts, Traces int
 	// Appends counts entries appended by this process; Batches and
 	// Syncs count the group commits and fsyncs that carried them
 	// (Appends/Syncs is the group-commit fan-in).
@@ -154,6 +167,7 @@ type Journal struct {
 	closed    bool
 	index     map[uint64]wire.DecisionRecord
 	starts    int
+	traces    int
 	frontier  uint64
 	appends   int
 	batches   int
@@ -165,6 +179,12 @@ type Journal struct {
 	// lockFile holds the flock that makes this process the directory's
 	// only writer; the kernel drops it if the process dies.
 	lockFile *os.File
+
+	// Registry instruments (nil when Options.Metrics is nil; nil
+	// instruments no-op).
+	mDecisions, mStarts, mTraces, mSyncs *metrics.Counter
+	mSyncNs                              *metrics.Histogram
+	mSegments                            *metrics.Gauge
 
 	// Writer-goroutine state: the active segment and its size.
 	seg     *os.File
@@ -204,6 +224,19 @@ func Open(dir string, opts Options) (*Journal, error) {
 		index:      make(map[uint64]wire.DecisionRecord),
 		syncLat:    stats.NewReservoirSeeded[time.Duration](1<<14, 0x6a6f75726e616c), // "journal"
 	}
+	kind := func(k string) []metrics.Label {
+		return append([]metrics.Label{{Key: "kind", Value: k}}, opts.MetricsLabels...)
+	}
+	const entriesHelp = "intact journal entries by record kind, replayed at open plus appended since"
+	j.mDecisions = opts.Metrics.Counter("indulgence_journal_entries_total", entriesHelp, kind("decision")...)
+	j.mStarts = opts.Metrics.Counter("indulgence_journal_entries_total", entriesHelp, kind("start")...)
+	j.mTraces = opts.Metrics.Counter("indulgence_journal_entries_total", entriesHelp, kind("trace")...)
+	j.mSyncs = opts.Metrics.Counter("indulgence_journal_fsyncs_total",
+		"fsyncs taken by the journal writer (group commits)", opts.MetricsLabels...)
+	j.mSyncNs = opts.Metrics.Histogram("indulgence_journal_fsync_ns",
+		"fsync wall-clock latency in nanoseconds", 1<<12, 1<<30, opts.MetricsLabels...)
+	j.mSegments = opts.Metrics.Gauge("indulgence_journal_segments",
+		"segment files in the journal directory", opts.MetricsLabels...)
 
 	fail := func(err error) (*Journal, error) {
 		_ = lock.Close() // closing the fd drops the flock
@@ -253,6 +286,7 @@ func Open(dir string, opts Options) (*Journal, error) {
 	}
 	j.seg, j.segSize = seg, st.Size()
 	j.segments = max(len(idxs), 1)
+	j.mSegments.Set(int64(j.segments))
 	if len(idxs) == 0 {
 		syncDir(dir)
 	}
@@ -299,6 +333,17 @@ func (j *Journal) AppendStartRecord(r wire.StartRecord) error {
 		Decision: wire.DecisionRecord{Instance: r.Instance, Group: r.Group}}, false)
 }
 
+// AppendDecisionTrace journals the introspection context of one launch
+// choice — the controller/selector/admission state behind a start
+// claim. It shares AppendStart's no-fsync durability class: a trace is
+// an audit annotation of the claim it accompanies, and any later
+// decision fsync makes it durable as a side effect. Out-of-bounds
+// annotation fields are clamped rather than erroring, like an
+// oversized start-claim algorithm tag.
+func (j *Journal) AppendDecisionTrace(r wire.DecisionTraceRecord) error {
+	return j.append(Entry{Trace: &r}, false)
+}
+
 func (j *Journal) append(e Entry, sync bool) error {
 	req := appendReq{entry: e, sync: sync, done: make(chan error, 1)}
 	j.mu.RLock()
@@ -342,6 +387,7 @@ func (j *Journal) Snapshot() Stats {
 	return Stats{
 		Decisions:   len(j.index),
 		Starts:      j.starts,
+		Traces:      j.traces,
 		Appends:     j.appends,
 		Batches:     j.batches,
 		Syncs:       j.syncs,
@@ -502,10 +548,16 @@ func (j *Journal) fsync() error {
 // publish folds one durable entry into the in-memory state; callers
 // hold mu (Open's replay runs before any reader exists).
 func (j *Journal) publish(e Entry) {
-	if e.Start {
+	switch {
+	case e.Trace != nil:
+		j.traces++
+		j.mTraces.Inc()
+	case e.Start:
 		j.starts++
-	} else {
+		j.mStarts.Inc()
+	default:
 		j.index[e.Decision.Instance] = e.Decision
+		j.mDecisions.Inc()
 	}
 	if e.Instance() >= j.frontier {
 		j.frontier = e.Instance() + 1
@@ -518,6 +570,8 @@ func (j *Journal) recordSync(d time.Duration) {
 	j.syncs++
 	j.syncLat.Add(d)
 	j.mu.Unlock()
+	j.mSyncs.Inc()
+	j.mSyncNs.Observe(int64(d))
 }
 
 // rotateIfNeeded closes the active segment and opens the next one when
@@ -546,6 +600,7 @@ func (j *Journal) rotateIfNeeded() error {
 	j.seg, j.segSize = seg, 0
 	j.mu.Lock()
 	j.segments++
+	j.mSegments.Set(int64(j.segments))
 	j.mu.Unlock()
 	return nil
 }

@@ -29,9 +29,10 @@ const maxRecordSize = wire.MaxFrameSize
 // formats, hardware-accelerated on amd64/arm64).
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// Entry is one journal record: either an instance-start claim (appended
-// before the instance's first frame may reach the network) or a
-// decision.
+// Entry is one journal record: an instance-start claim (appended
+// before the instance's first frame may reach the network), a
+// decision, or a decision-trace record (the introspection context of
+// one launch choice).
 type Entry struct {
 	// Start reports an instance-start claim; for starts, only
 	// Decision.Instance and Alg are meaningful.
@@ -45,24 +46,36 @@ type Entry struct {
 	// Instance and Group carry the claim's addressing; the remaining
 	// fields are zero.
 	Decision wire.DecisionRecord
+	// Trace, when non-nil, makes this a decision-trace entry: the
+	// controller/selector/admission context the service held when it
+	// launched the instance. Start and Decision are then zero.
+	Trace *wire.DecisionTraceRecord
 }
 
 // Instance returns the entry's consensus-instance ID.
-func (e Entry) Instance() uint64 { return e.Decision.Instance }
+func (e Entry) Instance() uint64 {
+	if e.Trace != nil {
+		return e.Trace.Instance
+	}
+	return e.Decision.Instance
+}
 
 // appendFrame appends the framed encoding of e to dst. An oversized
 // algorithm tag is truncated rather than erroring: the tag is an audit
 // annotation, and a claim must never fail for its label's sake.
 func appendFrame(dst []byte, e Entry) []byte {
 	var payload []byte
-	if e.Start {
+	switch {
+	case e.Trace != nil:
+		payload, _ = wire.AppendDecisionTraceRecord(nil, sanitizeTrace(*e.Trace))
+	case e.Start:
 		alg := e.Alg
 		if len(alg) > wire.MaxAlgNameLen {
 			alg = alg[:wire.MaxAlgNameLen]
 		}
 		payload, _ = wire.AppendStartRecord(nil, wire.StartRecord{
 			Instance: e.Decision.Instance, Alg: alg, Group: e.Decision.Group})
-	} else {
+	default:
 		payload = wire.AppendDecisionRecord(nil, e.Decision)
 	}
 	var hdr [frameHeader]byte
@@ -71,7 +84,36 @@ func appendFrame(dst []byte, e Entry) []byte {
 	return append(append(dst, hdr[:]...), payload...)
 }
 
-// decodeEntry decodes one frame payload of either record kind; ok
+// sanitizeTrace clamps a trace record's annotation fields into the
+// codec's bounds: like a start claim's algorithm tag, introspection
+// context must never make a journal write fail for its label's sake.
+func sanitizeTrace(r wire.DecisionTraceRecord) wire.DecisionTraceRecord {
+	clampAlg := func(s string) string {
+		if len(s) > wire.MaxAlgNameLen {
+			return s[:wire.MaxAlgNameLen]
+		}
+		return s
+	}
+	clampInt := func(v, hi int) int {
+		return max(0, min(v, hi))
+	}
+	r.Chosen = clampAlg(r.Chosen)
+	if len(r.NotTaken) > wire.MaxTraceAlternatives {
+		r.NotTaken = r.NotTaken[:wire.MaxTraceAlternatives]
+	}
+	for i, alg := range r.NotTaken {
+		r.NotTaken[i] = clampAlg(alg)
+	}
+	r.Level = clampInt(r.Level, wire.MaxTraceAlternatives)
+	r.BatchFill = clampInt(r.BatchFill, wire.MaxFrameSize)
+	r.BatchLimit = clampInt(r.BatchLimit, wire.MaxFrameSize)
+	r.QueueLen = min(r.QueueLen, wire.MaxFrameSize)
+	r.QueueCap = min(r.QueueCap, wire.MaxFrameSize)
+	r.ShedMask &= wire.MaxShedMask
+	return r
+}
+
+// decodeEntry decodes one frame payload of any record kind; ok
 // requires the payload to be exactly one well-formed record.
 func decodeEntry(payload []byte) (Entry, bool) {
 	if len(payload) == 0 {
@@ -80,6 +122,9 @@ func decodeEntry(payload []byte) (Entry, bool) {
 	if rec, n, err := wire.DecodeStartRecord(payload); err == nil {
 		return Entry{Start: true, Alg: rec.Alg,
 			Decision: wire.DecisionRecord{Instance: rec.Instance, Group: rec.Group}}, n == len(payload)
+	}
+	if rec, n, err := wire.DecodeDecisionTraceRecord(payload); err == nil {
+		return Entry{Trace: &rec}, n == len(payload)
 	}
 	rec, n, err := wire.DecodeDecisionRecord(payload)
 	if err != nil || n != len(payload) {
@@ -161,8 +206,9 @@ func syncDir(dir string) {
 
 // ReplayInfo summarizes one read of a journal directory.
 type ReplayInfo struct {
-	// Decisions and Starts count the intact entries replayed, by kind.
-	Decisions, Starts int
+	// Decisions, Starts and Traces count the intact entries replayed,
+	// by kind.
+	Decisions, Starts, Traces int
 	// Segments is the number of segment files read.
 	Segments int
 	// TornBytes is the size of the dropped torn tail of the final
@@ -203,9 +249,12 @@ func Replay(dir string, fn func(Entry) error) (ReplayInfo, error) {
 					return info, err
 				}
 			}
-			if e.Start {
+			switch {
+			case e.Trace != nil:
+				info.Traces++
+			case e.Start:
 				info.Starts++
-			} else {
+			default:
 				info.Decisions++
 			}
 			if e.Instance() >= info.Frontier {

@@ -1,0 +1,127 @@
+package journal
+
+import (
+	"strings"
+	"testing"
+
+	"indulgence/internal/metrics"
+	"indulgence/internal/wire"
+)
+
+// TestAppendDecisionTrace round-trips trace entries through the
+// segment format alongside claims and decisions: they replay in
+// append order, count under their own kind, advance the frontier like
+// the claims they annotate, and never land in the decision index.
+func TestAppendDecisionTrace(t *testing.T) {
+	dir := t.TempDir()
+	reg := metrics.NewRegistry()
+	j, err := Open(dir, Options{NoSync: true, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := wire.DecisionTraceRecord{
+		Instance: 3, Level: 1, Chosen: "A_<>S",
+		NotTaken: []string{"A_f+2", "A_t+2"}, Suspicions: 2,
+		QueueLen: 5, QueueCap: 16, BatchFill: 62, BatchLimit: 8,
+		LingerNanos: 1_000_000, EWMANanos: 750_000, ShedMask: 0b10,
+	}
+	if err := j.AppendStart(3, "A_<>S"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AppendDecisionTrace(trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(wire.DecisionRecord{Instance: 3, Value: 9, Round: 2, Batch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	st := j.Snapshot()
+	if st.Traces != 1 || st.Starts != 1 || st.Decisions != 1 {
+		t.Fatalf("snapshot kinds = %+v, want 1 of each", st)
+	}
+	if st.Frontier != 4 {
+		t.Fatalf("frontier = %d, want 4", st.Frontier)
+	}
+	if _, ok := j.Get(3); !ok {
+		t.Fatalf("decision for instance 3 missing from index")
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if text := reg.Text(); !strings.Contains(text, `indulgence_journal_entries_total{kind="trace"} 1`) {
+		t.Errorf("registry missing trace entry counter:\n%s", text)
+	}
+
+	// A trace-only tail still advances the recovered frontier: the
+	// trace annotates a claim whose instance must never be reassigned.
+	j2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.AppendDecisionTrace(wire.DecisionTraceRecord{Instance: 9, Chosen: "A_f+2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if got := j3.Frontier(); got != 10 {
+		t.Fatalf("recovered frontier = %d, want 10", got)
+	}
+
+	// Replay sees all three kinds, the trace byte-identically.
+	var traces []wire.DecisionTraceRecord
+	info, err := Replay(dir, func(e Entry) error {
+		if e.Trace != nil {
+			traces = append(traces, *e.Trace)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Traces != 2 || info.Starts != 1 || info.Decisions != 1 {
+		t.Fatalf("replay info = %+v, want 2 traces, 1 start, 1 decision", info)
+	}
+	if len(traces) != 2 || traces[0].Chosen != trace.Chosen ||
+		traces[0].EWMANanos != trace.EWMANanos || len(traces[0].NotTaken) != 2 {
+		t.Fatalf("replayed traces = %+v, want first %+v", traces, trace)
+	}
+}
+
+// TestAppendDecisionTraceClamps: out-of-bounds annotation fields are
+// clamped at the frame boundary, never poisoning the segment.
+func TestAppendDecisionTraceClamps(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := strings.Repeat("x", wire.MaxAlgNameLen+20)
+	if err := j.AppendDecisionTrace(wire.DecisionTraceRecord{
+		Instance: 1, Chosen: long, NotTaken: []string{long}, Level: 99,
+		BatchFill: -4, ShedMask: 1 << 60,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got *wire.DecisionTraceRecord
+	if _, err := Replay(dir, func(e Entry) error {
+		got = e.Trace
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("trace entry did not survive the clamp")
+	}
+	if len(got.Chosen) != wire.MaxAlgNameLen || got.Level != wire.MaxTraceAlternatives ||
+		got.BatchFill != 0 || got.ShedMask > wire.MaxShedMask {
+		t.Errorf("clamped record = %+v", got)
+	}
+}

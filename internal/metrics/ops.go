@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// OpsServer is the live introspection endpoint `serve` and
+// `bench-service` expose behind -metrics-addr: the registry in
+// Prometheus text form at /metrics, the same snapshot as JSON at
+// /metrics.json, and the standard net/http/pprof handlers under
+// /debug/pprof/. A scrape reads the instruments' instantaneous
+// values; it is not synchronized with the event schedule, so two
+// scrapes of a live run differ — the deterministic artifact is the
+// snapshot the harness takes at quiescence, not the scrape.
+type OpsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeOps starts an ops endpoint for reg on addr (host:port; port 0
+// picks a free port) and serves it on a background goroutine until
+// Close.
+func ServeOps(addr string, reg *Registry) (*OpsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(reg.Text()))
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(reg.JSON()))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &OpsServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the listener's address (useful with port 0).
+func (s *OpsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and the server.
+func (s *OpsServer) Close() error { return s.srv.Close() }

@@ -34,6 +34,7 @@ import (
 	"indulgence/internal/chaos/clock"
 	"indulgence/internal/core"
 	"indulgence/internal/fd"
+	"indulgence/internal/metrics"
 	"indulgence/internal/model"
 	"indulgence/internal/transport"
 )
@@ -72,6 +73,10 @@ type Config struct {
 	// clock here, turning timeout behaviour into a deterministic
 	// function of the simulated schedule.
 	Clock clock.Clock
+	// Suspicions, when non-nil, is incremented once per suspicion event
+	// any member's timeout detector raises (trusted-to-suspected
+	// transitions). The service layer passes its per-group counter here.
+	Suspicions *metrics.Counter
 }
 
 // NodeResult is one process's outcome.
@@ -154,12 +159,14 @@ func New(cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, fmt.Errorf("runtime: build algorithm for p%d: %w", id, err)
 		}
+		detector := fd.NewTimeoutDetectorClock(cfg.BaseTimeout, cfg.Clock)
+		detector.Instrument(cfg.Suspicions)
 		c.nodes[i] = &node{
 			id:        id,
 			cfg:       &c.cfg,
 			alg:       alg,
 			ep:        cfg.Endpoints[i],
-			detector:  fd.NewTimeoutDetectorClock(cfg.BaseTimeout, cfg.Clock),
+			detector:  detector,
 			buffered:  make(map[model.Round][]model.Message),
 			decisions: c.decisions,
 		}

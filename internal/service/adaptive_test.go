@@ -193,12 +193,16 @@ func TestServiceAdaptiveJournalTagsAcrossRestart(t *testing.T) {
 	var starts []wire.StartRecord
 	tagged := make(map[uint64]string)
 	if _, err := journal.Replay(dir, func(e journal.Entry) error {
-		if e.Start {
+		switch {
+		case e.Trace != nil:
+			// Decision-trace entries are introspection context, not
+			// claims or outcomes; the audit skips them.
+		case e.Start:
 			starts = append(starts, wire.StartRecord{Instance: e.Instance(), Alg: e.Alg})
 			if e.Alg != "" {
 				tagged[e.Instance()] = e.Alg
 			}
-		} else {
+		default:
 			recs = append(recs, e.Decision)
 		}
 		return nil

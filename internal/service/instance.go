@@ -67,6 +67,7 @@ func (s *Service) runInstance(instance uint64, batch []*pending, choice adapt.Ch
 		BaseTimeout: s.cfg.BaseTimeout,
 		MaxRounds:   s.cfg.MaxRounds,
 		Clock:       s.cfg.Clock,
+		Suspicions:  s.mSuspicions,
 	})
 	if err != nil {
 		retire()
@@ -165,6 +166,7 @@ func (s *Service) runInstance(instance uint64, batch []*pending, choice adapt.Ch
 	}
 	for i, l := range latencies {
 		s.latencies.Add(l)
+		s.mPropLat.Observe(int64(l))
 		c := batch[i].class
 		s.resolvedBy[c]++
 		if s.classLat[c] == nil {
@@ -174,17 +176,21 @@ func (s *Service) runInstance(instance uint64, batch []*pending, choice adapt.Ch
 	}
 	s.rounds.Add(int(round))
 	s.instLat.Add(decided)
+	s.mDecLat.Observe(int64(decided))
 	if round > 0 {
 		s.roundLat.Add(decided / time.Duration(round))
 	}
 	if choice.Name != "" {
 		s.algs[choice.Name]++
+		s.roundsHist(choice.Name).Observe(int64(round))
 	}
 	for _, v := range rep.Violations {
 		s.violations = append(s.violations,
 			fmt.Sprintf("instance %d: %s", instance, v))
 	}
 	s.countMu.Unlock()
+	s.mDecisions.Inc()
+	s.mResolved.Add(int64(len(batch)))
 	if s.plane != nil {
 		s.plane.ObserveDecision(latencies, suspicions)
 	}
@@ -202,4 +208,6 @@ func (s *Service) failInstance(batch []*pending, err error) {
 	s.instanceFail++
 	s.failed += len(batch)
 	s.countMu.Unlock()
+	s.mInstFail.Inc()
+	s.mFailed.Add(int64(len(batch)))
 }

@@ -109,9 +109,11 @@ func auditJournals(t *testing.T, live map[uint64]model.Value, dirs ...string) {
 	var starts []wire.StartRecord
 	for _, dir := range dirs {
 		_, err := journal.Replay(dir, func(e journal.Entry) error {
-			if e.Start {
+			switch {
+			case e.Trace != nil:
+			case e.Start:
 				starts = append(starts, wire.StartRecord{Instance: e.Instance(), Alg: e.Alg})
-			} else {
+			default:
 				records = append(records, e.Decision)
 			}
 			return nil

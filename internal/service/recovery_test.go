@@ -133,9 +133,11 @@ func TestServiceJournalRecovery(t *testing.T) {
 	var recs []wire.DecisionRecord
 	var starts []wire.StartRecord
 	if _, err := journal.Replay(dir, func(e journal.Entry) error {
-		if e.Start {
+		switch {
+		case e.Trace != nil:
+		case e.Start:
 			starts = append(starts, wire.StartRecord{Instance: e.Instance(), Alg: e.Alg})
-		} else {
+		default:
 			recs = append(recs, e.Decision)
 		}
 		return nil
@@ -310,9 +312,11 @@ func (cb *crashBattery) finish() {
 	var starts []wire.StartRecord
 	journaled := make(map[uint64]struct{})
 	info, err := journal.Replay(cb.dir, func(e journal.Entry) error {
-		if e.Start {
+		switch {
+		case e.Trace != nil:
+		case e.Start:
 			starts = append(starts, wire.StartRecord{Instance: e.Instance(), Alg: e.Alg})
-		} else {
+		default:
 			recs = append(recs, e.Decision)
 			journaled[e.Decision.Instance] = struct{}{}
 		}

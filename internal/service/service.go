@@ -34,6 +34,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -41,6 +42,7 @@ import (
 	"indulgence/internal/chaos/clock"
 	"indulgence/internal/core"
 	"indulgence/internal/journal"
+	"indulgence/internal/metrics"
 	"indulgence/internal/model"
 	"indulgence/internal/runtime"
 	"indulgence/internal/stats"
@@ -107,6 +109,17 @@ type Config struct {
 	// The chaos harness injects a virtual clock here and threads it
 	// through every instance's runtime cluster.
 	Clock clock.Clock
+	// Metrics, when non-nil, registers the service's instruments on this
+	// registry, every series labelled with the service's group:
+	// proposal/decision/failure counters, suspicion events (threaded down
+	// to every instance's timeout detectors), proposal- and
+	// decision-latency histograms, and — the paper's price gap as a live
+	// series — indulgence_rounds_per_decision histograms per algorithm
+	// rung. The registry is shared with the adaptive control plane, and —
+	// for a service that owns its muxes — with per-group frame counters.
+	// Snapshots of the registry are pure functions of the event schedule
+	// when the service runs on a virtual clock (see internal/metrics).
+	Metrics *metrics.Registry
 	// Group and Groups place the service in a sharded deployment
 	// (internal/shard): the service runs consensus group Group of Groups
 	// total, and owns the strided slice of the global instance-ID space
@@ -312,6 +325,22 @@ type Service struct {
 	overloadsBy [adapt.MaxClasses]int
 	resolvedBy  [adapt.MaxClasses]int
 	classLat    [adapt.MaxClasses]*stats.Reservoir[time.Duration]
+
+	// Registry instruments (nil without Config.Metrics; nil instruments
+	// no-op). algHist holds the per-algorithm rounds-per-decision
+	// histograms, registered lazily at an algorithm's first decision;
+	// countMu guards it.
+	reg           *metrics.Registry
+	metricsLabels []metrics.Label
+	mProposals    *metrics.Counter
+	mResolved     *metrics.Counter
+	mFailed       *metrics.Counter
+	mDecisions    *metrics.Counter
+	mInstFail     *metrics.Counter
+	mSuspicions   *metrics.Counter
+	mPropLat      *metrics.Histogram
+	mDecLat       *metrics.Histogram
+	algHist       map[string]*metrics.Histogram
 }
 
 // maxSamples bounds the latency/round history a long-running service
@@ -384,6 +413,7 @@ func newService(cfg Config, muxes []*transport.Mux, ownsMuxes bool) (*Service, e
 		Factory:    cfg.Factory,
 		WaitPolicy: cfg.WaitPolicy,
 	}
+	labels := []metrics.Label{{Key: "group", Value: strconv.FormatUint(cfg.Group, 10)}}
 	var plane *adapt.Plane
 	// The intake buffer must track the batch ceiling the batcher can
 	// actually cut at — the controller's MaxBatch when adaptive, the
@@ -399,6 +429,9 @@ func newService(cfg Config, muxes []*transport.Mux, ownsMuxes bool) (*Service, e
 		ac := *cfg.Adaptive
 		if ac.Now == nil {
 			ac.Now = cfg.Clock.Now
+		}
+		if cfg.Metrics != nil && ac.Metrics == nil {
+			ac.Metrics, ac.MetricsLabels = cfg.Metrics, labels
 		}
 		plane = adapt.NewPlane(ac, static,
 			adapt.Setting{Batch: cfg.MaxBatch, Linger: cfg.Linger}, cfg.N, cfg.T)
@@ -422,6 +455,38 @@ func newService(cfg Config, muxes []*transport.Mux, ownsMuxes bool) (*Service, e
 		roundLat:    stats.NewReservoirSeeded[time.Duration](maxSamples, uint64(cfg.Group)<<3|3),
 		fills:       stats.NewReservoirSeeded[int](maxSamples, uint64(cfg.Group)<<3|4),
 		algs:        make(map[string]int),
+	}
+	reg := cfg.Metrics
+	s.reg = reg
+	s.metricsLabels = labels
+	s.algHist = make(map[string]*metrics.Histogram)
+	s.mProposals = reg.Counter("indulgence_proposals_total",
+		"proposals accepted into intake", labels...)
+	s.mResolved = reg.Counter("indulgence_resolved_total",
+		"proposal futures resolved with a decision", labels...)
+	s.mFailed = reg.Counter("indulgence_failed_total",
+		"proposal futures failed without a decision", labels...)
+	s.mDecisions = reg.Counter("indulgence_decisions_total",
+		"consensus instances decided", labels...)
+	s.mInstFail = reg.Counter("indulgence_instance_failures_total",
+		"consensus instances that missed their decision", labels...)
+	s.mSuspicions = reg.Counter("indulgence_suspicions_total",
+		"failure-detector suspicion events raised across the service's instances", labels...)
+	s.mPropLat = reg.Histogram("indulgence_proposal_latency_ns",
+		"proposal latency, enqueue to resolution, in nanoseconds", 1<<12, 1<<34, labels...)
+	s.mDecLat = reg.Histogram("indulgence_decision_latency_ns",
+		"instance latency, batch cut to decision, in nanoseconds", 1<<12, 1<<34, labels...)
+	if reg != nil && ownsMuxes {
+		// A service that owns its muxes owns all their traffic, so the
+		// frame counters carry its group label; shared muxes (NewOnMuxes)
+		// are instrumented by their owner instead.
+		fin := reg.Counter("indulgence_frames_in_total",
+			"well-formed inbound frames routed or buffered by the mux", labels...)
+		fout := reg.Counter("indulgence_frames_out_total",
+			"frames sent through the mux's virtual endpoints", labels...)
+		for _, m := range muxes {
+			m.Instrument(fin, fout)
+		}
 	}
 	// The first instance of group g is g itself; every later one adds
 	// the stride, so the assigned IDs are exactly {g, g+G, g+2G, …}.
@@ -529,6 +594,7 @@ func (s *Service) ProposeClass(ctx context.Context, class int, v model.Value) (*
 		s.maxClass = class
 	}
 	s.countMu.Unlock()
+	s.mProposals.Inc()
 	return p.fut, nil
 }
 
@@ -668,6 +734,24 @@ func (s *Service) lingerFor() time.Duration {
 	return s.cfg.Linger
 }
 
+// roundsHist returns (registering at an algorithm's first decision) its
+// rounds-per-decision histogram — the paper's price gap as a live
+// series: the A_f+2 rung's mass sits at f+2 rounds while A_t+2's sits
+// at its t+2 floor. Callers hold countMu; nil without a registry.
+func (s *Service) roundsHist(alg string) *metrics.Histogram {
+	if s.reg == nil {
+		return nil
+	}
+	h, ok := s.algHist[alg]
+	if !ok {
+		labels := append([]metrics.Label{{Key: "alg", Value: alg}}, s.metricsLabels...)
+		h = s.reg.Histogram("indulgence_rounds_per_decision",
+			"global decision round per decided instance, by algorithm rung", 1, 256, labels...)
+		s.algHist[alg] = h
+	}
+	return h
+}
+
 // recordCut accounts one dispatched batch's fill with both sinks
 // (Stats.BatchFill and the control plane's window) — the one piece of
 // accounting both service shapes must keep identical.
@@ -716,8 +800,12 @@ func (s *Service) batcher() {
 		instance := s.nextInstance
 		s.nextInstance += s.stride
 		choice := s.static
-		if s.plane != nil && s.plane.Selecting() {
-			choice = s.plane.Pick()
+		var cctx adapt.ChoiceContext
+		if s.plane != nil {
+			// One lock acquisition yields both the pick and the control-
+			// plane context behind it, so the decision-trace record below
+			// can never disagree with the choice it annotates.
+			choice, cctx = s.plane.PickContext()
 		}
 		if s.cfg.Journal != nil {
 			// Claim instance IDs before any of their frames can reach
@@ -749,6 +837,34 @@ func (s *Service) batcher() {
 					return
 				}
 				s.claimedThrough = through
+			}
+			if s.plane != nil {
+				// Decision-trace record: the controller/selector/admission
+				// context behind this launch, journaled after the start
+				// claim and before any of the instance's frames can reach
+				// the network, so replay can audit why each rung was
+				// chosen. Same durability class as start claims (written,
+				// not fsynced).
+				trace := wire.DecisionTraceRecord{
+					Instance:    instance,
+					Group:       s.cfg.Group,
+					Level:       cctx.Level,
+					Chosen:      cctx.Chosen,
+					NotTaken:    cctx.NotTaken,
+					Suspicions:  uint64(cctx.Suspicions),
+					QueueLen:    uint64(len(s.intake)),
+					QueueCap:    uint64(cap(s.intake)),
+					BatchFill:   cutFill(len(b), cctx.BatchLimit),
+					BatchLimit:  cctx.BatchLimit,
+					LingerNanos: int64(cctx.Linger),
+					EWMANanos:   int64(cctx.EWMA),
+					ShedMask:    uint64(cctx.ShedMask),
+				}
+				if err := s.cfg.Journal.AppendDecisionTrace(trace); err != nil {
+					<-s.slots
+					failBatch(b, fmt.Errorf("service: trace instance %d: %w", instance, err))
+					return
+				}
 			}
 		}
 		s.wg.Add(1)

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"io/fs"
 	"path/filepath"
+	"strconv"
 	"sync/atomic"
 
 	"indulgence/internal/journal"
+	"indulgence/internal/metrics"
 	"indulgence/internal/model"
 	"indulgence/internal/service"
 	"indulgence/internal/transport"
@@ -20,7 +22,11 @@ type Config struct {
 	// Service is the per-group service template: every group runs a
 	// service.Service with this configuration. Its Group, Groups and
 	// Journal fields must be zero — the runtime assigns the first two
-	// and opens a per-group journal itself when JournalDir is set.
+	// and opens a per-group journal itself when JournalDir is set. A
+	// Metrics registry on the template is shared by every group: each
+	// group's series carry its own group label, the shared muxes count
+	// frames once for the whole runtime, and per-group journals register
+	// their entry counters group-labelled too.
 	Service service.Config
 	// Groups is the number of consensus groups (default 1).
 	Groups int
@@ -86,12 +92,29 @@ func New(cfg Config, endpoints []transport.Transport) (*Runtime, error) {
 	for i, ep := range endpoints {
 		r.muxes[i] = transport.NewMux(ep)
 	}
+	if reg := cfg.Service.Metrics; reg != nil {
+		// The muxes are shared by every group, so their frame counters
+		// are runtime-wide (no group label) — a frame is counted once,
+		// not once per group.
+		fin := reg.Counter("indulgence_frames_in_total",
+			"well-formed inbound frames routed or buffered by the shared muxes")
+		fout := reg.Counter("indulgence_frames_out_total",
+			"frames sent through the shared muxes' virtual endpoints")
+		for _, m := range r.muxes {
+			m.Instrument(fin, fout)
+		}
+	}
 	for g := 0; g < cfg.Groups; g++ {
 		svcCfg := cfg.Service
 		svcCfg.Group = uint64(g)
 		svcCfg.Groups = cfg.Groups
 		if cfg.JournalDir != "" {
-			j, err := journal.Open(GroupDir(cfg.JournalDir, g), cfg.JournalOptions)
+			jo := cfg.JournalOptions
+			if cfg.Service.Metrics != nil && jo.Metrics == nil {
+				jo.Metrics = cfg.Service.Metrics
+				jo.MetricsLabels = []metrics.Label{{Key: "group", Value: strconv.Itoa(g)}}
+			}
+			j, err := journal.Open(GroupDir(cfg.JournalDir, g), jo)
 			if err != nil {
 				r.teardown()
 				return nil, fmt.Errorf("shard: open group %d journal: %w", g, err)
@@ -296,10 +319,15 @@ func ReplayDir(root string, groups int) (records []wire.DecisionRecord, starts [
 	for g := 0; g < groups; g++ {
 		dir := GroupDir(root, g)
 		_, err := journal.Replay(dir, func(e journal.Entry) error {
-			if e.Start {
+			switch {
+			case e.Trace != nil:
+				// Decision-trace entries are introspection context,
+				// not claims or outcomes; the consensus audit skips
+				// them.
+			case e.Start:
 				starts = append(starts, wire.StartRecord{
 					Instance: e.Decision.Instance, Alg: e.Alg, Group: e.Decision.Group})
-			} else {
+			default:
 				records = append(records, e.Decision)
 			}
 			return nil

@@ -168,14 +168,49 @@ func TestSummarizeDurationsEdgeCases(t *testing.T) {
 			Min:   5 * time.Millisecond, Max: 5 * time.Millisecond,
 			Mean: 5 * time.Millisecond,
 			P50:  5 * time.Millisecond, P90: 5 * time.Millisecond, P99: 5 * time.Millisecond,
+			P999: 5 * time.Millisecond,
 		}},
 		{"all equal", []time.Duration{7, 7, 7}, LatencySummary{
-			Count: 3, Min: 7, Max: 7, Mean: 7, P50: 7, P90: 7, P99: 7,
+			Count: 3, Min: 7, Max: 7, Mean: 7, P50: 7, P90: 7, P99: 7, P999: 7,
 		}},
 	}
 	for _, c := range cases {
 		if got := SummarizeDurations(c.in); got != c.want {
 			t.Errorf("%s: summary = %+v, want %+v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestSummarizeDurationsP999Boundary pins the nearest-rank boundary of
+// the 99.9th percentile: below 1000 samples ⌈0.999·n⌉ = n, so P999
+// coincides with the maximum; at exactly 1000 samples it first
+// separates, selecting the second-highest observation.
+func TestSummarizeDurationsP999Boundary(t *testing.T) {
+	ramp := func(n int) []time.Duration {
+		ds := make([]time.Duration, n)
+		for i := range ds {
+			ds[i] = time.Duration(i + 1)
+		}
+		return ds
+	}
+	cases := []struct {
+		n    int
+		want time.Duration
+	}{
+		// ⌈0.999·999⌉ = 999 → the maximum itself.
+		{999, 999},
+		// ⌈0.999·1000⌉ = 999 → rank 998, one below the maximum.
+		{1000, 999},
+		// ⌈0.999·2000⌉ = 1998 → two tail samples above it.
+		{2000, 1998},
+	}
+	for _, c := range cases {
+		s := SummarizeDurations(ramp(c.n))
+		if s.P999 != c.want {
+			t.Errorf("n=%d: P999 = %d, want %d", c.n, s.P999, c.want)
+		}
+		if got := Quantile(ramp(c.n), 0.999); got != c.want {
+			t.Errorf("n=%d: Quantile(0.999) = %d, want %d", c.n, got, c.want)
 		}
 	}
 }

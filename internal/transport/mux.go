@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"indulgence/internal/metrics"
 	"indulgence/internal/model"
 	"indulgence/internal/wire"
 )
@@ -54,6 +55,8 @@ type Mux struct {
 	closed     bool
 	done       chan struct{}
 	routerDone chan struct{}
+
+	mIn, mOut *metrics.Counter
 }
 
 // NewMux starts a multiplexer over ep. The mux reads every inbound frame
@@ -102,6 +105,16 @@ func NewMuxGroupNotify(ep Transport, onPending func(group, instance uint64)) *Mu
 
 // Self returns the identity of the underlying endpoint.
 func (m *Mux) Self() model.ProcessID { return m.ep.Self() }
+
+// Instrument attaches frame counters: in counts every well-formed
+// inbound frame the router delivers or buffers, out every frame sent
+// through a virtual endpoint. Nil counters (the uninstrumented
+// default) cost nothing.
+func (m *Mux) Instrument(in, out *metrics.Counter) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.mIn, m.mOut = in, out
+}
 
 // Open returns the virtual endpoint of the given group-0 consensus
 // instance; it is OpenGroup(0, instance).
@@ -293,6 +306,7 @@ func (m *Mux) route() {
 				m.mu.Unlock()
 				continue
 			}
+			m.mIn.Inc()
 			s, ok := m.streams[key]
 			if !ok {
 				s = &muxStream{mux: m, key: key, box: newMailbox()}
@@ -339,10 +353,12 @@ func (s *muxStream) Self() model.ProcessID { return s.mux.Self() }
 func (s *muxStream) Send(to model.ProcessID, frame []byte) error {
 	s.mux.mu.Lock()
 	dead := s.mux.closed || s.mux.isRetiredLocked(s.key)
+	out := s.mux.mOut
 	s.mux.mu.Unlock()
 	if dead {
 		return ErrClosed
 	}
+	out.Inc()
 	if s.key.group == 0 && s.key.instance == 0 {
 		return s.mux.ep.Send(to, frame)
 	}

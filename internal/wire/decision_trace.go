@@ -1,0 +1,230 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// decisionTraceMarker opens a decision-trace record, the journal's
+// introspection record kind: the controller/selector/admission context
+// a service held at the moment it chose how to launch one consensus
+// instance. Like the other record markers it is an odd byte below
+// 0x80, so it can never open a version-0 frame and the kind is
+// decidable from the first byte alone.
+const decisionTraceMarker byte = 0x11
+
+// MaxTraceAlternatives bounds the not-taken rungs a decision-trace
+// record may carry; it comfortably exceeds the algorithm ladder's
+// length (three rungs plus the probe).
+const MaxTraceAlternatives = 8
+
+// MaxShedMask bounds the admission mask a decision-trace record may
+// carry: one bit per SLO class, classes 0..MaxClassValue.
+const MaxShedMask = 1<<(MaxClassValue+1) - 1
+
+// DecisionTraceRecord captures why a service launched one consensus
+// instance the way it did: the rung the selector chose (and the rungs
+// it did not take), the controller's latency baseline and batch
+// shape, and the admission state — everything needed to audit a
+// demotion after the fact or replay the choice against a different
+// policy. The journal writes it with the same "before any frame
+// touches the network" ordering as the start claim it accompanies.
+type DecisionTraceRecord struct {
+	// Instance is the consensus instance the choice launched.
+	Instance uint64
+	// Group is the consensus group the instance belongs to (0 for
+	// single-group deployments).
+	Group uint64
+	// Level is the selector's rung index at choice time (0 is the
+	// fastest, most indulgent rung).
+	Level int
+	// Chosen names the algorithm the instance was launched with.
+	Chosen string
+	// NotTaken names the ladder's other rungs, in ladder order — the
+	// counterfactual set a tuner can replay the instance against.
+	NotTaken []string
+	// Suspicions is the failure-detector suspicion count in the
+	// controller's current observation window at choice time.
+	Suspicions uint64
+	// QueueLen and QueueCap are the proposal-intake occupancy and
+	// capacity at choice time.
+	QueueLen uint64
+	QueueCap uint64
+	// BatchFill is the cut batch's fill as a percentage of the batch
+	// limit in force; BatchLimit is that limit.
+	BatchFill  int
+	BatchLimit int
+	// LingerNanos is the batch linger in force at choice time.
+	LingerNanos int64
+	// EWMANanos is the controller's decision-latency EWMA baseline at
+	// choice time (0 until the first decision lands).
+	EWMANanos int64
+	// ShedMask is the admission state at choice time: bit c set means
+	// SLO class c was being shed.
+	ShedMask uint64
+}
+
+// AppendDecisionTraceRecord appends the encoding of r to dst and
+// returns the extended slice. The layout is the trace marker followed
+// by uvarint instance, group, level, the uvarint-length-prefixed
+// chosen algorithm, a uvarint count of not-taken rungs each length-
+// prefixed the same way, and uvarint suspicions, queue length, queue
+// capacity, batch fill, batch limit, linger, EWMA and shed mask.
+// Negative durations clamp to zero; every field is always present
+// (this record kind has no legacy layout to stay compatible with).
+func AppendDecisionTraceRecord(dst []byte, r DecisionTraceRecord) ([]byte, error) {
+	if len(r.Chosen) > MaxAlgNameLen {
+		return nil, fmt.Errorf("%w: algorithm tag of %d bytes", ErrFrameTooLarge, len(r.Chosen))
+	}
+	if len(r.NotTaken) > MaxTraceAlternatives {
+		return nil, fmt.Errorf("%w: %d not-taken rungs", ErrFrameTooLarge, len(r.NotTaken))
+	}
+	if r.Level < 0 || r.Level > MaxTraceAlternatives ||
+		r.BatchFill < 0 || r.BatchFill > MaxFrameSize ||
+		r.BatchLimit < 0 || r.BatchLimit > MaxFrameSize ||
+		r.QueueLen > MaxFrameSize || r.QueueCap > MaxFrameSize ||
+		r.ShedMask > MaxShedMask {
+		return nil, fmt.Errorf("%w: decision-trace field out of range", ErrUnknownPayload)
+	}
+	dst = append(dst, decisionTraceMarker)
+	dst = binary.AppendUvarint(dst, r.Instance)
+	dst = binary.AppendUvarint(dst, r.Group)
+	dst = binary.AppendUvarint(dst, uint64(r.Level))
+	dst = binary.AppendUvarint(dst, uint64(len(r.Chosen)))
+	dst = append(dst, r.Chosen...)
+	dst = binary.AppendUvarint(dst, uint64(len(r.NotTaken)))
+	for _, alg := range r.NotTaken {
+		if len(alg) > MaxAlgNameLen {
+			return nil, fmt.Errorf("%w: algorithm tag of %d bytes", ErrFrameTooLarge, len(alg))
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(alg)))
+		dst = append(dst, alg...)
+	}
+	dst = binary.AppendUvarint(dst, r.Suspicions)
+	dst = binary.AppendUvarint(dst, r.QueueLen)
+	dst = binary.AppendUvarint(dst, r.QueueCap)
+	dst = binary.AppendUvarint(dst, uint64(r.BatchFill))
+	dst = binary.AppendUvarint(dst, uint64(r.BatchLimit))
+	dst = binary.AppendUvarint(dst, clampNanos(r.LingerNanos))
+	dst = binary.AppendUvarint(dst, clampNanos(r.EWMANanos))
+	dst = binary.AppendUvarint(dst, r.ShedMask)
+	return dst, nil
+}
+
+func clampNanos(v int64) uint64 {
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
+}
+
+// DecodeDecisionTraceRecord decodes one decision-trace record from b,
+// returning it and the number of bytes consumed.
+func DecodeDecisionTraceRecord(b []byte) (DecisionTraceRecord, int, error) {
+	var r DecisionTraceRecord
+	if len(b) == 0 {
+		return r, 0, fmt.Errorf("%w: empty record", ErrTruncated)
+	}
+	if b[0] != decisionTraceMarker {
+		return r, 0, fmt.Errorf("%w: decision-trace marker %#x", ErrUnknownPayload, b[0])
+	}
+	off := 1
+	uv := func(field string) (uint64, error) {
+		v, n := binary.Uvarint(b[off:])
+		if n <= 0 {
+			return 0, fmt.Errorf("%w: decision-trace %s", ErrTruncated, field)
+		}
+		off += n
+		return v, nil
+	}
+	str := func(field string) (string, error) {
+		alen, err := uv(field + " length")
+		if err != nil {
+			return "", err
+		}
+		if alen > MaxAlgNameLen {
+			return "", fmt.Errorf("%w: decision-trace %s of %d bytes", ErrUnknownPayload, field, alen)
+		}
+		if uint64(len(b)-off) < alen {
+			return "", fmt.Errorf("%w: decision-trace %s", ErrTruncated, field)
+		}
+		s := string(b[off : off+int(alen)])
+		off += int(alen)
+		return s, nil
+	}
+	var err error
+	if r.Instance, err = uv("instance"); err != nil {
+		return DecisionTraceRecord{}, 0, err
+	}
+	if r.Group, err = uv("group"); err != nil {
+		return DecisionTraceRecord{}, 0, err
+	}
+	level, err := uv("level")
+	if err != nil {
+		return DecisionTraceRecord{}, 0, err
+	}
+	if level > MaxTraceAlternatives {
+		return DecisionTraceRecord{}, 0, fmt.Errorf("%w: decision-trace level %d", ErrUnknownPayload, level)
+	}
+	r.Level = int(level)
+	if r.Chosen, err = str("chosen algorithm"); err != nil {
+		return DecisionTraceRecord{}, 0, err
+	}
+	count, err := uv("not-taken count")
+	if err != nil {
+		return DecisionTraceRecord{}, 0, err
+	}
+	if count > MaxTraceAlternatives {
+		return DecisionTraceRecord{}, 0, fmt.Errorf("%w: decision-trace with %d not-taken rungs", ErrUnknownPayload, count)
+	}
+	for i := uint64(0); i < count; i++ {
+		alg, err := str("not-taken algorithm")
+		if err != nil {
+			return DecisionTraceRecord{}, 0, err
+		}
+		r.NotTaken = append(r.NotTaken, alg)
+	}
+	if r.Suspicions, err = uv("suspicions"); err != nil {
+		return DecisionTraceRecord{}, 0, err
+	}
+	if r.QueueLen, err = uv("queue length"); err != nil {
+		return DecisionTraceRecord{}, 0, err
+	}
+	if r.QueueCap, err = uv("queue capacity"); err != nil {
+		return DecisionTraceRecord{}, 0, err
+	}
+	fill, err := uv("batch fill")
+	if err != nil {
+		return DecisionTraceRecord{}, 0, err
+	}
+	limit, err := uv("batch limit")
+	if err != nil {
+		return DecisionTraceRecord{}, 0, err
+	}
+	if r.QueueLen > MaxFrameSize || r.QueueCap > MaxFrameSize ||
+		fill > MaxFrameSize || limit > MaxFrameSize {
+		return DecisionTraceRecord{}, 0, fmt.Errorf("%w: decision-trace occupancy out of range", ErrUnknownPayload)
+	}
+	r.BatchFill = int(fill)
+	r.BatchLimit = int(limit)
+	linger, err := uv("linger")
+	if err != nil {
+		return DecisionTraceRecord{}, 0, err
+	}
+	ewma, err := uv("ewma")
+	if err != nil {
+		return DecisionTraceRecord{}, 0, err
+	}
+	if linger > 1<<62 || ewma > 1<<62 {
+		return DecisionTraceRecord{}, 0, fmt.Errorf("%w: decision-trace duration out of range", ErrUnknownPayload)
+	}
+	r.LingerNanos = int64(linger)
+	r.EWMANanos = int64(ewma)
+	if r.ShedMask, err = uv("shed mask"); err != nil {
+		return DecisionTraceRecord{}, 0, err
+	}
+	if r.ShedMask > MaxShedMask {
+		return DecisionTraceRecord{}, 0, fmt.Errorf("%w: decision-trace shed mask %#x", ErrUnknownPayload, r.ShedMask)
+	}
+	return r, off, nil
+}

@@ -1,0 +1,97 @@
+package wire
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestDecisionTraceRecordRoundTrip(t *testing.T) {
+	records := []DecisionTraceRecord{
+		{},
+		{Instance: 7, Chosen: "A_f+2", NotTaken: []string{"A_<>S", "A_t+2"}, Level: 0},
+		{
+			Instance: 1<<64 - 1, Group: 3, Level: 2,
+			Chosen: "A_t+2", NotTaken: []string{"A_f+2", "A_<>S", "probe:A_f+2"},
+			Suspicions: 42, QueueLen: 17, QueueCap: 64,
+			BatchFill: 87, BatchLimit: 32,
+			LingerNanos: 2_500_000, EWMANanos: 1_300_000, ShedMask: 0b101,
+		},
+	}
+	for _, r := range records {
+		enc, err := AppendDecisionTraceRecord(nil, r)
+		if err != nil {
+			t.Fatalf("append %+v: %v", r, err)
+		}
+		if enc[0] != decisionTraceMarker {
+			t.Fatalf("record does not open with the trace marker: %#x", enc[0])
+		}
+		got, n, err := DecodeDecisionTraceRecord(enc)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", r, err)
+		}
+		if n != len(enc) {
+			t.Errorf("consumed %d of %d bytes", n, len(enc))
+		}
+		if !reflect.DeepEqual(got, r) && !(len(r.NotTaken) == 0 && len(got.NotTaken) == 0) {
+			t.Errorf("round trip: got %+v, want %+v", got, r)
+		}
+	}
+}
+
+func TestDecisionTraceRecordNegativeDurationsClamp(t *testing.T) {
+	enc, err := AppendDecisionTraceRecord(nil, DecisionTraceRecord{LingerNanos: -5, EWMANanos: -9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeDecisionTraceRecord(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LingerNanos != 0 || got.EWMANanos != 0 {
+		t.Errorf("negative durations did not clamp: %+v", got)
+	}
+}
+
+func TestDecisionTraceRecordBounds(t *testing.T) {
+	tooLong := strings.Repeat("x", MaxAlgNameLen+1)
+	bad := []DecisionTraceRecord{
+		{Chosen: tooLong},
+		{NotTaken: []string{tooLong}},
+		{NotTaken: make([]string, MaxTraceAlternatives+1)},
+		{Level: MaxTraceAlternatives + 1},
+		{Level: -1},
+		{BatchFill: MaxFrameSize + 1},
+		{BatchLimit: -1},
+		{QueueCap: MaxFrameSize + 1},
+		{ShedMask: MaxShedMask + 1},
+	}
+	for _, r := range bad {
+		if _, err := AppendDecisionTraceRecord(nil, r); err == nil {
+			t.Errorf("append accepted out-of-range record %+v", r)
+		}
+	}
+	// Decode-side bounds: an over-long not-taken count and a foreign
+	// marker must be rejected.
+	if _, _, err := DecodeDecisionTraceRecord([]byte{decisionTraceMarker, 0, 0, 0, 0, MaxTraceAlternatives + 1}); err == nil {
+		t.Errorf("decode accepted an oversized not-taken count")
+	}
+	if _, _, err := DecodeDecisionTraceRecord([]byte{startMarker, 0}); err == nil {
+		t.Errorf("decode accepted a start record")
+	}
+	// Truncation at every prefix length of a full record must error,
+	// never panic.
+	enc, err := AppendDecisionTraceRecord(nil, DecisionTraceRecord{
+		Instance: 9, Group: 1, Level: 1, Chosen: "A_<>S",
+		NotTaken: []string{"A_f+2"}, Suspicions: 3, QueueLen: 4, QueueCap: 8,
+		BatchFill: 50, BatchLimit: 16, LingerNanos: 1000, EWMANanos: 2000, ShedMask: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(enc); i++ {
+		if _, _, err := DecodeDecisionTraceRecord(enc[:i]); err == nil {
+			t.Errorf("decode accepted a %d-byte prefix of a %d-byte record", i, len(enc))
+		}
+	}
+}

@@ -196,3 +196,54 @@ func FuzzDecodeStartRecord(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeDecisionTraceRecord covers the introspection record's
+// decoder: arbitrary bytes must never panic it, every accepted record
+// must satisfy the tag, count and mask bounds, and re-encoding must be
+// a decode fixed point.
+func FuzzDecodeDecisionTraceRecord(f *testing.F) {
+	for _, r := range []DecisionTraceRecord{
+		{},
+		{Instance: 7, Chosen: "A_f+2", NotTaken: []string{"A_<>S", "A_t+2"}},
+		{
+			Instance: 1<<64 - 1, Group: 3, Level: 2, Chosen: "A_t+2",
+			NotTaken: []string{"A_f+2", "A_<>S"}, Suspicions: 42,
+			QueueLen: 17, QueueCap: 64, BatchFill: 87, BatchLimit: 32,
+			LingerNanos: 2_500_000, EWMANanos: 1_300_000, ShedMask: 0b101,
+		},
+	} {
+		enc, err := AppendDecisionTraceRecord(nil, r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte{decisionTraceMarker, 0x00, 0x00, 0x09})             // level over the cap
+	f.Add([]byte{decisionTraceMarker, 0x01, 0x00, 0x00, 0x00, 0x09}) // not-taken count over the cap
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		rec, n, err := DecodeDecisionTraceRecord(b)
+		if err != nil {
+			return
+		}
+		if n > len(b) {
+			t.Fatalf("consumed %d of %d bytes", n, len(b))
+		}
+		if len(rec.Chosen) > MaxAlgNameLen || len(rec.NotTaken) > MaxTraceAlternatives ||
+			rec.Level > MaxTraceAlternatives || rec.ShedMask > MaxShedMask {
+			t.Fatalf("accepted an out-of-range record: %+v", rec)
+		}
+		reenc, err := AppendDecisionTraceRecord(nil, rec)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		rec2, n2, err := DecodeDecisionTraceRecord(reenc)
+		if err != nil {
+			t.Fatalf("decode of re-encoding failed: %v", err)
+		}
+		if !reflect.DeepEqual(rec2, rec) || n2 != len(reenc) {
+			t.Fatalf("decode/encode not a fixed point: %+v (%d) vs %+v (%d)",
+				rec, n, rec2, n2)
+		}
+	})
+}

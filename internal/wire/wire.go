@@ -39,8 +39,11 @@
 // workload engine's trace files (see trace.go) add three more kinds:
 // a TraceHeaderRecord opens with 0x0B, a TraceEventRecord (one recorded
 // proposal arrival) with 0x0D, and a TraceOutcomeRecord (the decision
-// that proposal received) with 0x0F. Like 0x01, the odd bytes 0x03,
-// 0x05, 0x07, 0x0B, 0x0D and 0x0F can never open a version-0 frame
+// that proposal received) with 0x0F. The introspection plane adds a
+// DecisionTraceRecord (see decision_trace.go) — the controller/
+// selector/admission context a service held when it launched an
+// instance — opening with 0x11. Like 0x01, the odd bytes 0x03, 0x05,
+// 0x07, 0x0B, 0x0D, 0x0F and 0x11 can never open a version-0 frame
 // (positive senders zigzag-encode to even first bytes, and continuation
 // bytes have the high bit set), so every kind is distinguishable from
 // its first byte alone.
